@@ -1,0 +1,18 @@
+"""Fig. 4 — PUE as a function of external temperature."""
+
+from conftest import print_header
+from repro.analysis import figure4_pue_curve
+
+
+def test_fig04_pue_curve(benchmark):
+    data = benchmark(figure4_pue_curve)
+
+    print_header("Figure 4: PUE vs external temperature")
+    print(f"{'temperature C':>14}  {'PUE':>6}")
+    for temperature, pue in zip(data["temperature_c"][::5], data["pue"][::5]):
+        print(f"{temperature:>14.0f}  {pue:>6.3f}")
+    print("paper shape: ~1.05 with free cooling, rising to ~1.4 at 45 C")
+
+    assert abs(data["pue"][0] - 1.05) < 0.02
+    assert abs(data["pue"][-1] - 1.40) < 0.02
+    assert all(b >= a for a, b in zip(data["pue"], data["pue"][1:]))

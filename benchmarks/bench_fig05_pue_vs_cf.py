@@ -1,0 +1,33 @@
+"""Fig. 5 — average PUE against solar and wind capacity factors."""
+
+import numpy as np
+
+from conftest import print_header
+from repro.analysis import figure5_pue_vs_capacity_factor
+
+
+def test_fig05_pue_vs_capacity_factor(benchmark, tool):
+    data = benchmark(figure5_pue_vs_capacity_factor, tool.profiles)
+
+    print_header("Figure 5: average PUE vs capacity factor")
+    windiest = np.argsort(data["wind_cf"])[-5:]
+    sunniest = np.argsort(data["solar_cf"])[-5:]
+    print("5 windiest locations:  wind CF %%: %s  avg PUE: %s" % (
+        np.round(100 * data["wind_cf"][windiest], 1).tolist(),
+        np.round(data["avg_pue"][windiest], 3).tolist(),
+    ))
+    print("5 sunniest locations:  solar CF %%: %s  avg PUE: %s" % (
+        np.round(100 * data["solar_cf"][sunniest], 1).tolist(),
+        np.round(data["avg_pue"][sunniest], 3).tolist(),
+    ))
+    print(
+        "paper shape: the windiest locations have low PUEs (cold sites); the sunniest "
+        "tend to have higher PUEs (hot sites), with a band of good-solar/low-PUE sites"
+    )
+
+    # High wind capacity factors correlate with cool climates (low PUE);
+    # high solar with warm climates (higher PUE).
+    mean_pue_windy = float(np.mean(data["avg_pue"][windiest]))
+    mean_pue_sunny = float(np.mean(data["avg_pue"][sunniest]))
+    assert mean_pue_windy <= mean_pue_sunny + 0.02
+    assert np.all(data["avg_pue"] >= 1.0) and np.all(data["avg_pue"] <= 1.25)

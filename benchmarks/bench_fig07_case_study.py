@@ -1,0 +1,36 @@
+"""Fig. 7 / Section III-C — the 50 MW, 50 % green case study and its cost breakdown."""
+
+from conftest import BENCH_CAPACITY_KW, print_header
+from repro.analysis import case_study_breakdown, format_table
+from repro.core import StorageMode
+
+
+def test_fig07_case_study_breakdown(benchmark, sweeps):
+    results = benchmark.pedantic(
+        sweeps.sweep, args=(StorageMode.NET_METERING,), rounds=1, iterations=1
+    )
+    solution = results["wind_and_or_solar"][0.5]
+    brown = results["wind_and_or_solar"][0.0]
+    assert solution.feasible and solution.plan is not None
+    plan = solution.plan
+
+    print_header("Figure 7 / Section III-C: 50 MW network with 50 % green energy")
+    print(plan.describe())
+    print()
+    print(format_table(case_study_breakdown(plan)))
+    premium = solution.monthly_cost / brown.monthly_cost - 1.0
+    print(
+        f"green premium over the cheapest brown network: {100 * premium:.1f} % "
+        "(paper: ~13 %, $19.6M vs $17.3M)"
+    )
+
+    # Shape assertions from Section III-C.
+    assert plan.total_capacity_kw >= BENCH_CAPACITY_KW - 1.0
+    assert plan.total_capacity_kw <= BENCH_CAPACITY_KW * 1.15  # no significant idleness
+    assert 2 <= plan.num_datacenters <= 3
+    assert plan.green_fraction >= 0.5 - 1e-3
+    assert 0.0 <= premium <= 0.35
+    breakdown = plan.cost_breakdown()
+    # Construction and IT equipment dominate the cost, as in the paper.
+    dominant = breakdown["building_dc"] + breakdown["it_equipment"]
+    assert dominant >= 0.5 * plan.total_monthly_cost

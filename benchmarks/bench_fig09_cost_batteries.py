@@ -1,0 +1,34 @@
+"""Fig. 9 — per-month cost vs desired green percentage, with battery storage."""
+
+from conftest import print_header
+from repro.analysis.figures import GREEN_FRACTIONS, solution_costs
+from repro.analysis import format_table, series_to_rows
+from repro.core import StorageMode
+
+
+def test_fig09_cost_vs_green_batteries(benchmark, sweeps):
+    results = benchmark.pedantic(
+        sweeps.sweep, args=(StorageMode.BATTERIES,), rounds=1, iterations=1
+    )
+    net_metering = sweeps.sweep(StorageMode.NET_METERING)
+    costs = solution_costs(results)
+    net_costs = solution_costs(net_metering)
+
+    print_header("Figure 9: cost vs desired green percentage (batteries), $M/month")
+    rows = series_to_rows(costs, "green_pct", [int(100 * f) for f in GREEN_FRACTIONS])
+    print(format_table(rows))
+    print(
+        "paper shape: same trends as net metering but more expensive, because battery "
+        "capacity is costly; at 100 % green, wind-only approaches solar-only"
+    )
+
+    both = costs["wind_and_or_solar"]
+    both_net = net_costs["wind_and_or_solar"]
+    # Batteries are never cheaper than net metering (free storage) for the same target.
+    for index in range(len(GREEN_FRACTIONS)):
+        assert both[index] >= both_net[index] * 0.98
+    # Costs still rise with the green requirement.
+    assert both[-1] >= both[0] * 0.98
+    # Solutions exist and build batteries at high green percentages.
+    plan_100 = results["wind_and_or_solar"][1.0].plan
+    assert plan_100 is not None and plan_100.total_battery_kwh > 0.0

@@ -1,0 +1,33 @@
+"""Fig. 10 — per-month cost vs desired green percentage, without storage."""
+
+from conftest import print_header
+from repro.analysis.figures import GREEN_FRACTIONS, solution_costs
+from repro.analysis import format_table, series_to_rows
+from repro.core import StorageMode
+
+
+def test_fig10_cost_vs_green_no_storage(benchmark, sweeps):
+    results = benchmark.pedantic(sweeps.sweep, args=(StorageMode.NONE,), rounds=1, iterations=1)
+    net_metering = sweeps.sweep(StorageMode.NET_METERING)
+    costs = solution_costs(results)
+    net_costs = solution_costs(net_metering)
+
+    print_header("Figure 10: cost vs desired green percentage (no storage), $M/month")
+    rows = series_to_rows(costs, "green_pct", [int(100 * f) for f in GREEN_FRACTIONS])
+    print(format_table(rows))
+    print(
+        "paper shape: without storage the cost explodes at high green percentages "
+        "($82.8M vs $22.1M at 100 %, a 3.75x factor); green plants are massively "
+        "over-provisioned to cover low-production periods"
+    )
+
+    both = costs["wind_and_or_solar"]
+    both_net = net_costs["wind_and_or_solar"]
+    # Without storage, 100 % green is far more expensive than with net metering.
+    assert both[-1] >= both_net[-1] * 1.5
+    # And far more expensive than the brown baseline.
+    assert both[-1] >= both[0] * 1.5
+    # The no-storage plans over-provision green plants heavily at 100 %.
+    plan_100 = results["wind_and_or_solar"][1.0].plan
+    assert plan_100 is not None
+    assert (plan_100.total_solar_kw + plan_100.total_wind_kw) >= 4 * 50_000.0

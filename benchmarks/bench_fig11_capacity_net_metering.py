@@ -1,0 +1,27 @@
+"""Fig. 11 — total provisioned compute capacity vs green percentage (net metering)."""
+
+from conftest import BENCH_CAPACITY_KW, print_header
+from repro.analysis.figures import GREEN_FRACTIONS, figure11_capacity_vs_green
+from repro.analysis import format_table, series_to_rows
+from repro.core import StorageMode
+
+
+def test_fig11_capacity_vs_green_net_metering(benchmark, sweeps):
+    results = benchmark.pedantic(
+        sweeps.sweep, args=(StorageMode.NET_METERING,), rounds=1, iterations=1
+    )
+    capacities = figure11_capacity_vs_green(results)
+
+    print_header("Figure 11: provisioned compute capacity vs green percentage (net metering), MW")
+    rows = series_to_rows(capacities, "green_pct", [int(100 * f) for f in GREEN_FRACTIONS])
+    print(format_table(rows))
+    print(
+        "paper shape: with storage there is very little idleness — the provisioned "
+        "capacity stays at (or very near) the 50 MW minimum for every green percentage"
+    )
+
+    minimum_mw = BENCH_CAPACITY_KW / 1000.0
+    for label in ("wind", "wind_and_or_solar"):
+        for capacity in capacities[label]:
+            assert capacity >= minimum_mw - 1e-3
+            assert capacity <= minimum_mw * 1.3  # little over-provisioning with storage

@@ -1,0 +1,31 @@
+"""Fig. 12 — total provisioned compute capacity vs green percentage (no storage)."""
+
+from conftest import BENCH_CAPACITY_KW, print_header
+from repro.analysis.figures import GREEN_FRACTIONS, figure11_capacity_vs_green
+from repro.analysis import format_table, series_to_rows
+from repro.core import StorageMode
+
+
+def test_fig12_capacity_vs_green_no_storage(benchmark, sweeps):
+    results = benchmark.pedantic(sweeps.sweep, args=(StorageMode.NONE,), rounds=1, iterations=1)
+    capacities = figure11_capacity_vs_green(results)
+    net_capacities = figure11_capacity_vs_green(sweeps.sweep(StorageMode.NET_METERING))
+
+    print_header("Figure 12: provisioned compute capacity vs green percentage (no storage), MW")
+    rows = series_to_rows(capacities, "green_pct", [int(100 * f) for f in GREEN_FRACTIONS])
+    print(format_table(rows))
+    print(
+        "paper shape: capacity stays at 50 MW until high green percentages; at 100 % "
+        "green without storage the network over-provisions compute (the paper's "
+        "solution reaches 150 MW across 3 datacenters)"
+    )
+
+    minimum_mw = BENCH_CAPACITY_KW / 1000.0
+    both = capacities["wind_and_or_solar"]
+    # The minimum capacity is always respected.
+    assert all(value >= minimum_mw - 1e-3 for value in both)
+    # Low green requirements need no over-provisioning even without storage.
+    assert both[0] <= minimum_mw * 1.05
+    # At 100 % green, the no-storage network provisions at least as much compute
+    # as the net-metering one (and typically strictly more).
+    assert both[-1] >= net_capacities["wind_and_or_solar"][-1] - 1e-3

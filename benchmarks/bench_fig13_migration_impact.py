@@ -1,0 +1,47 @@
+"""Fig. 13 — cost of the 100 % green / no-storage network vs migration overhead."""
+
+from conftest import BENCH_CAPACITY_KW, bench_settings, print_header
+from repro.analysis import figure13_migration_sweep, format_table, series_to_rows
+from repro.core import StorageMode
+
+MIGRATION_FACTORS = (0.0, 0.5, 1.0)
+
+
+def test_fig13_migration_overhead_sweep(benchmark, tool):
+    settings = bench_settings()
+    results = benchmark.pedantic(
+        figure13_migration_sweep,
+        args=(tool,),
+        kwargs={
+            "migration_factors": MIGRATION_FACTORS,
+            "total_capacity_kw": BENCH_CAPACITY_KW,
+            "green_fraction": 1.0,
+            "storage": StorageMode.NONE,
+            "settings": settings,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    costs = {
+        label: [per_factor[factor].monthly_cost / 1e6 for factor in MIGRATION_FACTORS]
+        for label, per_factor in results.items()
+    }
+    print_header(
+        "Figure 13: cost of the 100 % green, no-storage network vs migration overhead "
+        "(fraction of an epoch during which migrated load consumes energy twice), $M/month"
+    )
+    rows = series_to_rows(costs, "migration_pct", [int(100 * f) for f in MIGRATION_FACTORS])
+    print(format_table(rows))
+    print(
+        "paper shape: cheaper migrations reduce the best solution's cost by up to ~12 % "
+        "(19 % for wind-only, which migrates the most); costs rise with the overhead"
+    )
+
+    for label in ("wind_and_or_solar", "solar"):
+        series = costs[label]
+        # Costs are (weakly) increasing in the migration overhead.
+        assert series[0] <= series[-1] * 1.02
+    # The free-migration solution is meaningfully cheaper or equal.
+    both = costs["wind_and_or_solar"]
+    assert both[0] <= both[-1]

@@ -1,0 +1,51 @@
+"""Fig. 15 — GreenNebula follow-the-renewables load distribution over one day."""
+
+import numpy as np
+
+from conftest import print_header
+from repro.analysis import figure15_follow_the_renewables
+from repro.core import StorageMode
+from repro.greennebula import EmulationConfig
+
+
+def test_fig15_follow_the_renewables(benchmark, sweeps):
+    no_storage = sweeps.sweep(StorageMode.NONE)
+    plan = no_storage["wind_and_or_solar"][1.0].plan
+    assert plan is not None
+
+    config = EmulationConfig(num_vms=9, duration_hours=24, seed=2014)
+    series = benchmark.pedantic(
+        figure15_follow_the_renewables,
+        args=(plan,),
+        kwargs={"duration_hours": 24, "num_vms": 9, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Figure 15: follow-the-renewables load distribution over one emulated day")
+    for name, per_dc in series.items():
+        load = np.array(per_dc["load_kw"])
+        green = np.array(per_dc["green_available_kw"])
+        migrations = np.array(per_dc["migration_kw"])
+        print(f"{name}:")
+        print(f"  hourly VM load (kW): {[round(float(v), 2) for v in load]}")
+        print(f"  hours with load: {int(np.sum(load > 1e-6))}/24, "
+              f"peak green available: {green.max():.2f} kW, "
+              f"migration overhead hours: {int(np.sum(migrations > 1e-6))}")
+    print(
+        "paper shape: the workload starts in one datacenter and moves across the others "
+        "as their green energy rises and falls; migration overhead (red) is small compared "
+        "to the load itself"
+    )
+
+    loads = {name: np.array(per_dc["load_kw"]) for name, per_dc in series.items()}
+    total_per_hour = np.sum(list(loads.values()), axis=0)
+    fleet_kw = 9 * 0.03
+    # The whole fleet keeps running every hour (batch jobs are never dropped).
+    assert np.all(total_per_hour >= fleet_kw - 1e-6)
+    # The load is not pinned to a single datacenter for the whole day.
+    active_sites = sum(1 for load in loads.values() if load.max() > 1e-6)
+    assert active_sites >= 2
+    # Migration overhead stays a small fraction of the served load.
+    total_migration = sum(np.sum(per_dc["migration_kw"]) for per_dc in series.values())
+    assert total_migration <= 0.5 * np.sum(total_per_hour)

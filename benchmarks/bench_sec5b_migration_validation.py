@@ -1,0 +1,66 @@
+"""Section V-B — live-migration validation: state size and transfer time over the WAN."""
+
+import numpy as np
+
+from conftest import print_header
+from repro.greennebula import EmulatedCloud, EmulationConfig, WANLink
+from repro.greennebula.emulation import DatacenterSpec
+from repro.energy import EpochGrid, ProfileBuilder
+from repro.weather import build_world_catalog
+
+
+def build_three_site_emulation():
+    catalog = build_world_catalog(num_locations=20, seed=2014)
+    builder = ProfileBuilder(catalog)
+    grid = EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=1)
+    fleet_kw = 9 * 0.03
+    names = ["Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"]
+    specs = [
+        DatacenterSpec(
+            name=name,
+            profile=builder.build(catalog.get(name), grid),
+            it_capacity_kw=fleet_kw * 1.3,
+            solar_kw=fleet_kw * 7.0,
+            wind_kw=fleet_kw * 0.3,
+        )
+        for name in names
+    ]
+    config = EmulationConfig(
+        num_vms=9, duration_hours=24, initial_datacenter="Harare, Zimbabwe", seed=7
+    )
+    cloud = EmulatedCloud(specs, config)
+    summary = cloud.run()
+    return cloud, summary
+
+
+def test_sec5b_migration_validation(benchmark):
+    cloud, summary = benchmark.pedantic(build_three_site_emulation, rounds=1, iterations=1)
+
+    migrations = cloud.trace.of_kind("migration")
+    state_sizes = np.array([record["state_mb"] for record in migrations])
+    durations = np.array([record["duration_hours"] for record in migrations])
+
+    print_header("Section V-B: live VM migration over the emulated WAN")
+    print(f"migrations during the day: {len(migrations)}")
+    print(f"migrated state per VM (MB): min {state_sizes.min():.0f}, "
+          f"mean {state_sizes.mean():.0f}, max {state_sizes.max():.0f}")
+    print(f"transfer time per VM (hours): mean {durations.mean():.2f}, max {durations.max():.2f}")
+    print(f"GDFS WAN traffic: fetch {cloud.gdfs.transfers.fetch_mb:.0f} MB, "
+          f"re-replication {cloud.gdfs.transfers.replication_mb:.0f} MB, "
+          f"migration {cloud.gdfs.transfers.migration_mb:.0f} MB")
+    print(
+        "paper measurement: over a Barcelona-Piscataway VPN, GreenNebula migrates VMs whose "
+        "memory plus unreplicated disk changes total ~750 MB in under one hour"
+    )
+
+    assert len(migrations) >= 1
+    # Each migration carries the 512 MB memory image plus at most a few hours of
+    # dirty data (110 MB/h), i.e. the ~750 MB budget the paper measured.
+    assert np.all(state_sizes >= 512.0)
+    assert np.all(state_sizes <= 512.0 + 24 * 110.0)
+    # At the paper's measured bandwidth (750 MB/h) the typical migration fits in ~1 hour.
+    default_link = WANLink("a", "b")
+    assert default_link.transfer_hours(float(np.median(state_sizes))) <= 1.5
+    # No VM is lost and the service keeps all 9 VMs running.
+    assert sum(dc.num_vms for dc in cloud.datacenters) == 9
+    assert summary.total_migrations == len(migrations)

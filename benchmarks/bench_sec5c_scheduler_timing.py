@@ -1,0 +1,63 @@
+"""Section V-C — GreenNebula scheduler computation time.
+
+The paper reports that the scheduler computes a migration schedule in roughly
+240-310 ms for a 50 MW service and 760-780 ms for a 200 MW service (on 2011
+hardware), and faster when net metering is available.  This benchmark times
+our scheduler's LP for the same three plant mixes at both scales.
+"""
+
+import pytest
+
+from conftest import print_header
+from repro.energy import EpochGrid, ProfileBuilder
+from repro.greennebula import GreenDatacenter, GreenNebulaScheduler
+from repro.weather import build_world_catalog
+
+SETUPS = {
+    "solar-only": (1.0, 0.0),
+    "wind-only": (0.0, 1.0),
+    "solar+wind": (0.6, 0.6),
+}
+SCALES_MW = (50.0, 200.0)
+
+
+def build_scheduler(total_it_mw: float, solar_share: float, wind_share: float):
+    catalog = build_world_catalog(num_locations=20, seed=2014)
+    builder = ProfileBuilder(catalog)
+    grid = EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=1)
+    names = ["Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"]
+    per_site_kw = total_it_mw * 1000.0 / len(names)
+    datacenters = []
+    for name in names:
+        dc = GreenDatacenter(
+            name=name,
+            profile=builder.build(catalog.get(name), grid),
+            it_capacity_kw=per_site_kw,
+            solar_kw=per_site_kw * 7.0 * solar_share,
+            wind_kw=per_site_kw * 2.0 * wind_share,
+        )
+        dc.provision_hosts(2)
+        datacenters.append(dc)
+    return GreenNebulaScheduler(datacenters, horizon_hours=48)
+
+
+@pytest.mark.parametrize("scale_mw", SCALES_MW)
+@pytest.mark.parametrize("setup", sorted(SETUPS))
+def test_sec5c_scheduler_timing(benchmark, setup, scale_mw):
+    solar_share, wind_share = SETUPS[setup]
+    scheduler = build_scheduler(scale_mw, solar_share, wind_share)
+
+    decision = benchmark(scheduler.schedule, 12.0)
+
+    print_header(
+        f"Section V-C: scheduler computation time — {setup}, {scale_mw:.0f} MW service"
+    )
+    print(f"one scheduling pass (48 h look-ahead, 3 datacenters): "
+          f"{1000 * decision.solve_time_seconds:.0f} ms")
+    print(
+        "paper timings: ~240-310 ms at 50 MW and ~760-780 ms at 200 MW per schedule "
+        "(160 ms with net metering); the shape to match is 'well under a second'"
+    )
+
+    assert set(decision.target_power_kw) == {dc.name for dc in scheduler.datacenters}
+    assert decision.solve_time_seconds < 2.0

@@ -1,0 +1,29 @@
+"""Table III — the network chosen for 100 % green energy without storage."""
+
+from conftest import BENCH_CAPACITY_KW, print_header
+from repro.analysis import format_table, table3_no_storage_network
+from repro.core import StorageMode
+
+
+def test_table3_no_storage_network(benchmark, sweeps):
+    results = benchmark.pedantic(sweeps.sweep, args=(StorageMode.NONE,), rounds=1, iterations=1)
+    solution = results["wind_and_or_solar"][1.0]
+    assert solution.feasible and solution.plan is not None
+    plan = solution.plan
+
+    print_header("Table III: network for 100 % green energy without storage")
+    print(format_table(table3_no_storage_network(plan)))
+    print(f"total: {plan.total_capacity_kw / 1000:.1f} MW IT, "
+          f"{plan.total_solar_kw / 1000:.1f} MW solar, {plan.total_wind_kw / 1000:.1f} MW wind, "
+          f"{plan.num_datacenters} datacenters, ${plan.total_monthly_cost / 1e6:.1f}M/month")
+    print(
+        "paper solution: 3 datacenters (Mexico City, Andersen/Guam, Harare), 150 MW of IT, "
+        "~1.1 GW of solar plus some wind — heavy over-provisioning of the green plants"
+    )
+
+    # Shape: at least the availability minimum of sites, green plants several times
+    # larger than the IT load, and the compute-capacity floor respected.
+    assert plan.num_datacenters >= 2
+    assert plan.total_capacity_kw >= BENCH_CAPACITY_KW - 1e-3
+    assert (plan.total_solar_kw + plan.total_wind_kw) >= 4 * BENCH_CAPACITY_KW
+    assert plan.green_fraction >= 1.0 - 1e-3

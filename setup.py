@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so the package
+can be installed in environments without the ``wheel`` package (offline
+machines where ``pip install -e .`` cannot build a PEP 660 editable wheel):
+``python setup.py develop`` falls back to the classic egg-link mechanism.
+"""
+
+from setuptools import setup
+
+setup()

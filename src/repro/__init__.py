@@ -1,0 +1,33 @@
+"""Reproduction of *Building Green Cloud Services at Low Cost* (ICDCS 2014).
+
+The package is organised around the two contributions of the paper:
+
+* ``repro.core`` — the cost-driven siting and provisioning framework for a
+  follow-the-renewables HPC cloud service (Table I parameters, the Fig. 1
+  MILP, the heuristic filter + simulated-annealing solver, and the placement
+  tool built on top of them).
+* ``repro.greennebula`` — GreenNebula, the multi-datacenter VM placement and
+  live-migration system with the GDFS distributed file system and the 48-hour
+  look-ahead brown-energy-minimising scheduler.
+
+Everything those two systems depend on is implemented here as well:
+``repro.lpsolver`` (LP/MILP modelling on SciPy/HiGHS), ``repro.weather``
+(synthetic TMY data for a world-wide location catalogue), ``repro.energy``
+(solar, wind, PUE, battery and net-metering models), ``repro.geo``
+(infrastructure distances, land and grid prices), ``repro.simulation`` (a
+discrete-event engine and HPC batch workloads) and ``repro.analysis``
+(drivers that regenerate every table and figure of the evaluation).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "energy",
+    "geo",
+    "greennebula",
+    "lpsolver",
+    "simulation",
+    "weather",
+]

@@ -1,0 +1,45 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each public function returns plain Python data (dictionaries, lists, numpy
+arrays) describing one figure or table; the benchmark harness under
+``benchmarks/`` calls these functions and prints the same rows/series the
+paper reports, and the test-suite asserts the qualitative shape (who wins, by
+roughly what factor, where the crossovers fall).
+"""
+
+from repro.analysis import figures, tables, reporting
+from repro.analysis.figures import (
+    figure3_capacity_factor_cdf,
+    figure4_pue_curve,
+    figure5_pue_vs_capacity_factor,
+    figure6_cost_cdf,
+    figure8_cost_vs_green,
+    figure11_capacity_vs_green,
+    figure13_migration_sweep,
+    figure15_follow_the_renewables,
+)
+from repro.analysis.tables import (
+    case_study_breakdown,
+    table2_good_locations,
+    table3_no_storage_network,
+)
+from repro.analysis.reporting import format_table, series_to_rows
+
+__all__ = [
+    "case_study_breakdown",
+    "figure11_capacity_vs_green",
+    "figure13_migration_sweep",
+    "figure15_follow_the_renewables",
+    "figure3_capacity_factor_cdf",
+    "figure4_pue_curve",
+    "figure5_pue_vs_capacity_factor",
+    "figure6_cost_cdf",
+    "figure8_cost_vs_green",
+    "figures",
+    "format_table",
+    "reporting",
+    "series_to_rows",
+    "table2_good_locations",
+    "table3_no_storage_network",
+    "tables",
+]

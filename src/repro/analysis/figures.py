@@ -1,0 +1,215 @@
+"""Data generators for every figure of the paper's evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.heuristic import HeuristicSolution, SearchSettings
+from repro.core.problem import EnergySources, StorageMode
+from repro.core.solution import NetworkPlan
+from repro.core.tool import PlacementTool
+from repro.energy.profiles import LocationProfile
+from repro.energy.pue import PUEModel
+from repro.greennebula.emulation import EmulatedCloud, EmulationConfig
+
+#: Source mixes plotted in Figs. 8-13 (the paper's three curves).
+SOURCE_CURVES = {
+    "wind": EnergySources.WIND_ONLY,
+    "solar": EnergySources.SOLAR_ONLY,
+    "wind_and_or_solar": EnergySources.SOLAR_AND_WIND,
+}
+
+#: Green-energy percentages on the x-axis of Figs. 8-12.
+GREEN_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+# -- Figures 3-5: input-data characterisation --------------------------------------------
+
+
+def figure3_capacity_factor_cdf(profiles: Sequence[LocationProfile]) -> Dict[str, np.ndarray]:
+    """Cumulative solar and wind capacity factors across locations (Fig. 3)."""
+    if not profiles:
+        raise ValueError("at least one location profile is required")
+    solar = np.sort([p.solar_capacity_factor for p in profiles])
+    wind = np.sort([p.wind_capacity_factor for p in profiles])
+    percentile = np.linspace(0.0, 100.0, len(profiles))
+    return {"locations_pct": percentile, "solar_cf": solar, "wind_cf": wind}
+
+
+def figure4_pue_curve(model: Optional[PUEModel] = None) -> Dict[str, np.ndarray]:
+    """PUE as a function of external temperature (Fig. 4)."""
+    model = model or PUEModel()
+    temperatures, pues = model.curve(15.0, 45.0, 1.0)
+    return {"temperature_c": temperatures, "pue": pues}
+
+
+def figure5_pue_vs_capacity_factor(profiles: Sequence[LocationProfile]) -> Dict[str, np.ndarray]:
+    """Average PUE against solar and wind capacity factors (Fig. 5)."""
+    if not profiles:
+        raise ValueError("at least one location profile is required")
+    return {
+        "solar_cf": np.array([p.solar_capacity_factor for p in profiles]),
+        "wind_cf": np.array([p.wind_capacity_factor for p in profiles]),
+        "avg_pue": np.array([p.average_pue for p in profiles]),
+    }
+
+
+# -- Figure 6: single-datacenter cost distribution ----------------------------------------
+
+
+def figure6_cost_cdf(
+    tool: PlacementTool,
+    capacity_kw: float = 25_000.0,
+    green_fraction: float = 0.5,
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, np.ndarray]:
+    """Per-location cost of one datacenter: brown vs 50 % solar vs 50 % wind (Fig. 6)."""
+    configurations = {
+        "brown": (0.0, EnergySources.NONE),
+        "solar": (green_fraction, EnergySources.SOLAR_ONLY),
+        "wind": (green_fraction, EnergySources.WIND_ONLY),
+    }
+    result: Dict[str, np.ndarray] = {}
+    for label, (fraction, sources) in configurations.items():
+        costs = tool.single_site_costs(
+            capacity_kw=capacity_kw,
+            min_green_fraction=fraction,
+            sources=sources,
+            storage=StorageMode.NET_METERING,
+            names=names,
+        )
+        feasible = sorted(c.monthly_cost for c in costs if c.feasible)
+        result[label] = np.array(feasible)
+    result["locations_pct"] = np.linspace(
+        0.0, 100.0, max(len(v) for k, v in result.items() if k != "locations_pct")
+    )
+    return result
+
+
+# -- Figures 8-12: network cost / capacity vs desired green percentage ------------------------
+
+
+def figure8_cost_vs_green(
+    tool: PlacementTool,
+    storage: StorageMode = StorageMode.NET_METERING,
+    green_fractions: Sequence[float] = GREEN_FRACTIONS,
+    total_capacity_kw: float = 50_000.0,
+    settings: Optional[SearchSettings] = None,
+    sources: Optional[Mapping[str, EnergySources]] = None,
+) -> Dict[str, Dict[float, HeuristicSolution]]:
+    """Cost vs green percentage for each source mix (Figs. 8, 9 and 10).
+
+    ``storage`` selects between the three figures: net metering (Fig. 8),
+    batteries (Fig. 9) and no storage (Fig. 10).  The returned structure maps
+    source-mix label -> green fraction -> heuristic solution; use
+    :func:`solution_costs` / :func:`figure11_capacity_vs_green` to flatten it.
+    """
+    sources = dict(sources or SOURCE_CURVES)
+    results: Dict[str, Dict[float, HeuristicSolution]] = {}
+    for label, mix in sources.items():
+        results[label] = tool.green_percentage_sweep(
+            green_fractions,
+            total_capacity_kw=total_capacity_kw,
+            sources=mix,
+            storage=storage,
+            settings=settings,
+        )
+    return results
+
+
+def solution_costs(results: Mapping[str, Mapping[float, HeuristicSolution]]) -> Dict[str, List[float]]:
+    """Monthly costs (in million dollars) of a Figs. 8-10 sweep."""
+    return {
+        label: [sweep[fraction].monthly_cost / 1e6 for fraction in sorted(sweep)]
+        for label, sweep in results.items()
+    }
+
+
+def figure11_capacity_vs_green(
+    results: Mapping[str, Mapping[float, HeuristicSolution]]
+) -> Dict[str, List[float]]:
+    """Total provisioned compute capacity (MW) of a sweep (Figs. 11 and 12)."""
+    capacities: Dict[str, List[float]] = {}
+    for label, sweep in results.items():
+        capacities[label] = [
+            (sweep[fraction].plan.total_capacity_kw / 1000.0) if sweep[fraction].plan else float("nan")
+            for fraction in sorted(sweep)
+        ]
+    return capacities
+
+
+# -- Figure 13: migration-overhead sensitivity ------------------------------------------------------
+
+
+def figure13_migration_sweep(
+    tool: PlacementTool,
+    migration_factors: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    total_capacity_kw: float = 50_000.0,
+    green_fraction: float = 1.0,
+    storage: StorageMode = StorageMode.NONE,
+    settings: Optional[SearchSettings] = None,
+    sources: Optional[Mapping[str, EnergySources]] = None,
+) -> Dict[str, Dict[float, HeuristicSolution]]:
+    """Cost of the 100 % green / no-storage network vs migration overhead (Fig. 13)."""
+    sources = dict(sources or SOURCE_CURVES)
+    results: Dict[str, Dict[float, HeuristicSolution]] = {}
+    for label, mix in sources.items():
+        per_factor: Dict[float, HeuristicSolution] = {}
+        for factor in migration_factors:
+            per_factor[factor] = tool.plan_network(
+                total_capacity_kw=total_capacity_kw,
+                min_green_fraction=green_fraction,
+                sources=mix,
+                storage=storage,
+                migration_factor=factor,
+                settings=settings,
+            )
+        results[label] = per_factor
+    return results
+
+
+# -- Figure 15: follow-the-renewables emulation ----------------------------------------------------------
+
+
+def figure15_follow_the_renewables(
+    plan: NetworkPlan,
+    duration_hours: int = 24,
+    num_vms: int = 9,
+    initial_datacenter: Optional[str] = None,
+    config: Optional[EmulationConfig] = None,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Per-datacenter hourly series of the GreenNebula emulation (Fig. 15).
+
+    Returns ``{datacenter: {series_name: hourly values}}`` with the series the
+    paper plots: compute load, PUE overhead, migration overhead, green energy
+    available and brown power, all in kW of the emulated (scaled-down) fleet.
+    """
+    config = config or EmulationConfig(
+        num_vms=num_vms,
+        duration_hours=duration_hours,
+        initial_datacenter=initial_datacenter,
+    )
+    cloud = EmulatedCloud.from_network_plan(plan, config)
+    cloud.run()
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for record in cloud.trace.of_kind("datacenter"):
+        per_dc = series.setdefault(
+            record["datacenter"],
+            {
+                "hour": [],
+                "load_kw": [],
+                "pue_overhead_kw": [],
+                "migration_kw": [],
+                "green_available_kw": [],
+                "brown_kw": [],
+            },
+        )
+        per_dc["hour"].append(record["time"])
+        per_dc["load_kw"].append(record["load_kw"])
+        per_dc["pue_overhead_kw"].append(record["pue_overhead_kw"])
+        per_dc["migration_kw"].append(record["migration_kw"])
+        per_dc["green_available_kw"].append(record["green_available_kw"])
+        per_dc["brown_kw"].append(record["brown_kw"])
+    return series

@@ -1,0 +1,52 @@
+"""Plain-text reporting helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        formatted_rows.append([_format_cell(row.get(column, "")) for column in columns])
+    widths = [
+        max(len(str(column)), max(len(cells[i]) for cells in formatted_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(cells[i].ljust(widths[i]) for i in range(len(columns)))
+        for cells in formatted_rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def series_to_rows(series: Mapping[str, Iterable[float]], x_name: str, x_values: Iterable) -> List[Dict[str, object]]:
+    """Zip named y-series with an x-axis into row dictionaries."""
+    x_values = list(x_values)
+    columns = {name: list(values) for name, values in series.items()}
+    for name, values in columns.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} has {len(values)} points but x has {len(x_values)}")
+    rows: List[Dict[str, object]] = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {x_name: x}
+        for name, values in columns.items():
+            row[name] = values[index]
+        rows.append(row)
+    return rows
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,99 @@
+"""Data generators for the paper's tables and the Fig. 7 cost breakdown."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.problem import EnergySources, StorageMode
+from repro.core.solution import NetworkPlan
+from repro.core.tool import PlacementTool
+
+#: The locations Table II highlights, with the configuration they illustrate.
+TABLE2_LOCATIONS = {
+    "Kiev, Ukraine": "brown",
+    "Harare, Zimbabwe": "solar",
+    "Nairobi, Kenya": "solar",
+    "Mount Washington, NH, USA": "wind",
+    "Burke Lakefront, OH, USA": "wind",
+}
+
+
+def table2_good_locations(
+    tool: PlacementTool,
+    capacity_kw: float = 25_000.0,
+    green_fraction: float = 0.5,
+    locations: Optional[Dict[str, str]] = None,
+) -> List[Dict[str, object]]:
+    """Attributes and single-DC costs of the Table II locations."""
+    locations = dict(locations or TABLE2_LOCATIONS)
+    rows: List[Dict[str, object]] = []
+    for name, kind in locations.items():
+        if kind == "brown":
+            fraction, sources = 0.0, EnergySources.NONE
+        elif kind == "solar":
+            fraction, sources = green_fraction, EnergySources.SOLAR_ONLY
+        else:
+            fraction, sources = green_fraction, EnergySources.WIND_ONLY
+        costs = tool.single_site_costs(
+            capacity_kw=capacity_kw,
+            min_green_fraction=fraction,
+            sources=sources,
+            storage=StorageMode.NET_METERING,
+            names=[name],
+        )
+        row = costs[0].table_row()
+        row["dc_type"] = kind
+        rows.append(row)
+    return rows
+
+
+def table3_no_storage_network(plan: NetworkPlan) -> List[Dict[str, object]]:
+    """Per-datacenter provisioning of the 100 % green / no-storage network (Table III)."""
+    rows: List[Dict[str, object]] = []
+    for dc in sorted(plan.datacenters, key=lambda d: d.name):
+        rows.append(
+            {
+                "location": dc.name,
+                "it_capacity_mw": dc.capacity_kw / 1000.0,
+                "solar_mw": dc.solar_kw / 1000.0,
+                "wind_mw": dc.wind_kw / 1000.0,
+            }
+        )
+    return rows
+
+
+def case_study_breakdown(plan: NetworkPlan) -> List[Dict[str, object]]:
+    """Cost breakdown per datacenter and component (Fig. 7 / Section III-C)."""
+    rows: List[Dict[str, object]] = []
+    for dc in sorted(plan.datacenters, key=lambda d: -d.capacity_kw):
+        row: Dict[str, object] = {"location": dc.name}
+        for component, value in dc.monthly_costs.items():
+            row[component] = value / 1e6
+        row["total_musd"] = dc.total_monthly_cost / 1e6
+        rows.append(row)
+    total_row: Dict[str, object] = {"location": "TOTAL"}
+    breakdown = plan.cost_breakdown()
+    for component, value in breakdown.items():
+        total_row[component] = value / 1e6
+    total_row["total_musd"] = plan.total_monthly_cost / 1e6
+    rows.append(total_row)
+    return rows
+
+
+def network_summary_row(label: str, plan: Optional[NetworkPlan]) -> Dict[str, object]:
+    """One summary row used by several benchmarks (cost, capacity, green %)."""
+    if plan is None:
+        return {
+            "scenario": label,
+            "monthly_cost_musd": float("nan"),
+            "num_datacenters": 0,
+            "capacity_mw": float("nan"),
+            "green_pct": float("nan"),
+        }
+    return {
+        "scenario": label,
+        "monthly_cost_musd": plan.total_monthly_cost / 1e6,
+        "num_datacenters": plan.num_datacenters,
+        "capacity_mw": plan.total_capacity_kw / 1000.0,
+        "green_pct": 100.0 * plan.green_fraction,
+    }

@@ -1,0 +1,230 @@
+"""Command-line interface for the placement tool and the GreenNebula emulation.
+
+Three subcommands mirror the library's main workflows:
+
+``plan``
+    Site and provision a green datacenter network (Sections II-IV)::
+
+        python -m repro.cli plan --capacity-mw 50 --green 0.5 --storage net_metering
+
+``single-site``
+    Price a single datacenter at a named catalogue location (Fig. 6 / Table II)::
+
+        python -m repro.cli single-site --location "Nairobi, Kenya" --green 0.5
+
+``emulate``
+    Run the GreenNebula follow-the-renewables emulation for a day (Section V)::
+
+        python -m repro.cli emulate --hours 24 --vms 9
+
+All subcommands accept ``--locations`` (catalogue size) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import case_study_breakdown, format_table
+from repro.core import (
+    EnergySources,
+    GreenEnforcement,
+    PlacementTool,
+    SearchSettings,
+    SingleSiteAnalyzer,
+    StorageMode,
+)
+from repro.energy import EpochGrid, ProfileBuilder
+from repro.greennebula import EmulatedCloud, EmulationConfig
+from repro.greennebula.emulation import DatacenterSpec
+from repro.weather import build_world_catalog
+
+_SOURCES = {
+    "wind": EnergySources.WIND_ONLY,
+    "solar": EnergySources.SOLAR_ONLY,
+    "both": EnergySources.SOLAR_AND_WIND,
+    "none": EnergySources.NONE,
+}
+_STORAGE = {
+    "net_metering": StorageMode.NET_METERING,
+    "batteries": StorageMode.BATTERIES,
+    "none": StorageMode.NONE,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Green datacenter siting/provisioning and GreenNebula emulation",
+    )
+    parser.add_argument("--locations", type=int, default=90, help="catalogue size")
+    parser.add_argument("--seed", type=int, default=2014, help="catalogue / search seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan = subparsers.add_parser("plan", help="site and provision a datacenter network")
+    plan.add_argument("--capacity-mw", type=float, default=50.0, help="compute power to serve")
+    plan.add_argument("--green", type=float, default=0.5, help="minimum green fraction [0-1]")
+    plan.add_argument("--sources", choices=sorted(_SOURCES), default="both")
+    plan.add_argument("--storage", choices=sorted(_STORAGE), default="net_metering")
+    plan.add_argument("--migration-factor", type=float, default=1.0)
+    plan.add_argument("--net-meter-credit", type=float, default=1.0)
+    plan.add_argument("--strict-green", action="store_true",
+                      help="enforce the green fraction in every epoch instead of annually")
+    plan.add_argument("--iterations", type=int, default=25, help="SA iterations per chain")
+    plan.add_argument("--keep", type=int, default=10, help="locations kept after filtering")
+    plan.add_argument("--chains", type=int, default=2, help="SA chains")
+
+    single = subparsers.add_parser("single-site", help="price one datacenter at a location")
+    single.add_argument("--location", required=True, help="catalogue location name")
+    single.add_argument("--capacity-mw", type=float, default=25.0)
+    single.add_argument("--green", type=float, default=0.5)
+    single.add_argument("--sources", choices=sorted(_SOURCES), default="both")
+    single.add_argument("--storage", choices=sorted(_STORAGE), default="net_metering")
+
+    emulate = subparsers.add_parser("emulate", help="run the GreenNebula emulation")
+    emulate.add_argument("--hours", type=int, default=24)
+    emulate.add_argument("--vms", type=int, default=9)
+    emulate.add_argument(
+        "--sites",
+        nargs="+",
+        default=["Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"],
+        help="catalogue locations hosting the emulated datacenters",
+    )
+    emulate.add_argument("--solar-factor", type=float, default=7.0,
+                         help="installed solar as a multiple of the fleet IT power")
+    emulate.add_argument("--wind-factor", type=float, default=0.4,
+                         help="installed wind as a multiple of the fleet IT power")
+    return parser
+
+
+def _print(lines: Sequence[str], stream) -> None:
+    for line in lines:
+        print(line, file=stream)
+
+
+def run_plan(args: argparse.Namespace, stream) -> int:
+    catalog = build_world_catalog(num_locations=args.locations, seed=args.seed)
+    tool = PlacementTool(catalog=catalog)
+    settings = SearchSettings(
+        keep_locations=args.keep,
+        max_iterations=args.iterations,
+        num_chains=args.chains,
+        seed=args.seed,
+    )
+    solution = tool.plan_network(
+        total_capacity_kw=args.capacity_mw * 1000.0,
+        min_green_fraction=args.green,
+        sources=_SOURCES[args.sources],
+        storage=_STORAGE[args.storage],
+        migration_factor=args.migration_factor,
+        net_meter_credit=args.net_meter_credit,
+        settings=settings,
+        green_enforcement=(
+            GreenEnforcement.PER_EPOCH if args.strict_green else GreenEnforcement.ANNUAL
+        ),
+    )
+    if not solution.feasible or solution.plan is None:
+        _print([f"no feasible plan found: {solution.message}"], stream)
+        return 1
+    plan = solution.plan
+    _print(
+        [
+            plan.describe(),
+            "",
+            f"achieved green fraction: {100 * plan.green_fraction:.1f} %",
+            f"network availability   : {100 * plan.availability:.4f} %",
+            f"LP evaluations         : {solution.evaluations}",
+            "",
+            format_table(case_study_breakdown(plan)),
+        ],
+        stream,
+    )
+    return 0
+
+
+def run_single_site(args: argparse.Namespace, stream) -> int:
+    catalog = build_world_catalog(num_locations=args.locations, seed=args.seed)
+    try:
+        location = catalog.get(args.location)
+    except KeyError:
+        _print([f"unknown location {args.location!r}; known anchors include:"], stream)
+        anchors = [loc.name for loc in catalog.locations if loc.is_anchor]
+        _print([f"  {name}" for name in anchors], stream)
+        return 1
+    builder = ProfileBuilder(catalog)
+    profile = builder.build(location, EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=3))
+    analyzer = SingleSiteAnalyzer()
+    result = analyzer.cost_at(
+        profile,
+        capacity_kw=args.capacity_mw * 1000.0,
+        min_green_fraction=args.green,
+        sources=_SOURCES[args.sources],
+        storage=_STORAGE[args.storage],
+    )
+    if not result.feasible:
+        _print([f"a {args.capacity_mw:.0f} MW datacenter is not feasible at {args.location}"], stream)
+        return 1
+    _print([format_table([result.table_row()])], stream)
+    return 0
+
+
+def run_emulate(args: argparse.Namespace, stream) -> int:
+    catalog = build_world_catalog(num_locations=max(args.locations, 30), seed=args.seed)
+    builder = ProfileBuilder(catalog)
+    grid = EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=1)
+    fleet_kw = args.vms * 0.03
+    try:
+        specs = [
+            DatacenterSpec(
+                name=name,
+                profile=builder.build(catalog.get(name), grid),
+                it_capacity_kw=fleet_kw * 1.3,
+                solar_kw=fleet_kw * args.solar_factor,
+                wind_kw=fleet_kw * args.wind_factor,
+            )
+            for name in args.sites
+        ]
+    except KeyError as error:
+        _print([f"unknown emulation site: {error}"], stream)
+        return 1
+    config = EmulationConfig(
+        num_vms=args.vms,
+        duration_hours=args.hours,
+        initial_datacenter=args.sites[-1],
+        seed=args.seed,
+    )
+    cloud = EmulatedCloud(specs, config)
+    summary = cloud.run()
+    _print(
+        [
+            f"emulated {args.hours} hours over {len(specs)} datacenters with {args.vms} VMs",
+            f"migrations          : {summary.total_migrations}",
+            f"migrated state      : {summary.migrated_state_mb:.0f} MB",
+            f"green fraction      : {100 * summary.green_fraction:.1f} %",
+            f"mean scheduling time: {1000 * summary.mean_schedule_time_s:.0f} ms",
+        ],
+        stream,
+    )
+    for dc in cloud.datacenters:
+        series = " ".join(f"{value:5.2f}" for value in cloud.load_series(dc.name))
+        _print([f"  {dc.name:<28} {series}"], stream)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, stream=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    stream = stream or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "plan":
+        return run_plan(args, stream)
+    if args.command == "single-site":
+        return run_single_site(args, stream)
+    if args.command == "emulate":
+        return run_emulate(args, stream)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

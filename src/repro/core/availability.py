@@ -1,0 +1,76 @@
+"""Datacenter-network availability model.
+
+The paper models the availability of a network of ``n`` datacenters, each
+with availability ``a``, as the probability that at least one datacenter is
+up: ``sum_{i=0}^{n-1} C(n, i) a^{n-i} (1-a)^i`` — equivalently
+``1 - (1-a)^n``.  The per-datacenter availability comes from the Uptime
+Institute tier level.  The stricter requirement of Section II-B (after a
+failure of ``n-1`` datacenters, ``S/n`` servers must remain) is satisfied by
+any siting with at least the computed number of datacenters, because the
+framework provisions every datacenter with at least ``totalCapacity / n``
+compute power in the solutions we generate.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class Tier(enum.Enum):
+    """Uptime Institute datacenter tiers and their typical availability."""
+
+    TIER_I = ("Tier I", 0.9967)
+    TIER_II = ("Tier II", 0.9974)
+    TIER_III = ("Tier III", 0.9998)
+    TIER_IV = ("Tier IV", 0.99995)
+    NEAR_TIER_III = ("Near Tier III", 0.99827)  # the paper's default ($12-15/W DCs)
+
+    def __init__(self, label: str, availability: float) -> None:
+        self.label = label
+        self.availability = availability
+
+
+def network_availability(num_datacenters: int, datacenter_availability: float) -> float:
+    """Availability of a network of independent datacenters.
+
+    Probability that at least one of ``num_datacenters`` datacenters, each
+    available with probability ``datacenter_availability``, is up.
+    """
+    if num_datacenters < 0:
+        raise ValueError("the number of datacenters cannot be negative")
+    if not 0.0 < datacenter_availability < 1.0:
+        raise ValueError("the per-datacenter availability must lie in (0, 1)")
+    if num_datacenters == 0:
+        return 0.0
+    return 1.0 - (1.0 - datacenter_availability) ** num_datacenters
+
+
+def datacenters_needed(datacenter_availability: float, min_availability: float) -> int:
+    """Smallest number of datacenters meeting the availability requirement."""
+    if not 0.0 < min_availability < 1.0:
+        raise ValueError("the minimum availability must lie in (0, 1)")
+    if not 0.0 < datacenter_availability < 1.0:
+        raise ValueError("the per-datacenter availability must lie in (0, 1)")
+    # (1 - a)^n <= 1 - target   =>   n >= log(1 - target) / log(1 - a)
+    needed = math.log(1.0 - min_availability) / math.log(1.0 - datacenter_availability)
+    return max(1, int(math.ceil(needed - 1e-12)))
+
+
+def availability_from_binomial(num_datacenters: int, datacenter_availability: float) -> float:
+    """The paper's explicit binomial form of the availability (for validation).
+
+    Numerically identical to :func:`network_availability`; kept because the
+    test-suite checks the two formulations against each other.
+    """
+    if num_datacenters <= 0:
+        return 0.0
+    a = datacenter_availability
+    total = 0.0
+    for failures in range(num_datacenters):
+        total += (
+            math.comb(num_datacenters, failures)
+            * a ** (num_datacenters - failures)
+            * (1.0 - a) ** failures
+        )
+    return total

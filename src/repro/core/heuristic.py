@@ -1,0 +1,306 @@
+"""Heuristic solver: location filtering plus simulated-annealing siting search.
+
+Section II-C of the paper makes the MILP tractable in three steps:
+
+1. *Filter* the candidate locations down to the 50-100 most promising ones by
+   pricing a few common single-datacenter configurations at every location and
+   discarding expensive or redundant candidates.
+2. *Fix the siting* (which locations host a datacenter and whether each is
+   small or large), which turns the MILP into an LP solved exactly.
+3. *Search* over sitings with a simulated-annealing procedure whose neighbour
+   moves add, remove, swap, resize or merge datacenters, running several
+   search chains with different move mixes that periodically synchronise on
+   the best solution found.
+
+The implementation mirrors those steps.  Chains are run sequentially (each
+starting from the best state found so far, which plays the role of the
+paper's periodic synchronisation between parallel instances).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.problem import EnergySources, SitingProblem, StorageMode
+from repro.core.provisioning import ProvisioningResult, solve_provisioning
+from repro.core.single_site import SingleSiteAnalyzer
+from repro.core.solution import NetworkPlan
+from repro.lpsolver import SolverOptions
+
+#: Neighbour-move identifiers (the paper's four move kinds; "swap" is the
+#: combination of a remove and an add in one step, and "merge" removes one
+#: datacenter letting the LP grow the remaining ones).
+MOVES = ("add", "remove", "swap", "resize", "merge")
+
+
+@dataclass
+class SearchSettings:
+    """Tunables of the heuristic search."""
+
+    keep_locations: int = 12          #: candidates kept after filtering
+    max_iterations: int = 60          #: SA iterations per chain
+    patience: int = 20                #: stop a chain after this many non-improving iterations
+    initial_temperature: float = 0.05  #: SA temperature as a fraction of the current cost
+    cooling: float = 0.93             #: geometric temperature decay per iteration
+    num_chains: int = 2               #: number of sequential chains
+    seed: int = 0                     #: RNG seed
+    max_datacenters: int = 6          #: cap on simultaneously sited datacenters
+    move_weights: Dict[str, float] = field(
+        default_factory=lambda: {"add": 1.0, "remove": 1.0, "swap": 2.0, "resize": 1.0, "merge": 0.5}
+    )
+
+    def __post_init__(self) -> None:
+        if self.keep_locations < 1:
+            raise ValueError("at least one location must survive filtering")
+        if self.max_iterations < 1 or self.num_chains < 1:
+            raise ValueError("the search needs at least one iteration and one chain")
+        if not 0.0 < self.cooling <= 1.0:
+            raise ValueError("the cooling factor must lie in (0, 1]")
+        unknown = set(self.move_weights) - set(MOVES)
+        if unknown:
+            raise ValueError(f"unknown neighbour moves: {sorted(unknown)}")
+
+
+@dataclass
+class HeuristicSolution:
+    """Best plan found by the heuristic together with search diagnostics."""
+
+    plan: Optional[NetworkPlan]
+    monthly_cost: float
+    feasible: bool
+    evaluations: int
+    filtered_locations: List[str]
+    history: List[Tuple[int, float]]
+    message: str = ""
+
+
+class HeuristicSolver:
+    """Filter + fixed-siting LP + simulated annealing (Section II-C)."""
+
+    def __init__(
+        self,
+        problem: SitingProblem,
+        settings: Optional[SearchSettings] = None,
+        solver_options: Optional[SolverOptions] = None,
+    ) -> None:
+        self.problem = problem
+        self.settings = settings or SearchSettings()
+        self.solver_options = solver_options or SolverOptions()
+        self._cache: Dict[FrozenSet[Tuple[str, str]], ProvisioningResult] = {}
+        self._evaluations = 0
+
+    # -- step 1: filtering ---------------------------------------------------------
+    def filter_locations(self) -> List[str]:
+        """Rank candidates by single-site cost and keep the cheapest ones.
+
+        The score of a location is the cost of a single datacenter carrying an
+        equal share of the service with the problem's green requirement and
+        scenario switches — the "common configuration" pricing the paper uses.
+        Infeasible locations (for example, ones whose nearest brown plant is
+        too small) are discarded.
+
+        Like the paper's filter, similar locations are not all kept: the
+        survivors are spread across time zones (the paper removes "subsets of
+        locations that are similar (e.g., same time zone)"), which is what
+        allows follow-the-renewables solutions — especially solar-heavy,
+        no-storage ones — to place datacenters around the globe.
+        """
+        problem = self.problem
+        share_kw = problem.params.total_capacity_kw / max(1, problem.min_datacenters)
+        analyzer = SingleSiteAnalyzer(problem.params, self.solver_options)
+        # For the *scoring* step, require only a modest green share: a site can
+        # be a valuable night-time/receiver location in a follow-the-renewables
+        # network even if it cannot host the full green requirement by itself.
+        score_green = min(problem.params.min_green_fraction, 0.5)
+        scored: List[Tuple[float, str, float]] = []
+        for profile in problem.profiles:
+            result = analyzer.cost_at(
+                profile,
+                capacity_kw=share_kw,
+                min_green_fraction=score_green,
+                sources=problem.sources,
+                storage=problem.storage,
+            )
+            if result.feasible:
+                longitude = profile.location.point.longitude
+                scored.append((result.monthly_cost, profile.name, longitude))
+        scored.sort()
+        keep = max(self.settings.keep_locations, problem.min_datacenters)
+
+        # First pass: cheapest location of each 45-degree longitude band, so the
+        # shortlist spans time zones; second pass: fill with the globally cheapest.
+        selected: List[str] = []
+        seen_bands: set = set()
+        for cost, name, longitude in scored:
+            band = int((longitude + 180.0) // 45.0)
+            if band not in seen_bands and len(selected) < keep:
+                selected.append(name)
+                seen_bands.add(band)
+        for cost, name, _ in scored:
+            if len(selected) >= keep:
+                break
+            if name not in selected:
+                selected.append(name)
+        return selected
+
+    # -- step 2: fixed-siting evaluation ----------------------------------------------
+    def evaluate(self, siting: Dict[str, str]) -> ProvisioningResult:
+        """Solve (and cache) the provisioning LP for a siting decision."""
+        if len(siting) < self.problem.min_datacenters:
+            return ProvisioningResult(
+                feasible=False,
+                monthly_cost=float("inf"),
+                plan=None,
+                message=(
+                    f"{len(siting)} datacenters violate the availability requirement of "
+                    f"{self.problem.min_datacenters}"
+                ),
+            )
+        key = frozenset(siting.items())
+        if key not in self._cache:
+            self._evaluations += 1
+            self._cache[key] = solve_provisioning(
+                self.problem, siting, options=self.solver_options
+            )
+        return self._cache[key]
+
+    # -- step 3: simulated annealing ----------------------------------------------------
+    def solve(self) -> HeuristicSolution:
+        """Run the full heuristic and return the best plan found."""
+        settings = self.settings
+        problem = self.problem
+        candidates = self.filter_locations()
+        if len(candidates) < problem.min_datacenters:
+            return HeuristicSolution(
+                plan=None,
+                monthly_cost=float("inf"),
+                feasible=False,
+                evaluations=self._evaluations,
+                filtered_locations=candidates,
+                history=[],
+                message=(
+                    f"only {len(candidates)} feasible candidate locations, but the "
+                    f"availability constraint requires {problem.min_datacenters}"
+                ),
+            )
+
+        best_siting = self._initial_siting(candidates)
+        best_result = self.evaluate(best_siting)
+        history: List[Tuple[int, float]] = [(0, best_result.monthly_cost)]
+        iteration = 0
+
+        for chain in range(settings.num_chains):
+            rng = random.Random(settings.seed + 7919 * chain)
+            move_weights = self._chain_move_weights(chain)
+            current_siting = dict(best_siting)
+            current_result = best_result
+            temperature = settings.initial_temperature
+            stale = 0
+            for _ in range(settings.max_iterations):
+                iteration += 1
+                neighbour = self._neighbour(current_siting, candidates, rng, move_weights)
+                if neighbour is None:
+                    continue
+                result = self.evaluate(neighbour)
+                if not result.feasible:
+                    continue
+                if self._accept(current_result, result, temperature, rng):
+                    current_siting, current_result = neighbour, result
+                if result.feasible and result.monthly_cost < best_result.monthly_cost - 1e-6:
+                    best_siting, best_result = dict(neighbour), result
+                    history.append((iteration, result.monthly_cost))
+                    stale = 0
+                else:
+                    stale += 1
+                temperature *= settings.cooling
+                if stale >= settings.patience:
+                    break
+
+        return HeuristicSolution(
+            plan=best_result.plan,
+            monthly_cost=best_result.monthly_cost,
+            feasible=best_result.feasible,
+            evaluations=self._evaluations,
+            filtered_locations=candidates,
+            history=history,
+            message=best_result.message,
+        )
+
+    # -- helpers --------------------------------------------------------------------------
+    def _initial_siting(self, candidates: Sequence[str]) -> Dict[str, str]:
+        """Start from the availability-minimum number of cheapest locations."""
+        problem = self.problem
+        count = min(len(candidates), max(problem.min_datacenters, 2))
+        chosen = list(candidates[:count])
+        return self._size_classes(chosen)
+
+    def _size_classes(self, names: Sequence[str]) -> Dict[str, str]:
+        problem = self.problem
+        share_kw = problem.params.total_capacity_kw / max(1, len(names))
+        siting = {}
+        for name in names:
+            max_pue = problem.profile_by_name(name).max_pue
+            total_power = share_kw * max_pue
+            siting[name] = "small" if total_power <= problem.params.small_dc_threshold_kw else "large"
+        return siting
+
+    def _chain_move_weights(self, chain: int) -> Dict[str, float]:
+        """Each chain emphasises a different neighbour-generation mix."""
+        weights = dict(self.settings.move_weights)
+        emphasised = MOVES[chain % len(MOVES)]
+        weights[emphasised] = weights.get(emphasised, 1.0) * 2.0
+        return weights
+
+    def _neighbour(
+        self,
+        siting: Dict[str, str],
+        candidates: Sequence[str],
+        rng: random.Random,
+        move_weights: Dict[str, float],
+    ) -> Optional[Dict[str, str]]:
+        problem = self.problem
+        settings = self.settings
+        moves, weights = zip(*[(m, w) for m, w in move_weights.items() if w > 0])
+        move = rng.choices(moves, weights=weights, k=1)[0]
+        outside = [name for name in candidates if name not in siting]
+        current = list(siting)
+
+        if move == "add" and outside and len(siting) < settings.max_datacenters:
+            names = current + [rng.choice(outside)]
+            return self._size_classes(names)
+        if move in ("remove", "merge") and len(siting) > problem.min_datacenters:
+            victim = rng.choice(current)
+            names = [name for name in current if name != victim]
+            return self._size_classes(names)
+        if move == "swap" and outside:
+            victim = rng.choice(current)
+            names = [name for name in current if name != victim]
+            names.append(rng.choice(outside))
+            return self._size_classes(names)
+        if move == "resize":
+            name = rng.choice(current)
+            new_siting = dict(siting)
+            new_siting[name] = "large" if siting[name] == "small" else "small"
+            return new_siting
+        return None
+
+    @staticmethod
+    def _accept(
+        current: ProvisioningResult,
+        candidate: ProvisioningResult,
+        temperature: float,
+        rng: random.Random,
+    ) -> bool:
+        if not current.feasible:
+            return candidate.feasible
+        if candidate.monthly_cost <= current.monthly_cost:
+            return True
+        if temperature <= 0:
+            return False
+        relative_increase = (candidate.monthly_cost - current.monthly_cost) / max(
+            1.0, current.monthly_cost
+        )
+        return rng.random() < math.exp(-relative_increase / temperature)

@@ -1,0 +1,131 @@
+"""Framework parameters (Table I of the paper) with their default instantiation.
+
+Values marked "Section III" are the ones the paper gathers from external
+sources when instantiating the framework (2011 prices).  All money is in US
+dollars, all power in kW, all energy in kWh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FrameworkParameters:
+    """All provider-level parameters of the placement framework.
+
+    Location-dependent parameters (capacity factors, PUE, land and grid
+    prices, distances) live in :class:`repro.energy.profiles.LocationProfile`;
+    this class holds the global constants of Table I plus the financial
+    assumptions of Section III-A.
+    """
+
+    # -- service-level requirements (inputs of the optimisation) ---------------
+    total_capacity_kw: float = 50_000.0          #: desired minimum DC network compute power
+    min_green_fraction: float = 0.5              #: desired minimum share of green energy
+    min_availability: float = 0.99999            #: desired minimum DC-network availability
+
+    # -- land areas (m^2 per kW) -------------------------------------------------
+    area_dc_m2_per_kw: float = 0.557             #: land per kW of datacenter capacity
+    area_solar_m2_per_kw: float = 9.41           #: land per kW of installed solar
+    area_wind_m2_per_kw: float = 18.21           #: land per kW of installed wind
+
+    # -- construction prices -----------------------------------------------------
+    price_build_dc_small_per_kw: float = 15_000.0  #: $/kW for datacenters <= 10 MW total power
+    price_build_dc_large_per_kw: float = 12_000.0  #: $/kW for datacenters > 10 MW total power
+    small_dc_threshold_kw: float = 10_000.0        #: boundary between small and large DCs (total power)
+    price_build_solar_per_kw: float = 5_250.0      #: installed cost of solar, $/kW
+    price_build_wind_per_kw: float = 2_100.0       #: installed cost of wind, $/kW
+
+    # -- IT equipment -------------------------------------------------------------
+    price_server: float = 2_000.0                #: $ per server (Dell PowerEdge R610)
+    server_power_kw: float = 0.275               #: maximum server power, kW
+    price_switch: float = 20_000.0               #: $ per switch (Cisco Nexus 5020)
+    switch_power_kw: float = 0.480               #: switch power, kW
+    servers_per_switch: int = 32                 #: servers connected to one switch
+    price_bandwidth_per_server_month: float = 1.0  #: external bandwidth, $/server/month
+
+    # -- storage -------------------------------------------------------------------
+    price_battery_per_kwh: float = 200.0         #: battery cost, $/kWh
+    battery_efficiency: float = 0.75             #: charge efficiency
+    credit_net_meter: float = 1.0                #: fraction of retail price paid for net-metered energy
+
+    # -- transmission and fiber -----------------------------------------------------
+    cost_line_power_per_km: float = 310_000.0    #: power line to nearest plant, $/km
+    cost_line_network_per_km: float = 300_000.0  #: optical fiber to nearest backbone, $/km
+    brown_plant_cap_fraction: float = 0.50       #: F — max share of the nearest plant a DC may draw
+
+    # -- financing and amortisation ---------------------------------------------------
+    annual_interest_rate: float = 0.0325         #: financing interest rate
+    datacenter_lifetime_years: float = 12.0      #: DC building, power line, fiber amortisation
+    renewable_lifetime_years: float = 24.0       #: solar and wind plant amortisation
+    it_lifetime_years: float = 4.0               #: servers, switches replacement period
+    battery_lifetime_years: float = 4.0          #: battery replacement period
+
+    # -- per-datacenter availability ----------------------------------------------------
+    datacenter_availability: float = 0.99827     #: close to Tier III (Section III-A)
+
+    # -- load migration ------------------------------------------------------------------
+    migration_factor: float = 1.0                #: fraction of an epoch during which migrated
+    #: load consumes energy at both the donor and the receiver (1.0 = the paper's
+    #: pessimistic full-epoch assumption; Fig. 13 sweeps this from 0 to 1).
+
+    def __post_init__(self) -> None:
+        if self.total_capacity_kw <= 0:
+            raise ValueError("total capacity must be positive")
+        if not 0.0 <= self.min_green_fraction <= 1.0:
+            raise ValueError("the minimum green fraction must lie in [0, 1]")
+        if not 0.0 < self.min_availability < 1.0:
+            raise ValueError("the minimum availability must lie in (0, 1)")
+        if not 0.0 < self.datacenter_availability < 1.0:
+            raise ValueError("the per-datacenter availability must lie in (0, 1)")
+        if not 0.0 <= self.migration_factor <= 1.0:
+            raise ValueError("the migration factor must lie in [0, 1]")
+        if not 0.0 < self.battery_efficiency <= 1.0:
+            raise ValueError("battery efficiency must lie in (0, 1]")
+        if not 0.0 <= self.credit_net_meter <= 1.0:
+            raise ValueError("the net metering credit must lie in [0, 1]")
+        for name in (
+            "area_dc_m2_per_kw",
+            "area_solar_m2_per_kw",
+            "area_wind_m2_per_kw",
+            "price_build_dc_small_per_kw",
+            "price_build_dc_large_per_kw",
+            "price_build_solar_per_kw",
+            "price_build_wind_per_kw",
+            "price_server",
+            "server_power_kw",
+            "price_switch",
+            "switch_power_kw",
+            "price_battery_per_kwh",
+            "cost_line_power_per_km",
+            "cost_line_network_per_km",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"parameter {name} cannot be negative")
+        if self.servers_per_switch <= 0:
+            raise ValueError("servers_per_switch must be positive")
+        if not 0.0 < self.brown_plant_cap_fraction <= 1.0:
+            raise ValueError("the brown plant cap fraction must lie in (0, 1]")
+
+    # -- derived quantities ----------------------------------------------------------------
+    @property
+    def power_per_server_kw(self) -> float:
+        """IT power per hosted server, including its share of a switch."""
+        return self.server_power_kw + self.switch_power_kw / self.servers_per_switch
+
+    def num_servers(self, capacity_kw: float) -> float:
+        """``numServers(d)`` — servers hosted by a DC of the given compute capacity."""
+        if capacity_kw < 0:
+            raise ValueError("capacity cannot be negative")
+        return capacity_kw / self.power_per_server_kw
+
+    def price_build_dc_per_kw(self, total_power_kw: float) -> float:
+        """``priceBuildDC(c)`` — $/kW as a function of the DC's maximum total power."""
+        if total_power_kw <= self.small_dc_threshold_kw:
+            return self.price_build_dc_small_per_kw
+        return self.price_build_dc_large_per_kw
+
+    def with_updates(self, **changes) -> "FrameworkParameters":
+        """A copy of the parameters with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,149 @@
+"""Definition of the siting/provisioning optimisation problem.
+
+A :class:`SitingProblem` bundles the candidate location profiles, the
+framework parameters, and the scenario switches the paper sweeps in its
+evaluation: which renewable technologies may be built, how green energy can
+be stored (net metering, batteries, or not at all), the required green
+fraction and the migration-overhead factor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.availability import datacenters_needed
+from repro.core.parameters import FrameworkParameters
+from repro.energy.profiles import LocationProfile
+
+
+class StorageMode(enum.Enum):
+    """How surplus green energy may be stored."""
+
+    NET_METERING = "net_metering"
+    BATTERIES = "batteries"
+    NONE = "none"
+
+
+class GreenEnforcement(enum.Enum):
+    """How the minimum-green-energy requirement is enforced.
+
+    The paper's main formulation enforces the requirement over the whole year
+    (``ANNUAL``); its technical report also studies a stricter form in which
+    the share must hold in every time slot (``PER_EPOCH``), which removes the
+    ability to compensate a brown night with a very green afternoon.
+    """
+
+    ANNUAL = "annual"
+    PER_EPOCH = "per_epoch"
+
+
+class EnergySources(enum.Enum):
+    """Which on-site renewable technologies may be built."""
+
+    SOLAR_ONLY = "solar"
+    WIND_ONLY = "wind"
+    SOLAR_AND_WIND = "solar+wind"
+    NONE = "brown"
+
+    @property
+    def allows_solar(self) -> bool:
+        return self in (EnergySources.SOLAR_ONLY, EnergySources.SOLAR_AND_WIND)
+
+    @property
+    def allows_wind(self) -> bool:
+        return self in (EnergySources.WIND_ONLY, EnergySources.SOLAR_AND_WIND)
+
+
+@dataclass
+class SitingProblem:
+    """One instance of the Fig. 1 optimisation.
+
+    Attributes
+    ----------
+    profiles:
+        Candidate locations with their epoch series and prices.  All profiles
+        must share the same epoch grid.
+    params:
+        Global framework parameters.
+    sources:
+        Renewable technologies allowed (wind-only / solar-only / both / none).
+    storage:
+        Green-energy storage scenario.
+    """
+
+    profiles: List[LocationProfile]
+    params: FrameworkParameters = field(default_factory=FrameworkParameters)
+    sources: EnergySources = EnergySources.SOLAR_AND_WIND
+    storage: StorageMode = StorageMode.NET_METERING
+    green_enforcement: GreenEnforcement = GreenEnforcement.ANNUAL
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ValueError("a siting problem needs at least one candidate location")
+        grids = {
+            (p.epochs.representative_days, p.epochs.hours_per_epoch) for p in self.profiles
+        }
+        if len(grids) != 1:
+            raise ValueError("all candidate profiles must share the same epoch grid")
+        names = [p.name for p in self.profiles]
+        if len(set(names)) != len(names):
+            raise ValueError("candidate locations must have unique names")
+        if self.params.min_green_fraction > 0 and self.sources is EnergySources.NONE:
+            raise ValueError(
+                "a green-energy requirement cannot be met when no renewable sources are allowed"
+            )
+
+    # -- convenience -----------------------------------------------------------------
+    @property
+    def epochs(self):
+        return self.profiles[0].epochs
+
+    @property
+    def num_epochs(self) -> int:
+        return self.epochs.num_epochs
+
+    @property
+    def num_locations(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def min_datacenters(self) -> int:
+        """Minimum number of datacenters imposed by the availability constraint."""
+        return datacenters_needed(
+            self.params.datacenter_availability, self.params.min_availability
+        )
+
+    def profile_by_name(self, name: str) -> LocationProfile:
+        for profile in self.profiles:
+            if profile.name == name:
+                return profile
+        raise KeyError(f"no candidate location named {name!r}")
+
+    def profile_map(self) -> Dict[str, LocationProfile]:
+        return {profile.name: profile for profile in self.profiles}
+
+    def restricted_to(self, names: Sequence[str]) -> "SitingProblem":
+        """The same problem over a subset of candidate locations."""
+        by_name = self.profile_map()
+        missing = [name for name in names if name not in by_name]
+        if missing:
+            raise KeyError(f"unknown candidate locations: {missing}")
+        return replace(self, profiles=[by_name[name] for name in names])
+
+    def with_updates(
+        self,
+        params: Optional[FrameworkParameters] = None,
+        sources: Optional[EnergySources] = None,
+        storage: Optional[StorageMode] = None,
+        green_enforcement: Optional[GreenEnforcement] = None,
+    ) -> "SitingProblem":
+        """Copy of the problem with some scenario switches replaced."""
+        return replace(
+            self,
+            params=params or self.params,
+            sources=sources or self.sources,
+            storage=storage or self.storage,
+            green_enforcement=green_enforcement or self.green_enforcement,
+        )

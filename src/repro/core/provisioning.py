@@ -1,0 +1,429 @@
+"""Fixed-siting provisioning LP (step 2 of the paper's heuristic).
+
+Once the heuristic has decided *where* datacenters are placed and whether each
+is "small" or "large" (which fixes the per-kW construction price), the
+remaining problem — how much compute capacity, solar, wind and storage to
+provision at each site, and how to distribute load and energy over the epochs
+— is a pure LP.  This module builds and solves that LP and converts the
+optimum into :class:`~repro.core.solution.NetworkPlan` objects.
+
+The formulation follows Fig. 1 with one refinement: green energy is allocated
+explicitly into "used directly", "stored to batteries", "stored to the grid"
+and (implicitly) "curtailed", so that the green-fraction constraint counts
+only green energy that actually serves the load (directly or via storage).
+This closes a loophole in the figure's aggregate form in which simultaneous
+charge/discharge could inflate the green numerator, and matches the intent
+described in Sections II-B and IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.problem import EnergySources, GreenEnforcement, SitingProblem, StorageMode
+from repro.core.solution import DatacenterPlan, NetworkPlan
+from repro.energy.profiles import LocationProfile
+from repro.lpsolver import LinearExpression, Model, SolverOptions, Variable
+
+
+@dataclass
+class _SiteVariables:
+    """Handles to the LP variables of one sited location."""
+
+    profile: LocationProfile
+    size_class: str
+    capacity: Variable
+    solar: Variable
+    wind: Variable
+    battery: Variable
+    compute: List[Variable]
+    migrate: List[Variable]
+    brown: List[Variable]
+    green_direct: List[Variable]
+    battery_charge: List[Variable]
+    battery_discharge: List[Variable]
+    battery_level: List[Variable]
+    net_charge: List[Variable]
+    net_discharge: List[Variable]
+    net_level: List[Variable]
+
+
+@dataclass
+class ProvisioningResult:
+    """Outcome of a fixed-siting provisioning solve."""
+
+    feasible: bool
+    monthly_cost: float
+    plan: Optional[NetworkPlan]
+    message: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience only
+        return self.feasible
+
+
+class ProvisioningModelBuilder:
+    """Builds the Fig. 1 constraints for a given siting decision.
+
+    Parameters
+    ----------
+    problem:
+        The siting problem (candidate profiles, parameters, scenario switches).
+    siting:
+        Mapping from location name to size class (``"small"`` or ``"large"``)
+        for the locations where a datacenter is placed.
+    enforce_spread:
+        When True (default), each sited datacenter must host at least
+        ``totalCapacity / n`` compute capacity so that the failure of ``n - 1``
+        datacenters leaves ``S/n`` servers, the paper's stricter availability
+        condition.
+    """
+
+    def __init__(
+        self,
+        problem: SitingProblem,
+        siting: Mapping[str, str],
+        enforce_spread: bool = True,
+    ) -> None:
+        if not siting:
+            raise ValueError("the siting decision must place at least one datacenter")
+        for name, size_class in siting.items():
+            if size_class not in ("small", "large"):
+                raise ValueError(f"unknown size class {size_class!r} for {name!r}")
+        self.problem = problem
+        self.siting = dict(siting)
+        self.enforce_spread = enforce_spread
+        self.cost_model = CostModel(problem.params)
+        self.model = Model(name="provisioning", sense="min")
+        self.sites: List[_SiteVariables] = []
+        self._objective_terms: List[LinearExpression | float] = []
+        self._build()
+
+    # -- model construction -------------------------------------------------------------
+    def _build(self) -> None:
+        problem = self.problem
+        params = problem.params
+        epochs = problem.epochs
+        num_epochs = epochs.num_epochs
+        weights = epochs.epoch_weights_hours()
+        profiles = problem.profile_map()
+
+        for name, size_class in self.siting.items():
+            profile = profiles.get(name)
+            if profile is None:
+                raise KeyError(f"siting refers to unknown location {name!r}")
+            self.sites.append(self._add_site(profile, size_class, num_epochs))
+
+        # Constraint 2: the network must provide the requested compute power in
+        # every epoch.
+        for t in range(num_epochs):
+            total_compute = LinearExpression.sum(site.compute[t] for site in self.sites)
+            self.model.add_constraint(
+                total_compute >= params.total_capacity_kw, name=f"total_capacity[{t}]"
+            )
+
+        # Constraint 3: minimum share of green energy, enforced either over the
+        # whole year (the paper's main formulation) or in every epoch (the
+        # stricter variant studied in the technical report).
+        if params.min_green_fraction > 0:
+            if problem.green_enforcement is GreenEnforcement.PER_EPOCH:
+                for t in range(num_epochs):
+                    green_terms = []
+                    demand_terms = []
+                    for site in self.sites:
+                        used_green = (
+                            site.green_direct[t]
+                            + site.battery_discharge[t]
+                            + site.net_discharge[t]
+                        )
+                        green_terms.append(used_green)
+                        demand_terms.append(self._power_demand(site, t))
+                    self.model.add_constraint(
+                        LinearExpression.sum(green_terms)
+                        - params.min_green_fraction * LinearExpression.sum(demand_terms)
+                        >= 0.0,
+                        name=f"min_green_fraction[{t}]",
+                    )
+            else:
+                green_terms = []
+                demand_terms = []
+                for site in self.sites:
+                    for t in range(num_epochs):
+                        used_green = (
+                            site.green_direct[t]
+                            + site.battery_discharge[t]
+                            + site.net_discharge[t]
+                        )
+                        green_terms.append(weights[t] * used_green)
+                        demand_terms.append(weights[t] * self._power_demand(site, t))
+                total_green = LinearExpression.sum(green_terms)
+                total_demand = LinearExpression.sum(demand_terms)
+                self.model.add_constraint(
+                    total_green - params.min_green_fraction * total_demand >= 0.0,
+                    name="min_green_fraction",
+                )
+
+        # Availability spread: every sited DC keeps at least S/n servers.
+        if self.enforce_spread and len(self.sites) > 0:
+            floor = params.total_capacity_kw / len(self.sites)
+            for site in self.sites:
+                self.model.add_constraint(
+                    site.capacity >= floor, name=f"capacity_spread[{site.profile.name}]"
+                )
+
+        self.model.set_objective(LinearExpression.sum(self._objective_terms))
+
+    def _add_site(
+        self, profile: LocationProfile, size_class: str, num_epochs: int
+    ) -> _SiteVariables:
+        problem = self.problem
+        params = problem.params
+        epochs = problem.epochs
+        weights = epochs.epoch_weights_hours()
+        epoch_hours = epochs.epoch_hours
+        model = self.model
+        name = profile.name
+
+        allow_solar = problem.sources.allows_solar
+        allow_wind = problem.sources.allows_wind
+        use_batteries = problem.storage is StorageMode.BATTERIES
+        use_net_metering = problem.storage is StorageMode.NET_METERING
+
+        capacity = model.add_variable(f"capacity[{name}]")
+        solar = model.add_variable(f"solar[{name}]", upper=float("inf") if allow_solar else 0.0)
+        wind = model.add_variable(f"wind[{name}]", upper=float("inf") if allow_wind else 0.0)
+        battery = model.add_variable(
+            f"battery[{name}]", upper=float("inf") if use_batteries else 0.0
+        )
+
+        def per_epoch(prefix: str, upper: float = float("inf")) -> List[Variable]:
+            return [
+                model.add_variable(f"{prefix}[{name},{t}]", upper=upper)
+                for t in range(num_epochs)
+            ]
+
+        compute = per_epoch("compute")
+        migrate = per_epoch("migrate")
+        brown_cap = params.brown_plant_cap_fraction * profile.near_plant_capacity_kw
+        brown = per_epoch("brown", upper=max(0.0, brown_cap))
+        green_direct = per_epoch("green_direct")
+        storage_upper = float("inf") if use_batteries else 0.0
+        battery_charge = per_epoch("battery_charge", upper=storage_upper)
+        battery_discharge = per_epoch("battery_discharge", upper=storage_upper)
+        battery_level = per_epoch("battery_level", upper=float("inf") if use_batteries else 0.0)
+        net_upper = float("inf") if use_net_metering else 0.0
+        net_charge = per_epoch("net_charge", upper=net_upper)
+        net_discharge = per_epoch("net_discharge", upper=net_upper)
+        net_level = per_epoch("net_level", upper=net_upper)
+
+        site = _SiteVariables(
+            profile=profile,
+            size_class=size_class,
+            capacity=capacity,
+            solar=solar,
+            wind=wind,
+            battery=battery,
+            compute=compute,
+            migrate=migrate,
+            brown=brown,
+            green_direct=green_direct,
+            battery_charge=battery_charge,
+            battery_discharge=battery_discharge,
+            battery_level=battery_level,
+            net_charge=net_charge,
+            net_discharge=net_discharge,
+            net_level=net_level,
+        )
+
+        # Size-class consistency: the construction price per kW assumed in the
+        # objective is only valid within the class's power range.
+        total_power_per_kw = profile.max_pue
+        if size_class == "small":
+            model.add_constraint(
+                total_power_per_kw * capacity <= params.small_dc_threshold_kw,
+                name=f"small_dc[{name}]",
+            )
+
+        for t in range(num_epochs):
+            previous = (t - 1) % num_epochs
+            # Migration overhead: load that left this site since the previous
+            # epoch still consumes energy here during this epoch.
+            model.add_constraint(
+                migrate[t] >= compute[previous] - compute[t], name=f"migration[{name},{t}]"
+            )
+            # Constraint 1: provisioned capacity covers compute plus incoming load.
+            model.add_constraint(
+                capacity >= compute[t] + migrate[t], name=f"capacity_cover[{name},{t}]"
+            )
+            demand = self._power_demand(site, t)
+            # Constraint 5: demand is met by direct green, storage draws and brown.
+            supply = green_direct[t] + battery_discharge[t] + net_discharge[t] + brown[t]
+            self.model.add_constraint(supply - demand >= 0.0, name=f"power_balance[{name},{t}]")
+            # Green energy only counts toward the requirement when it actually
+            # serves load: what is delivered (directly or from storage) in an
+            # epoch cannot exceed that epoch's demand.  Surplus production is
+            # curtailed (or, with net metering, banked for later).
+            delivered = green_direct[t] + battery_discharge[t] + net_discharge[t]
+            self.model.add_constraint(
+                demand - delivered >= 0.0, name=f"green_delivery_cap[{name},{t}]"
+            )
+            # Green allocation: direct use plus storage charging cannot exceed production.
+            production = profile.solar_alpha[t] * solar + profile.wind_beta[t] * wind
+            self.model.add_constraint(
+                production - green_direct[t] - battery_charge[t] - net_charge[t] >= 0.0,
+                name=f"green_allocation[{name},{t}]",
+            )
+            if use_batteries:
+                # Constraints 6-7: battery level dynamics (cyclic over the year).
+                model.add_constraint(
+                    battery_level[t]
+                    == battery_level[previous]
+                    + params.battery_efficiency * battery_charge[t] * epoch_hours
+                    - battery_discharge[t] * epoch_hours,
+                    name=f"battery_dynamics[{name},{t}]",
+                )
+                model.add_constraint(
+                    battery_level[t] <= battery, name=f"battery_capacity[{name},{t}]"
+                )
+            if use_net_metering:
+                # Constraints 8-9: net-metered energy bank (cyclic over the year).
+                model.add_constraint(
+                    net_level[t]
+                    == net_level[previous]
+                    + net_charge[t] * epoch_hours
+                    - net_discharge[t] * epoch_hours,
+                    name=f"net_dynamics[{name},{t}]",
+                )
+
+        # Objective contribution of this site.
+        coefficients = self.cost_model.linear_coefficients(profile, size_class)
+        self._objective_terms.append(coefficients["fixed"])
+        self._objective_terms.append(coefficients["capacity_kw"] * capacity)
+        self._objective_terms.append(coefficients["solar_kw"] * solar)
+        self._objective_terms.append(coefficients["wind_kw"] * wind)
+        self._objective_terms.append(coefficients["battery_kwh"] * battery)
+        for t in range(num_epochs):
+            self._objective_terms.append(
+                coefficients["brown_kwh_year"] * weights[t] * brown[t]
+            )
+            if use_net_metering:
+                self._objective_terms.append(
+                    coefficients["net_discharge_kwh_year"] * weights[t] * net_discharge[t]
+                )
+                self._objective_terms.append(
+                    coefficients["net_charge_kwh_year"] * weights[t] * net_charge[t]
+                )
+        return site
+
+    def _power_demand(self, site: _SiteVariables, t: int) -> LinearExpression:
+        """``powDemand(d, t)``: (compute + migration overhead) * PUE."""
+        migration_factor = self.problem.params.migration_factor
+        pue = site.profile.pue[t]
+        demand = site.compute[t] + migration_factor * site.migrate[t]
+        return pue * demand
+
+    # -- solving ------------------------------------------------------------------------------
+    def solve(self, options: Optional[SolverOptions] = None) -> ProvisioningResult:
+        """Solve the LP and convert the optimum into a :class:`NetworkPlan`."""
+        result = self.model.solve(options)
+        if not result.is_optimal:
+            return ProvisioningResult(
+                feasible=False,
+                monthly_cost=float("inf"),
+                plan=None,
+                message=f"{result.status.value}: {result.message}",
+            )
+        plan = self._extract_plan(result)
+        return ProvisioningResult(
+            feasible=True,
+            monthly_cost=plan.total_monthly_cost,
+            plan=plan,
+            message=result.message,
+        )
+
+    def _extract_plan(self, result) -> NetworkPlan:
+        datacenters = []
+        for site in self.sites:
+            datacenters.append(self._extract_datacenter(site, result))
+        plan = NetworkPlan(
+            datacenters=datacenters,
+            params=self.problem.params,
+            storage=self.problem.storage.value,
+            sources=self.problem.sources.value,
+            solver_info={
+                "objective": result.objective,
+                "num_variables": self.model.num_variables,
+                "num_constraints": self.model.num_constraints,
+            },
+        )
+        return plan
+
+    def _extract_datacenter(self, site: _SiteVariables, result) -> DatacenterPlan:
+        value = result.value
+        profile = site.profile
+        capacity_kw = value(site.capacity)
+        solar_kw = value(site.solar)
+        wind_kw = value(site.wind)
+        battery_kwh = value(site.battery)
+        series = {
+            "compute_power_kw": np.array([value(v) for v in site.compute]),
+            "migrate_power_kw": np.array([value(v) for v in site.migrate]),
+            "brown_power_kw": np.array([value(v) for v in site.brown]),
+            "green_direct_kw": np.array([value(v) for v in site.green_direct]),
+            "battery_charge_kw": np.array([value(v) for v in site.battery_charge]),
+            "battery_discharge_kw": np.array([value(v) for v in site.battery_discharge]),
+            "net_charge_kw": np.array([value(v) for v in site.net_charge]),
+            "net_discharge_kw": np.array([value(v) for v in site.net_discharge]),
+        }
+        cost_model = self.cost_model
+        monthly_costs = {
+            "land_dc": cost_model.land_monthly(profile, capacity_kw, 0.0, 0.0),
+            "land_solar": cost_model.land_monthly(profile, 0.0, solar_kw, 0.0),
+            "land_wind": cost_model.land_monthly(profile, 0.0, 0.0, wind_kw),
+            "building_dc": cost_model.building_dc_monthly(profile, capacity_kw, site.size_class),
+            "building_solar": cost_model.building_solar_monthly(solar_kw),
+            "building_wind": cost_model.building_wind_monthly(wind_kw),
+            "it_equipment": cost_model.it_equipment_monthly(capacity_kw),
+            "battery": cost_model.battery_monthly(battery_kwh),
+            "connection": cost_model.capex_independent_monthly(profile),
+            "network_bandwidth": cost_model.network_bandwidth_monthly(capacity_kw),
+            "brown_energy": cost_model.brown_energy_monthly(
+                profile,
+                series["brown_power_kw"],
+                series["net_discharge_kw"],
+                series["net_charge_kw"],
+            ),
+        }
+        return DatacenterPlan(
+            profile=profile,
+            size_class=site.size_class,
+            capacity_kw=capacity_kw,
+            solar_kw=solar_kw,
+            wind_kw=wind_kw,
+            battery_kwh=battery_kwh,
+            monthly_costs=monthly_costs,
+            **series,
+        )
+
+
+def solve_provisioning(
+    problem: SitingProblem,
+    siting: Mapping[str, str],
+    options: Optional[SolverOptions] = None,
+    enforce_spread: bool = True,
+) -> ProvisioningResult:
+    """Convenience wrapper: build and solve the fixed-siting LP in one call."""
+    builder = ProvisioningModelBuilder(problem, siting, enforce_spread=enforce_spread)
+    return builder.solve(options)
+
+
+def cheapest_size_classes(problem: SitingProblem, names: List[str]) -> Dict[str, str]:
+    """Initial small/large guess: "large" when an even capacity split exceeds 10 MW."""
+    if not names:
+        return {}
+    share_kw = problem.params.total_capacity_kw / len(names)
+    size = "large" if share_kw * 1.1 > problem.params.small_dc_threshold_kw else "small"
+    return {name: size for name in names}

@@ -1,0 +1,119 @@
+"""Single-datacenter cost analysis.
+
+Section III-B of the paper explores the per-month cost of building one 25 MW
+datacenter at each of the 1373 locations under three configurations — brown
+(no renewables), 50 % solar and 50 % wind — producing the CDF of Fig. 6 and
+the per-location attributes of Table II.  The same machinery doubles as the
+location-filtering score of the heuristic solver (Section II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.parameters import FrameworkParameters
+from repro.core.problem import EnergySources, SitingProblem, StorageMode
+from repro.core.provisioning import solve_provisioning
+from repro.core.solution import NetworkPlan
+from repro.energy.profiles import LocationProfile
+from repro.lpsolver import SolverOptions
+
+
+@dataclass
+class SingleSiteCost:
+    """Cost and attributes of a single datacenter at one location."""
+
+    profile: LocationProfile
+    configuration: str
+    monthly_cost: float
+    plan: Optional[NetworkPlan]
+    feasible: bool
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def table_row(self) -> Dict[str, float]:
+        """The Table II attributes for this location."""
+        return {
+            "location": self.name,
+            "configuration": self.configuration,
+            "monthly_cost_musd": self.monthly_cost / 1e6,
+            "solar_capacity_factor_pct": 100.0 * self.profile.solar_capacity_factor,
+            "wind_capacity_factor_pct": 100.0 * self.profile.wind_capacity_factor,
+            "max_pue": self.profile.max_pue,
+            "electricity_usd_per_mwh": 1000.0 * self.profile.energy_price_per_kwh,
+            "land_usd_per_m2": self.profile.land_price_per_m2,
+            "distance_power_km": self.profile.distance_power_km,
+            "distance_network_km": self.profile.distance_network_km,
+        }
+
+
+class SingleSiteAnalyzer:
+    """Computes single-datacenter costs for Fig. 6, Table II and filtering."""
+
+    def __init__(
+        self,
+        params: Optional[FrameworkParameters] = None,
+        solver_options: Optional[SolverOptions] = None,
+    ) -> None:
+        self.params = params or FrameworkParameters()
+        self.solver_options = solver_options or SolverOptions()
+
+    def cost_at(
+        self,
+        profile: LocationProfile,
+        capacity_kw: float = 25_000.0,
+        min_green_fraction: float = 0.0,
+        sources: EnergySources = EnergySources.SOLAR_AND_WIND,
+        storage: StorageMode = StorageMode.NET_METERING,
+    ) -> SingleSiteCost:
+        """Cost of one datacenter of ``capacity_kw`` at ``profile``'s location."""
+        if capacity_kw <= 0:
+            raise ValueError("the datacenter capacity must be positive")
+        if min_green_fraction == 0.0:
+            sources_used = EnergySources.NONE
+        else:
+            sources_used = sources
+        params = self.params.with_updates(
+            total_capacity_kw=capacity_kw,
+            min_green_fraction=min_green_fraction,
+            min_availability=self.params.datacenter_availability / 2.0,
+        )
+        problem = SitingProblem(
+            profiles=[profile], params=params, sources=sources_used, storage=storage
+        )
+        total_power = capacity_kw * profile.max_pue
+        size_class = "small" if total_power <= params.small_dc_threshold_kw else "large"
+        result = solve_provisioning(
+            problem, {profile.name: size_class}, options=self.solver_options, enforce_spread=False
+        )
+        configuration = self._configuration_label(min_green_fraction, sources_used)
+        return SingleSiteCost(
+            profile=profile,
+            configuration=configuration,
+            monthly_cost=result.monthly_cost,
+            plan=result.plan,
+            feasible=result.feasible,
+        )
+
+    def cost_distribution(
+        self,
+        profiles: Sequence[LocationProfile],
+        capacity_kw: float = 25_000.0,
+        min_green_fraction: float = 0.0,
+        sources: EnergySources = EnergySources.SOLAR_AND_WIND,
+        storage: StorageMode = StorageMode.NET_METERING,
+    ) -> List[SingleSiteCost]:
+        """Single-site costs for many locations (the Fig. 6 distribution)."""
+        return [
+            self.cost_at(profile, capacity_kw, min_green_fraction, sources, storage)
+            for profile in profiles
+        ]
+
+    @staticmethod
+    def _configuration_label(min_green_fraction: float, sources: EnergySources) -> str:
+        if min_green_fraction == 0.0 or sources is EnergySources.NONE:
+            return "brown"
+        return f"{sources.value}-{int(round(100 * min_green_fraction))}%"

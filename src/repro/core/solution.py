@@ -1,0 +1,229 @@
+"""Solution data structures: per-datacenter plans and the network plan."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.availability import network_availability
+from repro.core.parameters import FrameworkParameters
+from repro.energy.profiles import LocationProfile
+
+#: Cost-breakdown keys, in the order the paper's Fig. 7 stacks them.
+COST_COMPONENTS = (
+    "building_dc",
+    "land_dc",
+    "it_equipment",
+    "connection",
+    "brown_energy",
+    "network_bandwidth",
+    "building_solar",
+    "land_solar",
+    "building_wind",
+    "land_wind",
+    "battery",
+)
+
+
+@dataclass
+class DatacenterPlan:
+    """Provisioning decision for one sited datacenter.
+
+    All power series are epoch-aligned with ``profile.epochs`` and expressed
+    in kW; energy storage levels are in kWh; costs are $/month.
+    """
+
+    profile: LocationProfile
+    size_class: str
+    capacity_kw: float
+    solar_kw: float
+    wind_kw: float
+    battery_kwh: float
+    monthly_costs: Dict[str, float]
+    compute_power_kw: np.ndarray
+    migrate_power_kw: np.ndarray
+    brown_power_kw: np.ndarray
+    green_direct_kw: np.ndarray
+    battery_charge_kw: np.ndarray
+    battery_discharge_kw: np.ndarray
+    net_charge_kw: np.ndarray
+    net_discharge_kw: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = self.profile.epochs.num_epochs
+        for name in (
+            "compute_power_kw",
+            "migrate_power_kw",
+            "brown_power_kw",
+            "green_direct_kw",
+            "battery_charge_kw",
+            "battery_discharge_kw",
+            "net_charge_kw",
+            "net_discharge_kw",
+        ):
+            array = np.asarray(getattr(self, name), dtype=float)
+            if array.shape != (expected,):
+                raise ValueError(f"series {name} must have {expected} epochs")
+            setattr(self, name, array)
+        unknown = set(self.monthly_costs) - set(COST_COMPONENTS)
+        if unknown:
+            raise ValueError(f"unknown cost components: {sorted(unknown)}")
+
+    # -- identity -------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def total_monthly_cost(self) -> float:
+        return float(sum(self.monthly_costs.values()))
+
+    # -- energy accounting ------------------------------------------------------
+    @property
+    def power_demand_kw(self) -> np.ndarray:
+        """``powDemand(d, t)`` including migration overhead and PUE."""
+        return (self.compute_power_kw + self.migrate_power_kw) * self.profile.pue
+
+    @property
+    def demand_energy_kwh_year(self) -> float:
+        weights = self.profile.epochs.epoch_weights_hours()
+        return float(np.sum(self.power_demand_kw * weights))
+
+    @property
+    def green_energy_kwh_year(self) -> float:
+        """Green energy used (directly or via storage) over the year."""
+        weights = self.profile.epochs.epoch_weights_hours()
+        used = self.green_direct_kw + self.battery_discharge_kw + self.net_discharge_kw
+        return float(np.sum(used * weights))
+
+    @property
+    def brown_energy_kwh_year(self) -> float:
+        weights = self.profile.epochs.epoch_weights_hours()
+        return float(np.sum(self.brown_power_kw * weights))
+
+    @property
+    def green_production_kwh_year(self) -> float:
+        """Potential on-site green production (before curtailment)."""
+        weights = self.profile.epochs.epoch_weights_hours()
+        production = (
+            self.profile.solar_alpha * self.solar_kw + self.profile.wind_beta * self.wind_kw
+        )
+        return float(np.sum(production * weights))
+
+    @property
+    def num_servers(self) -> float:
+        return self.capacity_kw / (0.275 + 0.480 / 32)
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary used by reports and EXPERIMENTS.md."""
+        return {
+            "capacity_kw": self.capacity_kw,
+            "solar_kw": self.solar_kw,
+            "wind_kw": self.wind_kw,
+            "battery_kwh": self.battery_kwh,
+            "monthly_cost": self.total_monthly_cost,
+            "green_energy_kwh_year": self.green_energy_kwh_year,
+            "brown_energy_kwh_year": self.brown_energy_kwh_year,
+        }
+
+
+@dataclass
+class NetworkPlan:
+    """A complete siting + provisioning solution for the datacenter network."""
+
+    datacenters: List[DatacenterPlan]
+    params: FrameworkParameters
+    storage: str = "net_metering"
+    sources: str = "solar+wind"
+    solver_info: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.datacenters:
+            raise ValueError("a network plan needs at least one datacenter")
+        names = [dc.name for dc in self.datacenters]
+        if len(set(names)) != len(names):
+            raise ValueError("datacenter locations must be unique")
+
+    # -- aggregates -----------------------------------------------------------------
+    @property
+    def num_datacenters(self) -> int:
+        return len(self.datacenters)
+
+    @property
+    def total_monthly_cost(self) -> float:
+        return float(sum(dc.total_monthly_cost for dc in self.datacenters))
+
+    @property
+    def total_capacity_kw(self) -> float:
+        """Total provisioned compute capacity (Figs. 11 and 12)."""
+        return float(sum(dc.capacity_kw for dc in self.datacenters))
+
+    @property
+    def total_solar_kw(self) -> float:
+        return float(sum(dc.solar_kw for dc in self.datacenters))
+
+    @property
+    def total_wind_kw(self) -> float:
+        return float(sum(dc.wind_kw for dc in self.datacenters))
+
+    @property
+    def total_battery_kwh(self) -> float:
+        return float(sum(dc.battery_kwh for dc in self.datacenters))
+
+    @property
+    def green_fraction(self) -> float:
+        """Achieved share of green energy over the year."""
+        demand = sum(dc.demand_energy_kwh_year for dc in self.datacenters)
+        if demand <= 0:
+            return 0.0
+        green = sum(dc.green_energy_kwh_year for dc in self.datacenters)
+        return float(min(1.0, green / demand))
+
+    @property
+    def availability(self) -> float:
+        return network_availability(self.num_datacenters, self.params.datacenter_availability)
+
+    def cost_breakdown(self) -> Dict[str, float]:
+        """Aggregate monthly cost per component (the stacks of Fig. 7)."""
+        breakdown: Dict[str, float] = {component: 0.0 for component in COST_COMPONENTS}
+        for dc in self.datacenters:
+            for component, value in dc.monthly_costs.items():
+                breakdown[component] += value
+        return breakdown
+
+    def datacenter(self, name: str) -> DatacenterPlan:
+        for dc in self.datacenters:
+            if dc.name == name:
+                return dc
+        raise KeyError(f"no datacenter at {name!r} in this plan")
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "num_datacenters": self.num_datacenters,
+            "monthly_cost": self.total_monthly_cost,
+            "capacity_kw": self.total_capacity_kw,
+            "solar_kw": self.total_solar_kw,
+            "wind_kw": self.total_wind_kw,
+            "battery_kwh": self.total_battery_kwh,
+            "green_fraction": self.green_fraction,
+            "availability": self.availability,
+        }
+
+    def describe(self) -> str:
+        """Human-readable multi-line description (used by the examples)."""
+        lines = [
+            f"Network of {self.num_datacenters} datacenters "
+            f"({self.total_capacity_kw / 1000:.1f} MW compute, "
+            f"{100 * self.green_fraction:.1f}% green, "
+            f"${self.total_monthly_cost / 1e6:.2f}M/month)",
+        ]
+        for dc in sorted(self.datacenters, key=lambda d: -d.capacity_kw):
+            lines.append(
+                f"  - {dc.name}: {dc.capacity_kw / 1000:.1f} MW IT, "
+                f"{dc.solar_kw / 1000:.1f} MW solar, {dc.wind_kw / 1000:.1f} MW wind, "
+                f"{dc.battery_kwh / 1000:.1f} MWh battery, "
+                f"${dc.total_monthly_cost / 1e6:.2f}M/month"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""The placement tool (Section III).
+
+:class:`PlacementTool` is the high-level API a cloud provider would use: it
+takes the desired computing power, the minimum percentage of green energy and
+the minimum availability, and it outputs the number of datacenters, their
+locations, their provisioning (including on-site green plants and storage) and
+their costs.  Internally it wires together the world catalogue, the profile
+builder, the cost model and the heuristic solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.heuristic import HeuristicSolution, HeuristicSolver, SearchSettings
+from repro.core.parameters import FrameworkParameters
+from repro.core.problem import EnergySources, GreenEnforcement, SitingProblem, StorageMode
+from repro.core.single_site import SingleSiteAnalyzer, SingleSiteCost
+from repro.core.solution import NetworkPlan
+from repro.energy.profiles import EpochGrid, LocationProfile, ProfileBuilder
+from repro.lpsolver import SolverOptions
+from repro.weather.locations import WorldCatalog, build_world_catalog
+
+
+class PlacementTool:
+    """Site and provision a network of green datacenters.
+
+    Parameters
+    ----------
+    catalog:
+        World catalogue of candidate locations; a default catalogue is built
+        when omitted (``num_locations`` controls its size in that case).
+    params:
+        Framework parameters (Table I defaults when omitted).
+    epoch_grid:
+        Time discretisation used for the optimisation; defaults to four
+        seasonal representative days with three-hour epochs.
+    candidate_names:
+        Restrict the candidate set to these catalogue locations.
+    num_locations:
+        Size of the default catalogue when ``catalog`` is omitted.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[WorldCatalog] = None,
+        params: Optional[FrameworkParameters] = None,
+        epoch_grid: Optional[EpochGrid] = None,
+        candidate_names: Optional[Sequence[str]] = None,
+        num_locations: int = 200,
+        solver_options: Optional[SolverOptions] = None,
+    ) -> None:
+        self.catalog = catalog or build_world_catalog(num_locations=num_locations)
+        self.params = params or FrameworkParameters()
+        self.epoch_grid = epoch_grid or EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=3)
+        self.profile_builder = ProfileBuilder(self.catalog)
+        self.candidate_names = list(candidate_names) if candidate_names else self.catalog.names
+        self.solver_options = solver_options or SolverOptions()
+        self._profiles: Optional[List[LocationProfile]] = None
+
+    # -- candidate profiles -----------------------------------------------------------
+    @property
+    def profiles(self) -> List[LocationProfile]:
+        """Profiles of all candidate locations (built lazily and cached)."""
+        if self._profiles is None:
+            self._profiles = self.profile_builder.build_all(
+                self.epoch_grid, names=self.candidate_names
+            )
+        return self._profiles
+
+    def profile(self, name: str) -> LocationProfile:
+        return self.profile_builder.build(self.catalog.get(name), self.epoch_grid)
+
+    # -- problem construction ------------------------------------------------------------
+    def build_problem(
+        self,
+        total_capacity_kw: float = 50_000.0,
+        min_green_fraction: float = 0.5,
+        sources: EnergySources = EnergySources.SOLAR_AND_WIND,
+        storage: StorageMode = StorageMode.NET_METERING,
+        migration_factor: float = 1.0,
+        net_meter_credit: float = 1.0,
+        min_availability: Optional[float] = None,
+        green_enforcement: GreenEnforcement = GreenEnforcement.ANNUAL,
+    ) -> SitingProblem:
+        """Assemble a :class:`SitingProblem` for the given scenario."""
+        params = self.params.with_updates(
+            total_capacity_kw=total_capacity_kw,
+            min_green_fraction=min_green_fraction,
+            migration_factor=migration_factor,
+            credit_net_meter=net_meter_credit,
+            min_availability=(
+                min_availability if min_availability is not None else self.params.min_availability
+            ),
+        )
+        effective_sources = sources
+        if min_green_fraction == 0.0:
+            effective_sources = EnergySources.NONE
+        return SitingProblem(
+            profiles=self.profiles,
+            params=params,
+            sources=effective_sources,
+            storage=storage,
+            green_enforcement=green_enforcement,
+        )
+
+    # -- solving ---------------------------------------------------------------------------
+    def plan_network(
+        self,
+        total_capacity_kw: float = 50_000.0,
+        min_green_fraction: float = 0.5,
+        sources: EnergySources = EnergySources.SOLAR_AND_WIND,
+        storage: StorageMode = StorageMode.NET_METERING,
+        migration_factor: float = 1.0,
+        net_meter_credit: float = 1.0,
+        settings: Optional[SearchSettings] = None,
+        min_availability: Optional[float] = None,
+        green_enforcement: GreenEnforcement = GreenEnforcement.ANNUAL,
+    ) -> HeuristicSolution:
+        """Site and provision a datacenter network for the scenario.
+
+        Returns the full :class:`HeuristicSolution`; its ``plan`` attribute is
+        the :class:`NetworkPlan` (None when the scenario is infeasible with the
+        given candidates).
+        """
+        problem = self.build_problem(
+            total_capacity_kw=total_capacity_kw,
+            min_green_fraction=min_green_fraction,
+            sources=sources,
+            storage=storage,
+            migration_factor=migration_factor,
+            net_meter_credit=net_meter_credit,
+            min_availability=min_availability,
+            green_enforcement=green_enforcement,
+        )
+        solver = HeuristicSolver(problem, settings=settings, solver_options=self.solver_options)
+        return solver.solve()
+
+    def green_percentage_sweep(
+        self,
+        green_fractions: Sequence[float],
+        total_capacity_kw: float = 50_000.0,
+        sources: EnergySources = EnergySources.SOLAR_AND_WIND,
+        storage: StorageMode = StorageMode.NET_METERING,
+        settings: Optional[SearchSettings] = None,
+    ) -> Dict[float, HeuristicSolution]:
+        """Cost-vs-green-percentage sweep (Figs. 8-12)."""
+        results: Dict[float, HeuristicSolution] = {}
+        for fraction in green_fractions:
+            results[fraction] = self.plan_network(
+                total_capacity_kw=total_capacity_kw,
+                min_green_fraction=fraction,
+                sources=sources,
+                storage=storage,
+                settings=settings,
+            )
+        return results
+
+    # -- single-site analysis ---------------------------------------------------------------
+    def single_site_costs(
+        self,
+        capacity_kw: float = 25_000.0,
+        min_green_fraction: float = 0.0,
+        sources: EnergySources = EnergySources.SOLAR_AND_WIND,
+        storage: StorageMode = StorageMode.NET_METERING,
+        names: Optional[Sequence[str]] = None,
+    ) -> List[SingleSiteCost]:
+        """Per-location single-datacenter costs (Fig. 6 / Table II)."""
+        analyzer = SingleSiteAnalyzer(self.params, self.solver_options)
+        profiles = self.profiles if names is None else [self.profile(name) for name in names]
+        return analyzer.cost_distribution(
+            profiles,
+            capacity_kw=capacity_kw,
+            min_green_fraction=min_green_fraction,
+            sources=sources,
+            storage=storage,
+        )

@@ -1,0 +1,42 @@
+"""Green-energy production, efficiency and storage models.
+
+This subpackage turns raw weather (``repro.weather``) into the quantities the
+placement framework consumes:
+
+* ``alpha(d, t)`` — fraction of installed solar capacity produced in epoch
+  ``t`` at location ``d`` (:class:`SolarPanelModel`),
+* ``beta(d, t)`` — the same for wind (:class:`WindTurbineModel`, modelled on
+  the Enercon E-126 used in the paper),
+* ``PUE(d, t)`` — the temperature-driven power-usage-effectiveness curve of
+  Fig. 4 (:class:`PUEModel`),
+* battery and net-metering storage models, and
+* :class:`LocationProfile` / :class:`ProfileBuilder`, which bundle everything
+  into per-location epoch series over a representative year.
+"""
+
+from repro.energy.battery import BatteryBank
+from repro.energy.capacity_factor import annual_energy_kwh, capacity_factor
+from repro.energy.net_metering import NetMeteringPolicy
+from repro.energy.pue import PUEModel
+from repro.energy.solar_plant import SolarPanelModel
+from repro.energy.wind_plant import WindTurbineModel
+from repro.energy.profiles import (
+    EpochGrid,
+    LocationProfile,
+    ProfileBuilder,
+    calibrate_series,
+)
+
+__all__ = [
+    "BatteryBank",
+    "EpochGrid",
+    "LocationProfile",
+    "NetMeteringPolicy",
+    "PUEModel",
+    "ProfileBuilder",
+    "SolarPanelModel",
+    "WindTurbineModel",
+    "annual_energy_kwh",
+    "calibrate_series",
+    "capacity_factor",
+]

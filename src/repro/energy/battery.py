@@ -1,0 +1,74 @@
+"""Battery storage model.
+
+The placement framework only needs the battery *capacity* decision variable,
+its charging efficiency and its price; GreenNebula's emulation additionally
+simulates the charge/discharge state over time.  :class:`BatteryBank`
+provides both: stateless parameters for the optimiser and a small stateful
+simulator (charge/discharge with efficiency and capacity limits) used by the
+emulation and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BatteryBank:
+    """A bank of datacenter batteries.
+
+    Attributes
+    ----------
+    capacity_kwh:
+        Usable energy capacity.
+    charge_efficiency:
+        Fraction of energy sent to the battery that is actually stored
+        (the paper uses 75 %); discharging is assumed lossless, i.e. the
+        round-trip efficiency equals the charge efficiency.
+    level_kwh:
+        Current state of charge (simulation state, starts empty).
+    """
+
+    capacity_kwh: float
+    charge_efficiency: float = 0.75
+    level_kwh: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_kwh < 0:
+            raise ValueError("battery capacity cannot be negative")
+        if not 0.0 < self.charge_efficiency <= 1.0:
+            raise ValueError("charge efficiency must be in (0, 1]")
+        if not 0.0 <= self.level_kwh <= self.capacity_kwh + 1e-9:
+            raise ValueError("initial battery level must lie within [0, capacity]")
+
+    @property
+    def headroom_kwh(self) -> float:
+        """Energy that can still be stored (after efficiency losses)."""
+        return max(0.0, self.capacity_kwh - self.level_kwh)
+
+    def charge(self, energy_kwh: float) -> float:
+        """Send ``energy_kwh`` to the battery; return the energy actually absorbed.
+
+        The returned value is measured at the battery input (i.e. what the
+        green plant had to supply), not what ended up stored.
+        """
+        if energy_kwh < 0:
+            raise ValueError("cannot charge a negative amount of energy")
+        storable = self.headroom_kwh
+        absorbed_input = min(energy_kwh, storable / self.charge_efficiency if self.charge_efficiency else 0.0)
+        self.level_kwh = min(self.capacity_kwh, self.level_kwh + absorbed_input * self.charge_efficiency)
+        return absorbed_input
+
+    def discharge(self, energy_kwh: float) -> float:
+        """Draw up to ``energy_kwh`` from the battery; return the energy delivered."""
+        if energy_kwh < 0:
+            raise ValueError("cannot discharge a negative amount of energy")
+        delivered = min(energy_kwh, self.level_kwh)
+        self.level_kwh -= delivered
+        return delivered
+
+    def reset(self, level_kwh: float = 0.0) -> None:
+        """Reset the state of charge (used between simulated days)."""
+        if not 0.0 <= level_kwh <= self.capacity_kwh + 1e-9:
+            raise ValueError("battery level must lie within [0, capacity]")
+        self.level_kwh = min(level_kwh, self.capacity_kwh)

@@ -1,0 +1,51 @@
+"""Capacity-factor helpers.
+
+The capacity factor of a plant is the fraction of its theoretical maximum
+annual production that it actually delivers — the annual mean of
+``alpha(d, t)`` (solar) or ``beta(d, t)`` (wind).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def capacity_factor(production_fraction: np.ndarray, weights: np.ndarray | None = None) -> float:
+    """Capacity factor of a production-fraction series.
+
+    ``weights`` (optional) gives the number of hours each entry represents;
+    when omitted, the entries are assumed equally weighted.
+    """
+    series = np.asarray(production_fraction, dtype=float)
+    if series.size == 0:
+        raise ValueError("cannot compute a capacity factor of an empty series")
+    if np.any(series < -1e-9) or np.any(series > 1.0 + 1e-9):
+        raise ValueError("production fractions must lie within [0, 1]")
+    if weights is None:
+        return float(np.mean(series))
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != series.shape:
+        raise ValueError("weights must have the same shape as the series")
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative and not all zero")
+    return float(np.average(series, weights=weights))
+
+
+def annual_energy_kwh(
+    installed_capacity_kw: float,
+    production_fraction: np.ndarray,
+    hours_per_step: float = 1.0,
+    weights: np.ndarray | None = None,
+) -> float:
+    """Annual energy produced by a plant of ``installed_capacity_kw``.
+
+    When ``weights`` is given it already contains the number of hours each
+    step represents and ``hours_per_step`` is ignored for the total.
+    """
+    if installed_capacity_kw < 0:
+        raise ValueError("installed capacity cannot be negative")
+    series = np.asarray(production_fraction, dtype=float)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        return float(installed_capacity_kw * np.sum(series * weights))
+    return float(installed_capacity_kw * np.sum(series) * hours_per_step)

@@ -1,0 +1,54 @@
+"""Net-metering policy.
+
+Net metering lets a datacenter push surplus green energy into the grid and
+draw it back later; the utility may credit anywhere between 0 % and 100 % of
+the retail price for the pushed energy.  The paper's base case assumes a
+100 % credit everywhere and finds that the *storage* aspect, not the revenue,
+is what matters (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetMeteringPolicy:
+    """Availability and pricing of net metering at a location or scenario.
+
+    Attributes
+    ----------
+    allowed:
+        Whether surplus green energy may be banked in the grid at all.
+    credit_fraction:
+        ``creditNetMeter``: fraction of the retail price paid for each kWh
+        pushed into the grid (1.0 = full retail credit).
+    """
+
+    allowed: bool = True
+    credit_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.credit_fraction <= 1.0:
+            raise ValueError("net-metering credit must lie in [0, 1]")
+
+    @classmethod
+    def disallowed(cls) -> "NetMeteringPolicy":
+        """A policy in which no energy may be net metered."""
+        return cls(allowed=False, credit_fraction=0.0)
+
+    def settlement_cost(
+        self, drawn_kwh: float, pushed_kwh: float, retail_price_per_kwh: float
+    ) -> float:
+        """Net cost of the metered exchange for a billing period, in dollars.
+
+        ``drawn_kwh`` is energy previously banked and drawn back (billed at
+        retail like any other grid energy by the paper's brownCost formula),
+        ``pushed_kwh`` is surplus pushed into the grid (credited at
+        ``credit_fraction`` of retail).
+        """
+        if drawn_kwh < 0 or pushed_kwh < 0:
+            raise ValueError("energy amounts cannot be negative")
+        if not self.allowed and (drawn_kwh > 0 or pushed_kwh > 0):
+            raise ValueError("net metering is not allowed under this policy")
+        return retail_price_per_kwh * (drawn_kwh - self.credit_fraction * pushed_kwh)

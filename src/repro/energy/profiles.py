@@ -1,0 +1,278 @@
+"""Per-location epoch profiles consumed by the placement framework.
+
+The optimisation of Fig. 1 works on discrete time slots ("epochs").  Using
+all 8760 hours of the TMY year for every candidate location makes the LPs
+needlessly large, so — like the paper's own tool — we aggregate the year into
+a set of *representative days*, each standing in for an equal slice of the
+year, split into epochs of a few hours.  A :class:`LocationProfile` holds the
+aggregated ``alpha``/``beta``/``PUE`` series for one location together with
+the per-location scalars (prices, distances, plant capacity) needed by the
+cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.energy.capacity_factor import capacity_factor
+from repro.energy.pue import PUEModel
+from repro.energy.solar_plant import SolarPanelModel
+from repro.energy.wind_plant import WindTurbineModel
+from repro.weather.locations import Location, WorldCatalog
+from repro.weather.records import DAYS_PER_YEAR, HOURS_PER_DAY
+
+
+def calibrate_series(
+    series: np.ndarray,
+    target_mean: float,
+    upper: float = 1.0,
+    iterations: int = 60,
+) -> np.ndarray:
+    """Scale a production series so its mean hits ``target_mean``.
+
+    Scaling preserves the diurnal/seasonal shape; values are clipped to
+    ``[0, upper]`` and the scale factor is re-estimated a few times so the
+    clipped series converges to the requested mean (used to pin anchor
+    locations to the capacity factors published in the paper).
+    """
+    values = np.clip(np.asarray(series, dtype=float), 0.0, upper)
+    if not 0.0 <= target_mean <= upper:
+        raise ValueError(f"target mean {target_mean} outside [0, {upper}]")
+    if target_mean == 0.0:
+        return np.zeros_like(values)
+    if float(values.max()) <= 0.0:
+        # Nothing to scale: fall back to a flat series at the target level.
+        return np.full_like(values, target_mean)
+
+    def mean_at(scale: float) -> float:
+        return float(np.clip(values * scale, 0.0, upper).mean())
+
+    # The clipped mean is non-decreasing in the scale factor, so a simple
+    # bisection finds the factor that hits the target (when it is reachable).
+    low, high = 0.0, 1.0
+    growth = 0
+    while mean_at(high) < target_mean and growth < 60:
+        high *= 4.0
+        growth += 1
+    if mean_at(high) < target_mean:
+        # Target unreachable (too few non-zero entries): return the best effort.
+        return np.clip(values * high, 0.0, upper)
+    for _ in range(iterations):
+        middle = 0.5 * (low + high)
+        if mean_at(middle) < target_mean:
+            low = middle
+        else:
+            high = middle
+        if abs(mean_at(high) - target_mean) <= 1e-6:
+            break
+    return np.clip(values * high, 0.0, upper)
+
+
+@dataclass(frozen=True)
+class EpochGrid:
+    """Discretisation of the year into epochs over representative days.
+
+    Attributes
+    ----------
+    representative_days:
+        Day-of-year indices (0-based) of the days that stand in for the year.
+    hours_per_epoch:
+        Epoch duration; must divide 24.
+    """
+
+    representative_days: tuple
+    hours_per_epoch: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.representative_days:
+            raise ValueError("at least one representative day is required")
+        if HOURS_PER_DAY % self.hours_per_epoch != 0:
+            raise ValueError("hours_per_epoch must divide 24")
+        for day in self.representative_days:
+            if not 0 <= day < DAYS_PER_YEAR:
+                raise ValueError(f"representative day {day} outside the year")
+
+    @classmethod
+    def from_seasons(cls, days_per_season: int = 1, hours_per_epoch: int = 3) -> "EpochGrid":
+        """Pick representative days spread over the four seasons.
+
+        With the defaults this yields 4 days x 8 epochs = 32 epochs, which is
+        what the fast test configurations use; benchmarks use finer grids.
+        """
+        season_centres = (15, 105, 196, 288)  # mid-Jan, mid-Apr, mid-Jul, mid-Oct
+        days: List[int] = []
+        for centre in season_centres:
+            for offset in range(days_per_season):
+                days.append((centre + offset * 7) % DAYS_PER_YEAR)
+        return cls(representative_days=tuple(sorted(days)), hours_per_epoch=hours_per_epoch)
+
+    @property
+    def epochs_per_day(self) -> int:
+        return HOURS_PER_DAY // self.hours_per_epoch
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.representative_days) * self.epochs_per_day
+
+    @property
+    def day_weight(self) -> float:
+        """Number of real days each representative day stands for."""
+        return DAYS_PER_YEAR / len(self.representative_days)
+
+    @property
+    def epoch_hours(self) -> float:
+        """Duration of one epoch in hours (within its representative day)."""
+        return float(self.hours_per_epoch)
+
+    def epoch_weights_hours(self) -> np.ndarray:
+        """Hours of the year represented by each epoch (sums to 8760)."""
+        weight = self.hours_per_epoch * self.day_weight
+        return np.full(self.num_epochs, weight)
+
+    def hour_indices(self) -> np.ndarray:
+        """Hour-of-year index array of shape (num_epochs, hours_per_epoch)."""
+        indices = []
+        for day in self.representative_days:
+            day_start = day * HOURS_PER_DAY
+            for epoch in range(self.epochs_per_day):
+                start = day_start + epoch * self.hours_per_epoch
+                indices.append(np.arange(start, start + self.hours_per_epoch))
+        return np.array(indices)
+
+    def aggregate(self, hourly_values: np.ndarray) -> np.ndarray:
+        """Average an 8760-hour array into the epoch grid."""
+        hourly = np.asarray(hourly_values, dtype=float)
+        indices = self.hour_indices()
+        return hourly[indices].mean(axis=1)
+
+
+@dataclass
+class LocationProfile:
+    """Everything the cost model and the optimiser need about one location."""
+
+    location: Location
+    epochs: EpochGrid
+    solar_alpha: np.ndarray
+    wind_beta: np.ndarray
+    pue: np.ndarray
+    land_price_per_m2: float
+    energy_price_per_kwh: float
+    distance_power_km: float
+    distance_network_km: float
+    near_plant_capacity_kw: float
+
+    def __post_init__(self) -> None:
+        expected = self.epochs.num_epochs
+        for name in ("solar_alpha", "wind_beta", "pue"):
+            array = np.asarray(getattr(self, name), dtype=float)
+            if array.shape != (expected,):
+                raise ValueError(f"profile series {name} must have {expected} epochs")
+            setattr(self, name, array)
+        if np.any(self.pue < 1.0 - 1e-9):
+            raise ValueError("PUE cannot be below 1.0")
+
+    @property
+    def name(self) -> str:
+        return self.location.name
+
+    @property
+    def solar_capacity_factor(self) -> float:
+        return capacity_factor(self.solar_alpha)
+
+    @property
+    def wind_capacity_factor(self) -> float:
+        return capacity_factor(self.wind_beta)
+
+    @property
+    def average_pue(self) -> float:
+        return float(np.mean(self.pue))
+
+    @property
+    def max_pue(self) -> float:
+        return float(np.max(self.pue))
+
+
+class ProfileBuilder:
+    """Build :class:`LocationProfile` objects from a :class:`WorldCatalog`."""
+
+    def __init__(
+        self,
+        catalog: WorldCatalog,
+        solar_model: Optional[SolarPanelModel] = None,
+        wind_model: Optional[WindTurbineModel] = None,
+        pue_model: Optional[PUEModel] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.solar_model = solar_model or SolarPanelModel()
+        self.wind_model = wind_model or WindTurbineModel()
+        self.pue_model = pue_model or PUEModel()
+        self._cache: Dict[tuple, LocationProfile] = {}
+
+    def build(self, location: Location, epochs: EpochGrid) -> LocationProfile:
+        """Build (and cache) the profile of one location on an epoch grid."""
+        key = (location.name, epochs.representative_days, epochs.hours_per_epoch)
+        if key in self._cache:
+            return self._cache[key]
+        tmy = self.catalog.tmy(location)
+        alpha_hourly = self.solar_model.production_fraction(tmy.ghi_w_m2, tmy.temperature_c)
+        beta_hourly = self.wind_model.production_fraction(
+            tmy.wind_speed_m_s, tmy.pressure_kpa, tmy.temperature_c
+        )
+        pue_hourly = self.pue_model.series(tmy.temperature_c)
+
+        # The TMY channels are in local solar time; the optimiser and the
+        # GreenNebula scheduler reason about all locations at the same instant,
+        # so the series are shifted to UTC.  This is what makes the sun "move"
+        # from one candidate location to the next — the effect the
+        # follow-the-renewables solutions exploit.
+        shift = int(round(location.point.longitude / 15.0))
+        alpha = epochs.aggregate(np.roll(alpha_hourly, -shift))
+        beta = epochs.aggregate(np.roll(beta_hourly, -shift))
+        pue = epochs.aggregate(np.roll(pue_hourly, -shift))
+
+        overrides = location.overrides
+        if overrides.solar_capacity_factor is not None:
+            alpha = calibrate_series(alpha, overrides.solar_capacity_factor)
+        if overrides.wind_capacity_factor is not None:
+            beta = calibrate_series(beta, overrides.wind_capacity_factor)
+        if overrides.max_pue is not None:
+            pue = _calibrate_pue(pue, overrides.max_pue, self.pue_model.min_pue)
+
+        profile = LocationProfile(
+            location=location,
+            epochs=epochs,
+            solar_alpha=alpha,
+            wind_beta=beta,
+            pue=pue,
+            land_price_per_m2=self.catalog.land_price_per_m2(location),
+            energy_price_per_kwh=self.catalog.energy_price_per_kwh(location),
+            distance_power_km=self.catalog.distance_to_power_km(location),
+            distance_network_km=self.catalog.distance_to_network_km(location),
+            near_plant_capacity_kw=self.catalog.near_plant_capacity_kw(location),
+        )
+        self._cache[key] = profile
+        return profile
+
+    def build_all(
+        self, epochs: EpochGrid, names: Optional[Iterable[str]] = None
+    ) -> List[LocationProfile]:
+        """Profiles for all (or the named subset of) catalogue locations."""
+        if names is None:
+            locations: Sequence[Location] = self.catalog.locations
+        else:
+            locations = [self.catalog.get(name) for name in names]
+        return [self.build(location, epochs) for location in locations]
+
+
+def _calibrate_pue(pue: np.ndarray, target_max: float, floor: float) -> np.ndarray:
+    """Rescale a PUE series so its maximum equals ``target_max`` (>= floor)."""
+    target_max = max(target_max, floor)
+    overhead = pue - 1.0
+    peak = float(overhead.max())
+    if peak <= 1e-9:
+        return np.full_like(pue, target_max)
+    scaled = 1.0 + overhead * ((target_max - 1.0) / peak)
+    return np.maximum(scaled, 1.0)

@@ -1,0 +1,60 @@
+"""Temperature-driven PUE model (Fig. 4 of the paper).
+
+The paper measured the curve on a free-cooled micro-datacenter (Parasol) with
+a backup direct-expansion air conditioner: the PUE stays near 1.05 while
+outside-air cooling suffices and climbs towards ~1.4 as the external
+temperature approaches 45 degC and the DX unit carries the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PUEModel:
+    """Piecewise-linear PUE as a function of external temperature.
+
+    The default break points reproduce Fig. 4: flat at ``min_pue`` up to
+    ``free_cooling_limit_c``, a gentle slope while the economizer still covers
+    most of the load, then a steep climb to ``max_pue`` at ``peak_temperature_c``.
+    """
+
+    min_pue: float = 1.05
+    max_pue: float = 1.40
+    free_cooling_limit_c: float = 15.0
+    economizer_limit_c: float = 30.0
+    peak_temperature_c: float = 45.0
+    economizer_pue: float = 1.13
+
+    def __post_init__(self) -> None:
+        if self.min_pue < 1.0:
+            raise ValueError("PUE cannot be below 1.0")
+        if not self.min_pue <= self.economizer_pue <= self.max_pue:
+            raise ValueError("economizer PUE must lie between the minimum and maximum PUE")
+        if not self.free_cooling_limit_c < self.economizer_limit_c < self.peak_temperature_c:
+            raise ValueError("temperature break points must be increasing")
+
+    def pue(self, temperature_c: np.ndarray | float) -> np.ndarray | float:
+        """PUE for one or many external temperatures."""
+        temperature = np.asarray(temperature_c, dtype=float)
+        result = np.interp(
+            temperature,
+            [self.free_cooling_limit_c, self.economizer_limit_c, self.peak_temperature_c],
+            [self.min_pue, self.economizer_pue, self.max_pue],
+        )
+        result = np.clip(result, self.min_pue, self.max_pue)
+        if np.isscalar(temperature_c):
+            return float(result)
+        return result
+
+    def series(self, temperature_c: np.ndarray) -> np.ndarray:
+        """Vector alias of :meth:`pue` for clarity at call sites."""
+        return np.asarray(self.pue(temperature_c), dtype=float)
+
+    def curve(self, start_c: float = 15.0, stop_c: float = 45.0, step_c: float = 1.0):
+        """The (temperature, PUE) curve of Fig. 4 as two arrays."""
+        temperatures = np.arange(start_c, stop_c + step_c / 2.0, step_c)
+        return temperatures, self.series(temperatures)

@@ -1,0 +1,71 @@
+"""Geographic coordinates and great-circle distances."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple, TypeVar
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the globe in decimal degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude {self.latitude} out of range [-90, 90]")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude {self.longitude} out of range [-180, 180]")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle (haversine) distance between two points, in kilometres."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    h = min(1.0, h)
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+T = TypeVar("T")
+
+
+def nearest_point(
+    origin: GeoPoint,
+    candidates: Sequence[T],
+    point_of: Optional[callable] = None,
+) -> Tuple[Optional[T], float]:
+    """Return ``(nearest candidate, distance_km)`` from ``origin``.
+
+    ``point_of`` extracts a :class:`GeoPoint` from each candidate; by default
+    the candidate is assumed to expose a ``point`` attribute.  Returns
+    ``(None, inf)`` when ``candidates`` is empty.
+    """
+    if point_of is None:
+        point_of = lambda item: item.point  # noqa: E731 - tiny accessor
+    best: Optional[T] = None
+    best_distance = float("inf")
+    for candidate in candidates:
+        distance = haversine_km(origin, point_of(candidate))
+        if distance < best_distance:
+            best, best_distance = candidate, distance
+    return best, best_distance
+
+
+def bounding_latitudes(points: Iterable[GeoPoint]) -> Tuple[float, float]:
+    """Smallest and largest latitude in an iterable of points."""
+    latitudes = [p.latitude for p in points]
+    if not latitudes:
+        raise ValueError("bounding_latitudes requires at least one point")
+    return min(latitudes), max(latitudes)

@@ -1,0 +1,80 @@
+"""Grid ("brown") electricity pricing (``priceEnergy(d)``).
+
+The paper reports an average grid price of about $90/MWh across its 1373
+locations with substantial regional variation (Table II shows $22/MWh in
+Ukraine up to $126/MWh at Mount Washington).  This module provides a
+deterministic regional price model with per-location overrides for the
+anchor locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.geo.coordinates import GeoPoint
+
+
+@dataclass(frozen=True)
+class RegionalEnergyPrice:
+    """Average grid price for a coarse world region, $/kWh."""
+
+    name: str
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+    price_per_kwh: float
+
+    def contains(self, point: GeoPoint) -> bool:
+        return (
+            self.lat_min <= point.latitude <= self.lat_max
+            and self.lon_min <= point.longitude <= self.lon_max
+        )
+
+
+_DEFAULT_REGIONS = (
+    RegionalEnergyPrice("north-america", 25.0, 60.0, -130.0, -60.0, 0.070),
+    RegionalEnergyPrice("europe", 36.0, 65.0, -10.0, 40.0, 0.110),
+    RegionalEnergyPrice("eastern-europe", 44.0, 60.0, 22.0, 45.0, 0.035),
+    RegionalEnergyPrice("east-asia", 20.0, 50.0, 100.0, 145.0, 0.095),
+    RegionalEnergyPrice("south-america", -40.0, 10.0, -80.0, -35.0, 0.085),
+    RegionalEnergyPrice("africa", -35.0, 35.0, -15.0, 50.0, 0.080),
+    RegionalEnergyPrice("oceania", -45.0, -10.0, 110.0, 155.0, 0.105),
+    RegionalEnergyPrice("south-asia", 5.0, 35.0, 60.0, 100.0, 0.075),
+)
+
+
+@dataclass
+class GridEnergyPricing:
+    """Deterministic grid electricity price model in $/kWh."""
+
+    default_price_per_kwh: float = 0.090
+    seed: int = 13
+    regions: tuple = _DEFAULT_REGIONS
+    _overrides: Dict[str, float] = field(default_factory=dict)
+
+    def set_override(self, location_name: str, price_per_kwh: float) -> None:
+        """Pin the grid price of a named location (used for anchor locations)."""
+        if price_per_kwh < 0:
+            raise ValueError("grid energy price cannot be negative")
+        self._overrides[location_name] = float(price_per_kwh)
+
+    def price_per_kwh(self, name: str, point: GeoPoint) -> float:
+        """Grid electricity price for a location, $/kWh."""
+        if name in self._overrides:
+            return self._overrides[name]
+        base = self.default_price_per_kwh
+        for region in self.regions:
+            if region.contains(point):
+                base = region.price_per_kwh
+                break
+        rng = np.random.default_rng(abs(hash((self.seed, name))) % (2**32))
+        jitter = float(rng.uniform(0.85, 1.25))
+        return float(max(0.015, base * jitter))
+
+    def price_per_mwh(self, name: str, point: GeoPoint) -> float:
+        """Grid electricity price in $/MWh (as quoted in Table II)."""
+        return 1000.0 * self.price_per_kwh(name, point)

@@ -1,0 +1,49 @@
+"""GreenNebula: follow-the-renewables VM placement and migration (Section V).
+
+GreenNebula extends an OpenNebula-like within-datacenter VM manager with:
+
+* a multi-datacenter scheduler that, every hour, predicts green energy 48
+  hours ahead, re-partitions the workload across the datacenters by solving a
+  small brown-energy-minimising optimisation, and orders the required
+  migrations (donors ranked by load to shed, first-fit to the closest
+  receiver, smallest-footprint VMs first);
+* live VM migration over a bandwidth-limited WAN, where applications keep
+  running during the transfer; and
+* GDFS, an HDFS-like multi-datacenter file system with mutable blocks, local
+  writes, remote invalidation and background re-replication, so that a
+  migrating VM only needs to carry its recently modified, not-yet-replicated
+  blocks.
+
+:class:`EmulatedCloud` wires everything to the discrete-event engine and
+reproduces the paper's emulation experiments (Figs. 14-15, Section V-B/C).
+"""
+
+from repro.greennebula.vm import VirtualMachine, VMState
+from repro.greennebula.host import PhysicalHost
+from repro.greennebula.opennebula import OpenNebulaManager, PlacementError
+from repro.greennebula.datacenter import GreenDatacenter
+from repro.greennebula.gdfs import GDFS, BlockReplica, FileMetadata
+from repro.greennebula.prediction import GreenEnergyPredictor
+from repro.greennebula.scheduler import GreenNebulaScheduler, ScheduleDecision
+from repro.greennebula.migration import MigrationPlanner, MigrationRequest, WANLink
+from repro.greennebula.emulation import EmulatedCloud, EmulationConfig
+
+__all__ = [
+    "BlockReplica",
+    "EmulatedCloud",
+    "EmulationConfig",
+    "FileMetadata",
+    "GDFS",
+    "GreenDatacenter",
+    "GreenEnergyPredictor",
+    "GreenNebulaScheduler",
+    "MigrationPlanner",
+    "MigrationRequest",
+    "OpenNebulaManager",
+    "PhysicalHost",
+    "PlacementError",
+    "ScheduleDecision",
+    "VirtualMachine",
+    "VMState",
+    "WANLink",
+]

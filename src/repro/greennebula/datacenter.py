@@ -1,0 +1,117 @@
+"""A green datacenter as seen by GreenNebula.
+
+Each datacenter bundles its OpenNebula manager (hosts and VMs), its location
+profile (for PUE and green-energy availability), and its installed solar/wind
+capacity.  GreenNebula's scheduler only needs a handful of quantities from a
+datacenter: its current load (power), the green power it will produce over the
+next scheduling window, its PUE, and its remaining capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.energy.profiles import LocationProfile
+from repro.greennebula.host import PhysicalHost
+from repro.greennebula.opennebula import OpenNebulaManager
+from repro.greennebula.vm import VirtualMachine
+
+
+@dataclass
+class GreenDatacenter:
+    """One datacenter of the follow-the-renewables service."""
+
+    name: str
+    profile: LocationProfile
+    it_capacity_kw: float
+    solar_kw: float = 0.0
+    wind_kw: float = 0.0
+    battery_kwh: float = 0.0
+    manager: OpenNebulaManager = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.it_capacity_kw <= 0:
+            raise ValueError("the datacenter IT capacity must be positive")
+        if min(self.solar_kw, self.wind_kw, self.battery_kwh) < 0:
+            raise ValueError("installed capacities cannot be negative")
+        if self.manager is None:
+            self.manager = OpenNebulaManager(datacenter_name=self.name)
+
+    # -- host provisioning -----------------------------------------------------------
+    def provision_hosts(self, count: int, cores: int = 4, memory_mb: float = 6144.0) -> None:
+        """Add ``count`` identical physical hosts to the datacenter."""
+        if count < 0:
+            raise ValueError("cannot provision a negative number of hosts")
+        existing = len(self.manager.hosts)
+        for index in range(count):
+            self.manager.add_host(
+                PhysicalHost(
+                    name=f"{self.name}-host-{existing + index:05d}",
+                    cpu_cores=cores,
+                    memory_mb=memory_mb,
+                )
+            )
+
+    # -- load ---------------------------------------------------------------------------
+    @property
+    def vm_power_kw(self) -> float:
+        return self.manager.vm_power_kw
+
+    @property
+    def it_power_kw(self) -> float:
+        return self.manager.it_power_kw
+
+    @property
+    def num_vms(self) -> int:
+        return self.manager.num_vms
+
+    def vms(self) -> List[VirtualMachine]:
+        return self.manager.vms()
+
+    @property
+    def headroom_kw(self) -> float:
+        """IT power capacity not currently used by VMs."""
+        return max(0.0, self.it_capacity_kw - self.vm_power_kw)
+
+    # -- environment -----------------------------------------------------------------------
+    def epoch_index(self, hour_of_year: float) -> int:
+        """Map an absolute simulation hour onto the profile's epoch grid.
+
+        The emulation runs over the representative days of the profile's epoch
+        grid, so the mapping wraps around the grid cyclically.
+        """
+        epochs = self.profile.epochs
+        total = epochs.num_epochs
+        index = int(hour_of_year // epochs.hours_per_epoch) % total
+        return index
+
+    def green_power_kw(self, hour_of_year: float) -> float:
+        """On-site green power produced at the given simulation hour."""
+        index = self.epoch_index(hour_of_year)
+        return float(
+            self.profile.solar_alpha[index] * self.solar_kw
+            + self.profile.wind_beta[index] * self.wind_kw
+        )
+
+    def green_power_forecast_kw(self, hour_of_year: float, horizon_hours: int) -> np.ndarray:
+        """Green power for each of the next ``horizon_hours`` hours."""
+        if horizon_hours <= 0:
+            raise ValueError("the forecast horizon must be positive")
+        return np.array(
+            [self.green_power_kw(hour_of_year + offset) for offset in range(horizon_hours)]
+        )
+
+    def pue(self, hour_of_year: float) -> float:
+        """PUE during the epoch containing the given hour."""
+        return float(self.profile.pue[self.epoch_index(hour_of_year)])
+
+    def facility_power_kw(self, hour_of_year: float, extra_it_kw: float = 0.0) -> float:
+        """Total facility power: (IT load + migration overhead) times PUE."""
+        return (self.it_power_kw + extra_it_kw) * self.pue(hour_of_year)
+
+    def brown_power_kw(self, hour_of_year: float, extra_it_kw: float = 0.0) -> float:
+        """Grid power needed after on-site green production is used."""
+        return max(0.0, self.facility_power_kw(hour_of_year, extra_it_kw) - self.green_power_kw(hour_of_year))

@@ -1,0 +1,326 @@
+"""Emulation harness for GreenNebula (Section V-B/C).
+
+The paper validates GreenNebula by emulating three datacenters with three
+physical servers hosting nine VirtualBox VMs.  Here the emulation is driven
+by the discrete-event engine: each datacenter is a :class:`GreenDatacenter`
+with hosts, VMs, a share of the network's green plants, and the GDFS file
+system; the scheduler runs every hour, migrations are executed over
+bandwidth-limited WAN links, and a trace records the per-hour load, PUE
+overhead, migration overhead and green availability that Fig. 15 plots.
+
+The emulated fleet is tiny compared to the 50 MW service the siting study
+provisions, so the green plants of a :class:`~repro.core.solution.NetworkPlan`
+are scaled down proportionally when the harness is built from a plan — the
+follow-the-renewables behaviour is unchanged by the scaling because both the
+demand and the supply shrink by the same factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.solution import NetworkPlan
+from repro.energy.profiles import LocationProfile
+from repro.greennebula.datacenter import GreenDatacenter
+from repro.greennebula.gdfs import GDFS
+from repro.greennebula.migration import MigrationPlanner, MigrationRequest, WANLink
+from repro.greennebula.prediction import GreenEnergyPredictor
+from repro.greennebula.scheduler import GreenNebulaScheduler, ScheduleDecision
+from repro.greennebula.vm import VirtualMachine, VMState
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.trace import TraceRecorder
+from repro.simulation.workload import HPCWorkloadGenerator, VMSpec
+
+
+@dataclass
+class DatacenterSpec:
+    """Provisioning of one emulated datacenter."""
+
+    name: str
+    profile: LocationProfile
+    it_capacity_kw: float
+    solar_kw: float = 0.0
+    wind_kw: float = 0.0
+    battery_kwh: float = 0.0
+
+
+@dataclass
+class EmulationConfig:
+    """Configuration of an emulation run."""
+
+    num_vms: int = 9
+    duration_hours: int = 24
+    start_hour: float = 0.0
+    scheduler_horizon_hours: int = 48
+    wan_bandwidth_mb_per_hour: float = 750.0
+    gdfs_replication_factor: int = 2
+    prediction_noise_std: float = 0.0
+    seed: int = 0
+    initial_datacenter: Optional[str] = None  #: where all VMs start (first DC when None)
+
+    def __post_init__(self) -> None:
+        if self.num_vms < 1:
+            raise ValueError("the emulation needs at least one VM")
+        if self.duration_hours < 1:
+            raise ValueError("the emulation must run for at least one hour")
+        if self.wan_bandwidth_mb_per_hour <= 0:
+            raise ValueError("the WAN bandwidth must be positive")
+
+
+@dataclass
+class EmulationSummary:
+    """Aggregate results of an emulation run."""
+
+    total_hours: int
+    total_migrations: int
+    migrated_state_mb: float
+    total_green_used_kwh: float
+    total_brown_kwh: float
+    mean_schedule_time_s: float
+    green_fraction: float
+
+
+class EmulatedCloud:
+    """A multi-datacenter GreenNebula deployment driven by the event engine."""
+
+    def __init__(
+        self,
+        specs: Sequence[DatacenterSpec],
+        config: Optional[EmulationConfig] = None,
+    ) -> None:
+        if not specs:
+            raise ValueError("the emulation needs at least one datacenter")
+        self.config = config or EmulationConfig()
+        self.datacenters: List[GreenDatacenter] = []
+        for spec in specs:
+            dc = GreenDatacenter(
+                name=spec.name,
+                profile=spec.profile,
+                it_capacity_kw=spec.it_capacity_kw,
+                solar_kw=spec.solar_kw,
+                wind_kw=spec.wind_kw,
+                battery_kwh=spec.battery_kwh,
+            )
+            self.datacenters.append(dc)
+        self._by_name = {dc.name: dc for dc in self.datacenters}
+
+        self.engine = SimulationEngine(start_time=self.config.start_hour)
+        self.trace = TraceRecorder()
+        self.gdfs = GDFS(
+            [dc.name for dc in self.datacenters],
+            replication_factor=min(self.config.gdfs_replication_factor, len(self.datacenters)),
+        )
+        self.planner = MigrationPlanner(
+            default_bandwidth_mb_per_hour=self.config.wan_bandwidth_mb_per_hour
+        )
+        self.predictor = GreenEnergyPredictor(
+            horizon_hours=self.config.scheduler_horizon_hours,
+            noise_std=self.config.prediction_noise_std,
+            seed=self.config.seed,
+        )
+        self.scheduler = GreenNebulaScheduler(
+            self.datacenters,
+            predictor=self.predictor,
+            planner=self.planner,
+            horizon_hours=self.config.scheduler_horizon_hours,
+        )
+        self.vms: Dict[str, VirtualMachine] = {}
+        self.decisions: List[ScheduleDecision] = []
+        self._in_flight: List[MigrationRequest] = []
+        self._migration_overhead_kw: Dict[str, float] = {dc.name: 0.0 for dc in self.datacenters}
+        self._deploy_workload()
+
+    # -- construction helpers ---------------------------------------------------------
+    @classmethod
+    def from_network_plan(
+        cls,
+        plan: NetworkPlan,
+        config: Optional[EmulationConfig] = None,
+    ) -> "EmulatedCloud":
+        """Build an emulation whose datacenters mirror a siting solution.
+
+        The plan's IT capacity and green plants are scaled down so the tiny
+        emulated VM fleet plays the role of the full service (the ratios
+        between datacenters, and between supply and demand, are preserved).
+        """
+        config = config or EmulationConfig()
+        fleet_power_kw = config.num_vms * VMSpec(name="probe").power_kw
+        scale = fleet_power_kw / max(plan.total_capacity_kw, 1e-9)
+        specs = [
+            DatacenterSpec(
+                name=dc.name,
+                profile=dc.profile,
+                it_capacity_kw=max(dc.capacity_kw * scale, fleet_power_kw),
+                solar_kw=dc.solar_kw * scale,
+                wind_kw=dc.wind_kw * scale,
+                battery_kwh=dc.battery_kwh * scale,
+            )
+            for dc in plan.datacenters
+        ]
+        return cls(specs, config)
+
+    def _deploy_workload(self) -> None:
+        config = self.config
+        generator = HPCWorkloadGenerator(seed=config.seed)
+        fleet = generator.homogeneous_fleet(config.num_vms)
+        start_name = config.initial_datacenter or self.datacenters[0].name
+        if start_name not in self._by_name:
+            raise KeyError(f"initial datacenter {start_name!r} is not part of the emulation")
+        start_dc = self._by_name[start_name]
+        hosts_needed = max(1, int(np.ceil(config.num_vms / 4)))
+        for dc in self.datacenters:
+            dc.provision_hosts(hosts_needed)
+        for spec in fleet:
+            vm = VirtualMachine(spec=spec)
+            vm.gdfs_file = f"{spec.name}.img"
+            self.gdfs.create_file(vm.gdfs_file, spec.disk_gb * 1024.0, start_name)
+            start_dc.manager.deploy(vm)
+            self.vms[vm.name] = vm
+
+    # -- simulation loop -----------------------------------------------------------------
+    def run(self) -> EmulationSummary:
+        """Run the emulation for the configured duration and return a summary."""
+        config = self.config
+        self.engine.schedule_every(1.0, self._hourly_pass, name="hourly-pass", priority=0)
+        self.engine.run_until(config.start_hour + config.duration_hours - 1e-9)
+        return self.summary()
+
+    def _hourly_pass(self, engine: SimulationEngine) -> None:
+        hour = engine.now
+        self._complete_migrations(hour)
+        decision = self.scheduler.schedule(hour)
+        self.decisions.append(decision)
+        self._start_migrations(decision, hour)
+        self._record_hour(hour, decision)
+        self._advance_workload(1.0)
+
+    # -- migrations ---------------------------------------------------------------------------
+    def _start_migrations(self, decision: ScheduleDecision, hour: float) -> None:
+        for request in decision.migrations:
+            vm = self.vms[request.vm_name]
+            if vm.state is not VMState.RUNNING:
+                continue
+            vm.start_migration()
+            if vm.gdfs_file is not None:
+                self.gdfs.transfer_for_migration(vm.gdfs_file, request.source, request.destination)
+            self._in_flight.append(request)
+            # The migrating load consumes energy at the receiver too while it
+            # is being brought up (the paper's pessimistic accounting).
+            self._migration_overhead_kw[request.destination] += request.power_kw
+            self.trace.record(
+                hour,
+                "migration",
+                vm=request.vm_name,
+                source=request.source,
+                destination=request.destination,
+                state_mb=request.state_mb,
+                duration_hours=request.duration_hours,
+            )
+
+    def _complete_migrations(self, hour: float) -> None:
+        for request in self._in_flight:
+            vm = self.vms[request.vm_name]
+            if vm.state is not VMState.MIGRATING:
+                continue
+            source_dc = self._by_name[request.source]
+            destination_dc = self._by_name[request.destination]
+            source_host_name = vm.host
+            source_dc.manager.undeploy(vm.name)
+            destination_host = next(
+                (h for h in destination_dc.manager.hosts.values() if h.can_host(vm)), None
+            )
+            if destination_host is None:
+                # No room at the receiver after all: abort and keep the VM home.
+                source_dc.manager.host(source_host_name).attach(vm)
+                vm.state = VMState.RUNNING
+            else:
+                destination_host.attach(vm)
+                vm.finish_migration(destination_dc.name, destination_host.name)
+                vm.flush_dirty_data()
+            self._migration_overhead_kw[request.destination] = max(
+                0.0, self._migration_overhead_kw[request.destination] - request.power_kw
+            )
+        self._in_flight.clear()
+
+    # -- workload progression ----------------------------------------------------------------------
+    def _advance_workload(self, hours: float) -> None:
+        for vm in self.vms.values():
+            dirty_before = vm.dirty_data_mb
+            vm.accumulate_dirty_data(hours)
+            written_mb = vm.dirty_data_mb - dirty_before
+            if vm.gdfs_file is not None and written_mb > 0 and vm.datacenter is not None:
+                blocks = max(1, int(written_mb // self.gdfs.block_size_mb))
+                metadata = self.gdfs.file(vm.gdfs_file)
+                for index in range(blocks):
+                    block = index % max(1, metadata.num_blocks)
+                    self.gdfs.write(vm.gdfs_file, block, vm.datacenter)
+        self.gdfs.replicate_step(max_blocks=8)
+
+    # -- tracing and summaries ------------------------------------------------------------------------
+    def _record_hour(self, hour: float, decision: ScheduleDecision) -> None:
+        for dc in self.datacenters:
+            load_kw = dc.vm_power_kw
+            migration_kw = self._migration_overhead_kw[dc.name]
+            pue = dc.pue(hour)
+            green_kw = dc.green_power_kw(hour)
+            facility_kw = (load_kw + migration_kw) * pue
+            brown_kw = max(0.0, facility_kw - green_kw)
+            self.trace.record(
+                hour,
+                "datacenter",
+                datacenter=dc.name,
+                load_kw=load_kw,
+                migration_kw=migration_kw,
+                pue=pue,
+                pue_overhead_kw=(load_kw + migration_kw) * (pue - 1.0),
+                green_available_kw=green_kw,
+                facility_kw=facility_kw,
+                brown_kw=brown_kw,
+                num_vms=dc.num_vms,
+            )
+        self.trace.record(
+            hour,
+            "schedule",
+            solve_time_s=decision.solve_time_seconds,
+            migrations=len(decision.migrations),
+            predicted_brown_kwh=decision.predicted_brown_kwh,
+        )
+
+    def summary(self) -> EmulationSummary:
+        """Aggregate the trace into the quantities reported in Section V."""
+        dc_records = self.trace.of_kind("datacenter")
+        total_green_used = 0.0
+        total_brown = 0.0
+        for record in dc_records:
+            facility = record["facility_kw"]
+            green = min(record["green_available_kw"], facility)
+            total_green_used += green
+            total_brown += record["brown_kw"]
+        migration_records = self.trace.of_kind("migration")
+        schedule_records = self.trace.of_kind("schedule")
+        solve_times = [record["solve_time_s"] for record in schedule_records]
+        total_energy = total_green_used + total_brown
+        return EmulationSummary(
+            total_hours=self.config.duration_hours,
+            total_migrations=len(migration_records),
+            migrated_state_mb=float(sum(r["state_mb"] for r in migration_records)),
+            total_green_used_kwh=total_green_used,
+            total_brown_kwh=total_brown,
+            mean_schedule_time_s=float(np.mean(solve_times)) if solve_times else 0.0,
+            green_fraction=(total_green_used / total_energy) if total_energy > 0 else 0.0,
+        )
+
+    # -- convenience accessors -----------------------------------------------------------------------------
+    def datacenter(self, name: str) -> GreenDatacenter:
+        return self._by_name[name]
+
+    def load_series(self, name: str) -> List[float]:
+        """Per-hour VM load (kW) of one datacenter, from the trace."""
+        return [
+            record["load_kw"]
+            for record in self.trace.of_kind("datacenter")
+            if record["datacenter"] == name
+        ]

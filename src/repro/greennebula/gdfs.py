@@ -1,0 +1,266 @@
+"""GDFS: GreenNebula's multi-datacenter distributed file system.
+
+The design follows the paper's description: like HDFS there is one master
+holding name bindings and block metadata while the datacenters store block
+replicas, but unlike HDFS files are mutable.  A write goes to the local
+replica and *invalidates* the remote replicas (metadata update at the
+master); if there is no valid local replica and the write does not cover a
+whole block, the block is first fetched from another datacenter.  Written
+blocks are re-replicated in the background.  The payoff for migration is that
+a migrating VM only needs to carry the recently modified blocks that have not
+been re-replicated yet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_BLOCK_SIZE_MB = 64.0
+
+
+@dataclass
+class BlockReplica:
+    """State of one block replica at one datacenter."""
+
+    datacenter: str
+    valid: bool = True
+    dirty: bool = False  #: modified locally and not yet re-replicated elsewhere
+
+
+@dataclass
+class FileMetadata:
+    """Master-side metadata of one GDFS file."""
+
+    name: str
+    size_mb: float
+    block_size_mb: float
+    replicas: Dict[int, Dict[str, BlockReplica]] = field(default_factory=dict)
+
+    @property
+    def num_blocks(self) -> int:
+        if self.size_mb <= 0:
+            return 0
+        return int(math.ceil(self.size_mb / self.block_size_mb))
+
+    def block_indices(self) -> List[int]:
+        return list(range(self.num_blocks))
+
+
+@dataclass
+class TransferLog:
+    """Bytes moved across the WAN, grouped by reason (for the validation tests)."""
+
+    fetch_mb: float = 0.0
+    replication_mb: float = 0.0
+    migration_mb: float = 0.0
+
+    @property
+    def total_mb(self) -> float:
+        return self.fetch_mb + self.replication_mb + self.migration_mb
+
+
+class GDFS:
+    """The GreenNebula distributed file system (master view).
+
+    Parameters
+    ----------
+    datacenters:
+        Names of the participating datacenters.
+    replication_factor:
+        Number of datacenters that hold a replica of each block.
+    block_size_mb:
+        Size of a data block.
+    """
+
+    def __init__(
+        self,
+        datacenters: List[str],
+        replication_factor: int = 2,
+        block_size_mb: float = DEFAULT_BLOCK_SIZE_MB,
+    ) -> None:
+        if not datacenters:
+            raise ValueError("GDFS needs at least one datacenter")
+        if len(set(datacenters)) != len(datacenters):
+            raise ValueError("datacenter names must be unique")
+        if replication_factor < 1:
+            raise ValueError("the replication factor must be at least 1")
+        if replication_factor > len(datacenters):
+            raise ValueError("cannot replicate to more datacenters than exist")
+        if block_size_mb <= 0:
+            raise ValueError("the block size must be positive")
+        self.datacenters = list(datacenters)
+        self.replication_factor = replication_factor
+        self.block_size_mb = block_size_mb
+        self.files: Dict[str, FileMetadata] = {}
+        self.transfers = TransferLog()
+
+    # -- namespace -------------------------------------------------------------------
+    def create_file(self, name: str, size_mb: float, primary_datacenter: str) -> FileMetadata:
+        """Create a file with all blocks initially replicated from the primary."""
+        if name in self.files:
+            raise ValueError(f"GDFS file {name!r} already exists")
+        if size_mb < 0:
+            raise ValueError("the file size cannot be negative")
+        self._check_datacenter(primary_datacenter)
+        metadata = FileMetadata(name=name, size_mb=size_mb, block_size_mb=self.block_size_mb)
+        placement = self._replica_placement(primary_datacenter)
+        for block in range(self._block_count(size_mb)):
+            metadata.replicas[block] = {
+                dc: BlockReplica(datacenter=dc, valid=True, dirty=False) for dc in placement
+            }
+        self.files[name] = metadata
+        return metadata
+
+    def delete_file(self, name: str) -> None:
+        self.files.pop(name, None)
+
+    def file(self, name: str) -> FileMetadata:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise KeyError(f"no GDFS file named {name!r}") from None
+
+    # -- reads and writes ------------------------------------------------------------------
+    def read(self, name: str, block: int, datacenter: str) -> float:
+        """Read a block from a datacenter; returns the WAN traffic incurred (MB)."""
+        self._check_datacenter(datacenter)
+        metadata = self.file(name)
+        replicas = self._block_replicas(metadata, block)
+        local = replicas.get(datacenter)
+        if local is not None and local.valid:
+            return 0.0
+        # Remote fetch from any valid replica.
+        if not any(replica.valid for replica in replicas.values()):
+            raise RuntimeError(f"block {block} of {name!r} has no valid replica")
+        self.transfers.fetch_mb += self.block_size_mb
+        replicas[datacenter] = BlockReplica(datacenter=datacenter, valid=True, dirty=False)
+        return self.block_size_mb
+
+    def write(
+        self, name: str, block: int, datacenter: str, partial: bool = False
+    ) -> float:
+        """Write a block at a datacenter; returns the WAN traffic incurred (MB).
+
+        The local replica becomes the only valid one (remote replicas are
+        invalidated through the master).  A *partial* write without a valid
+        local replica first fetches the block from a remote datacenter, which
+        is the only case in which a write generates WAN traffic.
+        """
+        self._check_datacenter(datacenter)
+        metadata = self.file(name)
+        replicas = self._block_replicas(metadata, block)
+        traffic = 0.0
+        local = replicas.get(datacenter)
+        if partial and (local is None or not local.valid):
+            traffic += self.read(name, block, datacenter)
+            replicas = self._block_replicas(metadata, block)
+        for dc, replica in list(replicas.items()):
+            if dc != datacenter:
+                replica.valid = False
+                replica.dirty = False
+        replicas[datacenter] = BlockReplica(datacenter=datacenter, valid=True, dirty=True)
+        return traffic
+
+    # -- background re-replication -----------------------------------------------------------
+    def dirty_blocks(self, datacenter: Optional[str] = None) -> List[Tuple[str, int]]:
+        """Blocks whose only valid, unreplicated copy is at ``datacenter`` (or anywhere)."""
+        result: List[Tuple[str, int]] = []
+        for name, metadata in self.files.items():
+            for block, replicas in metadata.replicas.items():
+                for dc, replica in replicas.items():
+                    if replica.dirty and replica.valid and (datacenter is None or dc == datacenter):
+                        result.append((name, block))
+                        break
+        return result
+
+    def replicate_step(self, max_blocks: int = 16) -> float:
+        """Re-replicate up to ``max_blocks`` dirty blocks; returns WAN traffic (MB)."""
+        if max_blocks <= 0:
+            raise ValueError("max_blocks must be positive")
+        traffic = 0.0
+        replicated = 0
+        for name, metadata in self.files.items():
+            for block, replicas in metadata.replicas.items():
+                if replicated >= max_blocks:
+                    return traffic
+                dirty_home = next(
+                    (dc for dc, replica in replicas.items() if replica.dirty and replica.valid),
+                    None,
+                )
+                if dirty_home is None:
+                    continue
+                placement = self._replica_placement(dirty_home)
+                for dc in placement:
+                    if dc == dirty_home:
+                        continue
+                    replicas[dc] = BlockReplica(datacenter=dc, valid=True, dirty=False)
+                    traffic += self.block_size_mb
+                    self.transfers.replication_mb += self.block_size_mb
+                replicas[dirty_home].dirty = False
+                replicated += 1
+        return traffic
+
+    # -- migration support ---------------------------------------------------------------------
+    def unreplicated_data_mb(self, name: str, datacenter: str) -> float:
+        """Data a VM migration must carry: dirty blocks valid only at ``datacenter``."""
+        metadata = self.file(name)
+        total = 0.0
+        for replicas in metadata.replicas.values():
+            local = replicas.get(datacenter)
+            if local is not None and local.valid and local.dirty:
+                total += self.block_size_mb
+        return total
+
+    def transfer_for_migration(self, name: str, source: str, destination: str) -> float:
+        """Move the unreplicated blocks of a file with its migrating VM.
+
+        Returns the WAN traffic (MB).  After the transfer the destination
+        holds valid copies of every moved block.
+        """
+        self._check_datacenter(source)
+        self._check_datacenter(destination)
+        metadata = self.file(name)
+        traffic = 0.0
+        for replicas in metadata.replicas.values():
+            local = replicas.get(source)
+            if local is not None and local.valid and local.dirty:
+                replicas[destination] = BlockReplica(datacenter=destination, valid=True, dirty=True)
+                local.dirty = False
+                traffic += self.block_size_mb
+                self.transfers.migration_mb += self.block_size_mb
+        return traffic
+
+    # -- invariants (used by property-based tests) ------------------------------------------------
+    def check_invariants(self) -> List[str]:
+        """Return a list of invariant violations (empty when healthy)."""
+        problems: List[str] = []
+        for name, metadata in self.files.items():
+            for block, replicas in metadata.replicas.items():
+                valid = [dc for dc, replica in replicas.items() if replica.valid]
+                if not valid:
+                    problems.append(f"{name}[{block}] has no valid replica")
+                unknown = set(replicas) - set(self.datacenters)
+                if unknown:
+                    problems.append(f"{name}[{block}] has replicas at unknown datacenters {unknown}")
+        return problems
+
+    # -- helpers ------------------------------------------------------------------------------------
+    def _block_count(self, size_mb: float) -> int:
+        if size_mb <= 0:
+            return 0
+        return int(math.ceil(size_mb / self.block_size_mb))
+
+    def _block_replicas(self, metadata: FileMetadata, block: int) -> Dict[str, BlockReplica]:
+        if block not in metadata.replicas:
+            raise KeyError(f"file {metadata.name!r} has no block {block}")
+        return metadata.replicas[block]
+
+    def _replica_placement(self, primary: str) -> List[str]:
+        others = [dc for dc in self.datacenters if dc != primary]
+        return [primary] + others[: self.replication_factor - 1]
+
+    def _check_datacenter(self, name: str) -> None:
+        if name not in self.datacenters:
+            raise KeyError(f"unknown datacenter {name!r}")

@@ -1,0 +1,83 @@
+"""Physical machines inside a datacenter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.greennebula.vm import VirtualMachine
+
+
+@dataclass
+class PhysicalHost:
+    """A physical machine that hosts VMs.
+
+    The host model matches the paper's server instantiation: a fixed number
+    of cores and a memory capacity, an idle power draw plus the per-VM power
+    of the VMs it hosts.
+    """
+
+    name: str
+    cpu_cores: int = 4
+    memory_mb: float = 6144.0
+    idle_power_kw: float = 0.120
+    vms: Dict[str, VirtualMachine] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores <= 0:
+            raise ValueError("a host needs at least one core")
+        if self.memory_mb <= 0:
+            raise ValueError("a host needs memory")
+        if self.idle_power_kw < 0:
+            raise ValueError("idle power cannot be negative")
+
+    # -- capacity accounting -----------------------------------------------------
+    @property
+    def used_cores(self) -> int:
+        return sum(vm.spec.virtual_cpus for vm in self.vms.values())
+
+    @property
+    def used_memory_mb(self) -> float:
+        return sum(vm.spec.memory_mb for vm in self.vms.values())
+
+    @property
+    def free_cores(self) -> int:
+        return self.cpu_cores - self.used_cores
+
+    @property
+    def free_memory_mb(self) -> float:
+        return self.memory_mb - self.used_memory_mb
+
+    def can_host(self, vm: VirtualMachine) -> bool:
+        """True when the VM fits in the remaining CPU and memory."""
+        return (
+            vm.spec.virtual_cpus <= self.free_cores
+            and vm.spec.memory_mb <= self.free_memory_mb + 1e-9
+        )
+
+    # -- placement ------------------------------------------------------------------
+    def attach(self, vm: VirtualMachine) -> None:
+        """Place a VM on this host."""
+        if vm.name in self.vms:
+            raise ValueError(f"VM {vm.name} is already on host {self.name}")
+        if not self.can_host(vm):
+            raise ValueError(f"host {self.name} cannot fit VM {vm.name}")
+        self.vms[vm.name] = vm
+
+    def detach(self, vm_name: str) -> VirtualMachine:
+        """Remove a VM from this host and return it."""
+        try:
+            return self.vms.pop(vm_name)
+        except KeyError:
+            raise KeyError(f"VM {vm_name} is not on host {self.name}") from None
+
+    # -- power ------------------------------------------------------------------------
+    @property
+    def power_kw(self) -> float:
+        """Current power draw: idle power plus the hosted VMs."""
+        if not self.vms:
+            return self.idle_power_kw
+        return self.idle_power_kw + sum(vm.power_kw for vm in self.vms.values())
+
+    def vm_list(self) -> List[VirtualMachine]:
+        return list(self.vms.values())

@@ -1,0 +1,190 @@
+"""Live VM migration across datacenters.
+
+Two pieces live here:
+
+* :class:`WANLink` — the bandwidth-limited wide-area link between two
+  datacenters.  The paper measured that, over a VPN between Barcelona and
+  Piscataway, GreenNebula migrates VMs whose memory plus unreplicated disk
+  state totals ~750 MB in under an hour; the default link bandwidth matches
+  that observation.
+* :class:`MigrationPlanner` — turns the scheduler's per-datacenter load
+  targets into an ordered list of VM migrations, using the paper's policy:
+  donors are processed in decreasing order of load to shed, each donor sends
+  to the closest receiver that still needs load (first fit), and within a
+  donor the VMs with the smallest memory/disk footprints move first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.geo.coordinates import haversine_km
+from repro.greennebula.datacenter import GreenDatacenter
+from repro.greennebula.vm import VirtualMachine
+
+
+@dataclass(frozen=True)
+class WANLink:
+    """A wide-area network path between two datacenters."""
+
+    source: str
+    destination: str
+    bandwidth_mb_per_hour: float = 750.0
+    latency_ms: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("a WAN link must connect two different datacenters")
+        if self.bandwidth_mb_per_hour <= 0:
+            raise ValueError("the link bandwidth must be positive")
+        if self.latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+
+    def transfer_hours(self, data_mb: float) -> float:
+        """Time to move ``data_mb`` over the link."""
+        if data_mb < 0:
+            raise ValueError("cannot transfer a negative amount of data")
+        return data_mb / self.bandwidth_mb_per_hour
+
+
+@dataclass
+class MigrationRequest:
+    """One planned VM migration."""
+
+    vm_name: str
+    source: str
+    destination: str
+    state_mb: float
+    power_kw: float
+    duration_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("a migration must change datacenters")
+        if self.state_mb < 0 or self.power_kw < 0 or self.duration_hours < 0:
+            raise ValueError("migration quantities cannot be negative")
+
+
+class MigrationPlanner:
+    """Builds migration schedules from load-shift targets.
+
+    Parameters
+    ----------
+    default_bandwidth_mb_per_hour:
+        Bandwidth assumed for datacenter pairs without an explicit link.
+    """
+
+    def __init__(
+        self,
+        links: Optional[Sequence[WANLink]] = None,
+        default_bandwidth_mb_per_hour: float = 750.0,
+    ) -> None:
+        if default_bandwidth_mb_per_hour <= 0:
+            raise ValueError("the default bandwidth must be positive")
+        self.default_bandwidth = default_bandwidth_mb_per_hour
+        self._links: Dict[Tuple[str, str], WANLink] = {}
+        for link in links or []:
+            self.add_link(link)
+
+    def add_link(self, link: WANLink) -> None:
+        self._links[(link.source, link.destination)] = link
+        self._links[(link.destination, link.source)] = WANLink(
+            source=link.destination,
+            destination=link.source,
+            bandwidth_mb_per_hour=link.bandwidth_mb_per_hour,
+            latency_ms=link.latency_ms,
+        )
+
+    def link(self, source: str, destination: str) -> WANLink:
+        key = (source, destination)
+        if key not in self._links:
+            self._links[key] = WANLink(
+                source=source,
+                destination=destination,
+                bandwidth_mb_per_hour=self.default_bandwidth,
+            )
+        return self._links[key]
+
+    # -- planning -----------------------------------------------------------------------
+    def plan(
+        self,
+        datacenters: Sequence[GreenDatacenter],
+        target_power_kw: Mapping[str, float],
+    ) -> List[MigrationRequest]:
+        """Plan migrations so each datacenter's VM power approaches its target.
+
+        ``target_power_kw`` maps datacenter names to the VM power the
+        scheduler wants placed there for the next window.  Donors (current
+        power above target) are ordered by decreasing excess; receivers are
+        tried closest-first; within a donor, the smallest-footprint VMs are
+        chosen first, and VMs move until the donor's excess is covered.
+        """
+        by_name = {dc.name: dc for dc in datacenters}
+        unknown = set(target_power_kw) - set(by_name)
+        if unknown:
+            raise KeyError(f"targets refer to unknown datacenters: {sorted(unknown)}")
+
+        excess: Dict[str, float] = {}
+        deficit: Dict[str, float] = {}
+        for name, dc in by_name.items():
+            target = float(target_power_kw.get(name, dc.vm_power_kw))
+            delta = dc.vm_power_kw - target
+            if delta > 1e-9:
+                excess[name] = delta
+            elif delta < -1e-9:
+                deficit[name] = -delta
+
+        migrations: List[MigrationRequest] = []
+        # Donors in decreasing order of the load (power) they must shed.
+        for donor_name in sorted(excess, key=lambda name: -excess[name]):
+            donor = by_name[donor_name]
+            to_shed = excess[donor_name]
+            candidate_vms = sorted(
+                donor.vms(), key=lambda vm: (vm.migration_state_mb, vm.name)
+            )
+            # Receivers closest to the donor first.
+            receivers = sorted(
+                deficit,
+                key=lambda name: haversine_km(
+                    donor.profile.location.point, by_name[name].profile.location.point
+                ),
+            )
+            for receiver_name in receivers:
+                if to_shed <= 1e-9:
+                    break
+                receiver = by_name[receiver_name]
+                need = deficit.get(receiver_name, 0.0)
+                while to_shed > 1e-9 and need > 1e-9 and candidate_vms:
+                    vm = candidate_vms.pop(0)
+                    if vm.power_kw <= 0:
+                        continue
+                    if not receiver.manager.can_accept(vm):
+                        continue
+                    link = self.link(donor_name, receiver_name)
+                    state_mb = vm.migration_state_mb
+                    migrations.append(
+                        MigrationRequest(
+                            vm_name=vm.name,
+                            source=donor_name,
+                            destination=receiver_name,
+                            state_mb=state_mb,
+                            power_kw=vm.power_kw,
+                            duration_hours=link.transfer_hours(state_mb),
+                        )
+                    )
+                    to_shed -= vm.power_kw
+                    need -= vm.power_kw
+                deficit[receiver_name] = max(0.0, need)
+        return migrations
+
+    # -- accounting ------------------------------------------------------------------------
+    @staticmethod
+    def migrated_power_kw(migrations: Sequence[MigrationRequest]) -> float:
+        """Total VM power moved by a migration schedule."""
+        return float(sum(m.power_kw for m in migrations))
+
+    @staticmethod
+    def migrated_state_mb(migrations: Sequence[MigrationRequest]) -> float:
+        """Total memory + unreplicated disk state moved by a schedule."""
+        return float(sum(m.state_mb for m in migrations))

@@ -1,0 +1,104 @@
+"""Within-datacenter VM management (the OpenNebula role).
+
+GreenNebula is built around OpenNebula, which handles VM placement *inside* a
+datacenter.  This module emulates the slice of OpenNebula functionality that
+GreenNebula relies on: deploying a VM onto a host (first-fit), undeploying it,
+listing the VMs, and reporting the IT power draw — the "current workload
+information (average power usage)" the multi-datacenter scheduler collects
+every hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.greennebula.host import PhysicalHost
+from repro.greennebula.vm import VirtualMachine
+
+
+class PlacementError(RuntimeError):
+    """Raised when no host can accommodate a VM."""
+
+
+@dataclass
+class OpenNebulaManager:
+    """First-fit VM placement over a pool of physical hosts."""
+
+    datacenter_name: str
+    hosts: Dict[str, PhysicalHost] = field(default_factory=dict)
+
+    # -- host pool ----------------------------------------------------------------
+    def add_host(self, host: PhysicalHost) -> None:
+        if host.name in self.hosts:
+            raise ValueError(f"host {host.name} already registered in {self.datacenter_name}")
+        self.hosts[host.name] = host
+
+    def host(self, name: str) -> PhysicalHost:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise KeyError(f"no host named {name!r} in {self.datacenter_name}") from None
+
+    # -- VM lifecycle ---------------------------------------------------------------
+    def deploy(self, vm: VirtualMachine) -> PhysicalHost:
+        """Place a VM on the first host with room for it."""
+        for host in self.hosts.values():
+            if host.can_host(vm):
+                host.attach(vm)
+                vm.place(self.datacenter_name, host.name)
+                return host
+        raise PlacementError(
+            f"datacenter {self.datacenter_name} has no host with room for VM {vm.name}"
+        )
+
+    def undeploy(self, vm_name: str) -> VirtualMachine:
+        """Remove a VM from whichever host runs it."""
+        for host in self.hosts.values():
+            if vm_name in host.vms:
+                return host.detach(vm_name)
+        raise KeyError(f"VM {vm_name} is not deployed in {self.datacenter_name}")
+
+    def vm_names(self) -> List[str]:
+        names: List[str] = []
+        for host in self.hosts.values():
+            names.extend(host.vms.keys())
+        return sorted(names)
+
+    def vms(self) -> List[VirtualMachine]:
+        machines: List[VirtualMachine] = []
+        for host in self.hosts.values():
+            machines.extend(host.vm_list())
+        return machines
+
+    def find_vm(self, vm_name: str) -> Optional[VirtualMachine]:
+        for host in self.hosts.values():
+            if vm_name in host.vms:
+                return host.vms[vm_name]
+        return None
+
+    # -- capacity and power -------------------------------------------------------------
+    @property
+    def num_vms(self) -> int:
+        return sum(len(host.vms) for host in self.hosts.values())
+
+    @property
+    def it_power_kw(self) -> float:
+        """Power drawn by all hosts (idle plus VM power)."""
+        return sum(host.power_kw for host in self.hosts.values())
+
+    @property
+    def vm_power_kw(self) -> float:
+        """Power attributable to VMs only (what the scheduler redistributes)."""
+        return sum(vm.power_kw for vm in self.vms())
+
+    def free_capacity(self) -> Dict[str, float]:
+        """Remaining CPU and memory across the host pool."""
+        return {
+            "cores": float(sum(host.free_cores for host in self.hosts.values())),
+            "memory_mb": float(sum(host.free_memory_mb for host in self.hosts.values())),
+        }
+
+    def can_accept(self, vm: VirtualMachine) -> bool:
+        """True when some host could take the VM right now."""
+        return any(host.can_host(vm) for host in self.hosts.values())

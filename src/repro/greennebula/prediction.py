@@ -1,0 +1,57 @@
+"""Green-energy prediction for the GreenNebula scheduler.
+
+Every hour the scheduler predicts the green energy production of each
+datacenter 48 hours into the future.  The paper assumes perfectly accurate
+predictions in its experiments (citing prior work showing such predictions
+are achievable); we default to the same, but the predictor also supports a
+multiplicative noise model so the test-suite can exercise the scheduler's
+robustness to forecast errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.greennebula.datacenter import GreenDatacenter
+
+
+@dataclass
+class GreenEnergyPredictor:
+    """Predicts per-datacenter green power for a scheduling window.
+
+    Attributes
+    ----------
+    horizon_hours:
+        Length of the prediction window (48 hours in the paper).
+    noise_std:
+        Standard deviation of multiplicative forecast noise (0 = perfect
+        predictions, the paper's assumption).
+    seed:
+        RNG seed for the noise.
+    """
+
+    horizon_hours: int = 48
+    noise_std: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon_hours <= 0:
+            raise ValueError("the prediction horizon must be positive")
+        if self.noise_std < 0:
+            raise ValueError("the noise level cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def predict(self, datacenter: GreenDatacenter, hour_of_year: float) -> np.ndarray:
+        """Predicted green power (kW) for each hour of the window."""
+        actual = datacenter.green_power_forecast_kw(hour_of_year, self.horizon_hours)
+        if self.noise_std == 0.0:
+            return actual
+        noise = self._rng.normal(1.0, self.noise_std, size=actual.shape)
+        return np.clip(actual * noise, 0.0, None)
+
+    def predict_all(self, datacenters, hour_of_year: float) -> dict:
+        """Predictions for every datacenter, keyed by datacenter name."""
+        return {dc.name: self.predict(dc, hour_of_year) for dc in datacenters}

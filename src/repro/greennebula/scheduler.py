@@ -1,0 +1,179 @@
+"""The GreenNebula multi-datacenter scheduler.
+
+Every hour the scheduler (which runs at one of the datacenters) predicts the
+green energy production of every datacenter 48 hours ahead, collects the
+current workload (average power) from each datacenter, and solves a small
+optimisation that re-partitions the workload across the datacenters for the
+coming window.  The optimisation is the placement problem of Section II with
+the locations and provisioning fixed and the minimum-green constraint
+removed: it minimises the brown energy drawn over the window, accounting for
+the predicted green production and for the energy overhead of migrating load
+between datacenters.  The first hour of the optimised partition is then
+turned into a migration schedule by the :class:`MigrationPlanner`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.greennebula.datacenter import GreenDatacenter
+from repro.greennebula.migration import MigrationPlanner, MigrationRequest
+from repro.greennebula.prediction import GreenEnergyPredictor
+from repro.lpsolver import LinearExpression, Model, SolverOptions
+
+
+@dataclass
+class ScheduleDecision:
+    """Output of one scheduling pass."""
+
+    hour_of_year: float
+    target_power_kw: Dict[str, float]
+    migrations: List[MigrationRequest]
+    predicted_brown_kwh: float
+    solve_time_seconds: float
+    window_power_kw: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def migrated_power_kw(self) -> float:
+        return MigrationPlanner.migrated_power_kw(self.migrations)
+
+
+class GreenNebulaScheduler:
+    """Brown-energy-minimising workload partitioner with a 48-hour look-ahead."""
+
+    def __init__(
+        self,
+        datacenters: Sequence[GreenDatacenter],
+        predictor: Optional[GreenEnergyPredictor] = None,
+        planner: Optional[MigrationPlanner] = None,
+        horizon_hours: int = 48,
+        migration_penalty_kwh: float = 1e-3,
+        net_metering: bool = False,
+        solver_options: Optional[SolverOptions] = None,
+    ) -> None:
+        if not datacenters:
+            raise ValueError("the scheduler needs at least one datacenter")
+        if horizon_hours <= 0:
+            raise ValueError("the look-ahead horizon must be positive")
+        self.datacenters = list(datacenters)
+        self.predictor = predictor or GreenEnergyPredictor(horizon_hours=horizon_hours)
+        if self.predictor.horizon_hours != horizon_hours:
+            self.predictor.horizon_hours = horizon_hours
+        self.planner = planner or MigrationPlanner()
+        self.horizon_hours = horizon_hours
+        self.migration_penalty_kwh = migration_penalty_kwh
+        self.net_metering = net_metering
+        self.solver_options = solver_options or SolverOptions()
+
+    # -- the optimisation ------------------------------------------------------------------
+    def build_model(
+        self,
+        hour_of_year: float,
+        total_load_kw: float,
+        current_load_kw: Mapping[str, float],
+        green_forecast_kw: Mapping[str, np.ndarray],
+    ) -> tuple[Model, Dict[str, List], Dict[str, List]]:
+        """Build the window LP; returns (model, compute vars, migrate vars)."""
+        horizon = self.horizon_hours
+        model = Model(name="greennebula-window", sense="min")
+        compute: Dict[str, List] = {}
+        migrate: Dict[str, List] = {}
+        brown: Dict[str, List] = {}
+        objective_terms: List = []
+
+        for dc in self.datacenters:
+            name = dc.name
+            forecast = np.asarray(green_forecast_kw[name], dtype=float)
+            if forecast.shape[0] < horizon:
+                raise ValueError(f"forecast for {name} shorter than the scheduling horizon")
+            compute[name] = [
+                model.add_variable(f"compute[{name},{t}]", upper=dc.it_capacity_kw)
+                for t in range(horizon)
+            ]
+            migrate[name] = [model.add_variable(f"migrate[{name},{t}]") for t in range(horizon)]
+            brown[name] = [model.add_variable(f"brown[{name},{t}]") for t in range(horizon)]
+            for t in range(horizon):
+                pue = dc.pue(hour_of_year + t)
+                previous_load = (
+                    float(current_load_kw.get(name, dc.vm_power_kw))
+                    if t == 0
+                    else compute[name][t - 1]
+                )
+                # Load that leaves this DC still consumes energy here this hour.
+                model.add_constraint(
+                    migrate[name][t] >= previous_load - compute[name][t],
+                    name=f"migration[{name},{t}]",
+                )
+                model.add_constraint(
+                    compute[name][t] + migrate[name][t] <= dc.it_capacity_kw,
+                    name=f"capacity[{name},{t}]",
+                )
+                demand = (compute[name][t] + migrate[name][t]) * pue
+                model.add_constraint(
+                    brown[name][t] >= demand - float(forecast[t]),
+                    name=f"brown[{name},{t}]",
+                )
+                objective_terms.append(brown[name][t])
+                objective_terms.append(self.migration_penalty_kwh * migrate[name][t])
+
+        for t in range(horizon):
+            total = LinearExpression.sum(compute[name][t] for name in compute)
+            model.add_constraint(total >= total_load_kw, name=f"total_load[{t}]")
+
+        model.set_objective(LinearExpression.sum(objective_terms))
+        return model, compute, migrate
+
+    def schedule(self, hour_of_year: float) -> ScheduleDecision:
+        """Run one scheduling pass at the given simulation hour."""
+        started = _time.perf_counter()
+        current_load = {dc.name: dc.vm_power_kw for dc in self.datacenters}
+        total_load = float(sum(current_load.values()))
+        forecasts = self.predictor.predict_all(self.datacenters, hour_of_year)
+        model, compute, _ = self.build_model(hour_of_year, total_load, current_load, forecasts)
+        result = model.solve(self.solver_options)
+        if not result.is_optimal:
+            # Fall back to keeping the current placement.
+            targets = dict(current_load)
+            predicted_brown = float("nan")
+            window = {name: np.full(self.horizon_hours, current_load[name]) for name in current_load}
+        else:
+            targets = {
+                name: max(0.0, result.value(variables[0])) for name, variables in compute.items()
+            }
+            window = {
+                name: np.array([result.value(v) for v in variables])
+                for name, variables in compute.items()
+            }
+            predicted_brown = self._predicted_brown_kwh(result, hour_of_year, compute, forecasts)
+        migrations = self.planner.plan(self.datacenters, targets)
+        elapsed = _time.perf_counter() - started
+        return ScheduleDecision(
+            hour_of_year=hour_of_year,
+            target_power_kw=targets,
+            migrations=migrations,
+            predicted_brown_kwh=predicted_brown,
+            solve_time_seconds=elapsed,
+            window_power_kw=window,
+        )
+
+    # -- helpers ------------------------------------------------------------------------------
+    def _predicted_brown_kwh(
+        self,
+        result,
+        hour_of_year: float,
+        compute: Dict[str, List],
+        forecasts: Mapping[str, np.ndarray],
+    ) -> float:
+        total = 0.0
+        for dc in self.datacenters:
+            variables = compute[dc.name]
+            forecast = forecasts[dc.name]
+            for t, variable in enumerate(variables):
+                pue = dc.pue(hour_of_year + t)
+                demand = result.value(variable) * pue
+                total += max(0.0, demand - float(forecast[t]))
+        return total

@@ -1,0 +1,92 @@
+"""Virtual machines managed by GreenNebula."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simulation.workload import VMSpec
+
+
+class VMState(enum.Enum):
+    """Lifecycle states of a VM."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    MIGRATING = "migrating"
+    STOPPED = "stopped"
+
+
+@dataclass
+class VirtualMachine:
+    """A running VM instance: a spec plus placement and dirty-data state.
+
+    The VM keeps running while it migrates (live migration), so its power is
+    accounted at both the donor and the receiver during the migration window
+    — the same pessimistic accounting the placement framework uses.
+    """
+
+    spec: VMSpec
+    state: VMState = VMState.PENDING
+    datacenter: Optional[str] = None
+    host: Optional[str] = None
+    dirty_data_mb: float = 0.0
+    total_migrations: int = 0
+    gdfs_file: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def power_kw(self) -> float:
+        """Power drawn by the VM while running (zero when stopped)."""
+        return 0.0 if self.state is VMState.STOPPED else self.spec.power_kw
+
+    @property
+    def is_placed(self) -> bool:
+        return self.datacenter is not None and self.host is not None
+
+    # -- dirty data tracking -------------------------------------------------------
+    def accumulate_dirty_data(self, hours: float) -> float:
+        """Account for ``hours`` of disk writes; returns the new dirty total."""
+        if hours < 0:
+            raise ValueError("time cannot run backwards")
+        if self.state in (VMState.RUNNING, VMState.MIGRATING):
+            self.dirty_data_mb += self.spec.dirty_data_mb_per_hour * hours
+        return self.dirty_data_mb
+
+    def flush_dirty_data(self) -> float:
+        """Mark all dirty data as replicated; returns how much was flushed."""
+        flushed = self.dirty_data_mb
+        self.dirty_data_mb = 0.0
+        return flushed
+
+    @property
+    def migration_state_mb(self) -> float:
+        """Data a live migration must move: memory plus unreplicated disk blocks."""
+        return self.spec.memory_mb + self.dirty_data_mb
+
+    # -- state transitions ------------------------------------------------------------
+    def place(self, datacenter: str, host: str) -> None:
+        """Record the VM's placement and mark it running."""
+        self.datacenter = datacenter
+        self.host = host
+        self.state = VMState.RUNNING
+
+    def start_migration(self) -> None:
+        if self.state is not VMState.RUNNING:
+            raise ValueError(f"VM {self.name} cannot migrate from state {self.state.value}")
+        self.state = VMState.MIGRATING
+
+    def finish_migration(self, datacenter: str, host: str) -> None:
+        if self.state is not VMState.MIGRATING:
+            raise ValueError(f"VM {self.name} is not migrating")
+        self.datacenter = datacenter
+        self.host = host
+        self.state = VMState.RUNNING
+        self.total_migrations += 1
+
+    def stop(self) -> None:
+        self.state = VMState.STOPPED

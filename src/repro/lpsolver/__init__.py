@@ -1,0 +1,49 @@
+"""Linear and mixed-integer linear programming modelling layer.
+
+The siting/provisioning framework of the paper is expressed as a MILP
+(Fig. 1) and, after the heuristic fixes the siting decision, as a sequence
+of LPs.  The original authors used an off-the-shelf commercial solver; this
+subpackage provides the substrate we use instead: a small, typed modelling
+language (variables, linear expressions, constraints, objective) that is
+compiled to sparse matrices and solved with SciPy's HiGHS backends
+(``scipy.optimize.linprog`` for pure LPs, ``scipy.optimize.milp`` when any
+variable is integer or boolean).
+
+Typical usage::
+
+    from repro.lpsolver import Model
+
+    model = Model("example", sense="min")
+    x = model.add_variable("x", lower=0.0)
+    y = model.add_variable("y", lower=0.0)
+    model.add_constraint(x + 2 * y >= 4, name="demand")
+    model.set_objective(3 * x + 5 * y)
+    result = model.solve()
+    assert result.is_optimal
+    print(result.value(x), result.value(y), result.objective)
+"""
+
+from repro.lpsolver.expressions import (
+    Constraint,
+    ConstraintSense,
+    LinearExpression,
+    Variable,
+    VariableKind,
+)
+from repro.lpsolver.model import Model, ModelError
+from repro.lpsolver.result import SolveResult, SolveStatus
+from repro.lpsolver.solvers import SolverOptions, solve_model
+
+__all__ = [
+    "Constraint",
+    "ConstraintSense",
+    "LinearExpression",
+    "Model",
+    "ModelError",
+    "SolveResult",
+    "SolveStatus",
+    "SolverOptions",
+    "Variable",
+    "VariableKind",
+    "solve_model",
+]

@@ -1,0 +1,266 @@
+"""Variables, linear expressions and constraints for the LP/MILP layer.
+
+The representation is deliberately simple: a :class:`LinearExpression` is a
+mapping from variable index to coefficient plus a constant term.  All the
+arithmetic operators needed to write readable model-building code are
+supported (``+``, ``-``, ``*`` by scalars, ``/`` by scalars, ``sum()``),
+and comparison operators build :class:`Constraint` objects.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Union
+
+Number = Union[int, float]
+
+
+class VariableKind(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class ConstraintSense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LESS_EQUAL = "<="
+    GREATER_EQUAL = ">="
+    EQUAL = "=="
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable registered in a :class:`~repro.lpsolver.model.Model`.
+
+    Variables are immutable handles; their bounds and kind live in the model
+    that created them.  They behave as linear expressions in arithmetic.
+    """
+
+    name: str
+    index: int
+    kind: VariableKind = VariableKind.CONTINUOUS
+
+    def to_expression(self) -> "LinearExpression":
+        """Return this variable as a single-term linear expression."""
+        return LinearExpression({self.index: 1.0}, 0.0)
+
+    # -- arithmetic delegating to LinearExpression ---------------------------
+    def __add__(self, other: "ExpressionLike") -> "LinearExpression":
+        return self.to_expression() + other
+
+    def __radd__(self, other: "ExpressionLike") -> "LinearExpression":
+        return self.to_expression() + other
+
+    def __sub__(self, other: "ExpressionLike") -> "LinearExpression":
+        return self.to_expression() - other
+
+    def __rsub__(self, other: "ExpressionLike") -> "LinearExpression":
+        return (-self.to_expression()) + other
+
+    def __mul__(self, factor: Number) -> "LinearExpression":
+        return self.to_expression() * factor
+
+    def __rmul__(self, factor: Number) -> "LinearExpression":
+        return self.to_expression() * factor
+
+    def __truediv__(self, divisor: Number) -> "LinearExpression":
+        return self.to_expression() / divisor
+
+    def __neg__(self) -> "LinearExpression":
+        return -self.to_expression()
+
+    def __le__(self, other: "ExpressionLike") -> "Constraint":
+        return self.to_expression() <= other
+
+    def __ge__(self, other: "ExpressionLike") -> "Constraint":
+        return self.to_expression() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinearExpression, int, float)):
+            return self.to_expression() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.index))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, index={self.index}, kind={self.kind.value})"
+
+
+ExpressionLike = Union["LinearExpression", Variable, Number]
+
+
+class LinearExpression:
+    """An affine expression ``sum(coeff[i] * x_i) + constant``."""
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(
+        self,
+        coefficients: Mapping[int, float] | None = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.coefficients: Dict[int, float] = dict(coefficients or {})
+        self.constant = float(constant)
+
+    # -- construction helpers -------------------------------------------------
+    @staticmethod
+    def from_value(value: ExpressionLike) -> "LinearExpression":
+        """Coerce a variable, number or expression into a LinearExpression."""
+        if isinstance(value, LinearExpression):
+            return value.copy()
+        if isinstance(value, Variable):
+            return value.to_expression()
+        if isinstance(value, (int, float)):
+            if math.isnan(value):
+                raise ValueError("cannot build a linear expression from NaN")
+            return LinearExpression({}, float(value))
+        raise TypeError(f"cannot interpret {value!r} as a linear expression")
+
+    @staticmethod
+    def sum(terms: Iterable[ExpressionLike]) -> "LinearExpression":
+        """Sum an iterable of expression-like values efficiently."""
+        total = LinearExpression()
+        for term in terms:
+            total._iadd(LinearExpression.from_value(term), 1.0)
+        return total
+
+    def copy(self) -> "LinearExpression":
+        return LinearExpression(self.coefficients, self.constant)
+
+    # -- internal in-place accumulation ---------------------------------------
+    def _iadd(self, other: "LinearExpression", sign: float) -> None:
+        for index, coeff in other.coefficients.items():
+            new = self.coefficients.get(index, 0.0) + sign * coeff
+            if new == 0.0:
+                self.coefficients.pop(index, None)
+            else:
+                self.coefficients[index] = new
+        self.constant += sign * other.constant
+
+    # -- arithmetic ------------------------------------------------------------
+    def __add__(self, other: ExpressionLike) -> "LinearExpression":
+        result = self.copy()
+        result._iadd(LinearExpression.from_value(other), 1.0)
+        return result
+
+    def __radd__(self, other: ExpressionLike) -> "LinearExpression":
+        return self.__add__(other)
+
+    def __sub__(self, other: ExpressionLike) -> "LinearExpression":
+        result = self.copy()
+        result._iadd(LinearExpression.from_value(other), -1.0)
+        return result
+
+    def __rsub__(self, other: ExpressionLike) -> "LinearExpression":
+        result = -self
+        result._iadd(LinearExpression.from_value(other), 1.0)
+        return result
+
+    def __mul__(self, factor: Number) -> "LinearExpression":
+        if not isinstance(factor, (int, float)):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        scaled = {i: c * factor for i, c in self.coefficients.items() if c * factor != 0.0}
+        return LinearExpression(scaled, self.constant * factor)
+
+    def __rmul__(self, factor: Number) -> "LinearExpression":
+        return self.__mul__(factor)
+
+    def __truediv__(self, divisor: Number) -> "LinearExpression":
+        if divisor == 0:
+            raise ZeroDivisionError("division of a linear expression by zero")
+        return self.__mul__(1.0 / divisor)
+
+    def __neg__(self) -> "LinearExpression":
+        return self.__mul__(-1.0)
+
+    # -- comparisons build constraints -----------------------------------------
+    def __le__(self, other: ExpressionLike) -> "Constraint":
+        return Constraint(self - other, ConstraintSense.LESS_EQUAL)
+
+    def __ge__(self, other: ExpressionLike) -> "Constraint":
+        return Constraint(self - other, ConstraintSense.GREATER_EQUAL)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (LinearExpression, Variable, int, float)):
+            return Constraint(self - other, ConstraintSense.EQUAL)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # expressions are mutable; identity hash
+        return id(self)
+
+    # -- evaluation -------------------------------------------------------------
+    def evaluate(self, values: Mapping[int, float]) -> float:
+        """Evaluate the expression given variable values keyed by index."""
+        total = self.constant
+        for index, coeff in self.coefficients.items():
+            total += coeff * values.get(index, 0.0)
+        return total
+
+    def is_constant(self) -> bool:
+        return not self.coefficients
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coefficients.items()))
+        if not terms:
+            return f"LinearExpression({self.constant:g})"
+        if self.constant:
+            return f"LinearExpression({terms} + {self.constant:g})"
+        return f"LinearExpression({terms})"
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expression (<=, >=, ==) 0``.
+
+    The right-hand side is folded into the expression's constant term when the
+    constraint is created through comparison operators, i.e. ``a <= b`` becomes
+    ``(a - b) <= 0``.
+    """
+
+    expression: LinearExpression
+    sense: ConstraintSense
+    name: str = field(default="")
+
+    def named(self, name: str) -> "Constraint":
+        """Return the same constraint with a human-readable name attached."""
+        self.name = name
+        return self
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side once the constant term is moved across."""
+        return -self.expression.constant
+
+    def coefficient_items(self):
+        """Iterate over ``(variable_index, coefficient)`` pairs."""
+        return self.expression.coefficients.items()
+
+    def is_trivially_feasible(self) -> bool:
+        """True when the constraint has no variables and already holds."""
+        if not self.expression.is_constant():
+            return False
+        value = self.expression.constant
+        if self.sense is ConstraintSense.LESS_EQUAL:
+            return value <= 1e-9
+        if self.sense is ConstraintSense.GREATER_EQUAL:
+            return value >= -1e-9
+        return abs(value) <= 1e-9
+
+    def violation(self, values: Mapping[int, float]) -> float:
+        """Amount by which the constraint is violated for ``values`` (>= 0)."""
+        value = self.expression.evaluate(values)
+        if self.sense is ConstraintSense.LESS_EQUAL:
+            return max(0.0, value)
+        if self.sense is ConstraintSense.GREATER_EQUAL:
+            return max(0.0, -value)
+        return abs(value)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Constraint({self.expression!r} {self.sense.value} 0{label})"

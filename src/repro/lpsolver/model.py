@@ -1,0 +1,268 @@
+"""The :class:`Model` container for LP/MILP problems.
+
+A model owns variables (with bounds and kinds), constraints, and an
+objective.  It can compile itself into the matrix form consumed by SciPy's
+HiGHS solvers and it can check candidate solutions for feasibility, which
+the heuristic solver uses to validate provisioning plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lpsolver.expressions import (
+    Constraint,
+    ConstraintSense,
+    ExpressionLike,
+    LinearExpression,
+    Variable,
+    VariableKind,
+)
+from repro.lpsolver.result import SolveResult
+
+
+class ModelError(ValueError):
+    """Raised for malformed models (duplicate names, bad bounds, ...)."""
+
+
+@dataclass
+class _VariableRecord:
+    variable: Variable
+    lower: float
+    upper: float
+
+
+class Model:
+    """A linear (or mixed-integer linear) optimisation model.
+
+    Parameters
+    ----------
+    name:
+        Human-readable model name (used in error messages and benchmarks).
+    sense:
+        ``"min"`` or ``"max"``.
+    """
+
+    def __init__(self, name: str = "model", sense: str = "min") -> None:
+        if sense not in ("min", "max"):
+            raise ModelError(f"unknown optimisation sense {sense!r}")
+        self.name = name
+        self.sense = sense
+        self._records: List[_VariableRecord] = []
+        self._names: Dict[str, Variable] = {}
+        self.constraints: List[Constraint] = []
+        self.objective: LinearExpression = LinearExpression()
+
+    # -- variables -------------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = float("inf"),
+        kind: VariableKind = VariableKind.CONTINUOUS,
+    ) -> Variable:
+        """Register a new decision variable and return its handle."""
+        if name in self._names:
+            raise ModelError(f"variable {name!r} already exists in model {self.name!r}")
+        if kind is VariableKind.BINARY:
+            lower, upper = 0.0, 1.0
+        if lower > upper:
+            raise ModelError(f"variable {name!r} has lower bound {lower} > upper bound {upper}")
+        variable = Variable(name=name, index=len(self._records), kind=kind)
+        self._records.append(_VariableRecord(variable, float(lower), float(upper)))
+        self._names[name] = variable
+        return variable
+
+    def add_binary(self, name: str) -> Variable:
+        """Shorthand for a 0/1 variable."""
+        return self.add_variable(name, kind=VariableKind.BINARY)
+
+    def add_integer(self, name: str, lower: float = 0.0, upper: float = float("inf")) -> Variable:
+        """Shorthand for an integer variable."""
+        return self.add_variable(name, lower=lower, upper=upper, kind=VariableKind.INTEGER)
+
+    def variable(self, name: str) -> Variable:
+        """Look up a variable by name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise ModelError(f"no variable named {name!r} in model {self.name!r}") from None
+
+    @property
+    def variables(self) -> List[Variable]:
+        return [record.variable for record in self._records]
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._records)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def bounds(self, variable: Variable) -> Tuple[float, float]:
+        """Return ``(lower, upper)`` bounds of a variable."""
+        record = self._records[variable.index]
+        return record.lower, record.upper
+
+    def set_bounds(
+        self,
+        variable: Variable,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> None:
+        """Tighten or relax the bounds of an existing variable."""
+        record = self._records[variable.index]
+        if lower is not None:
+            record.lower = float(lower)
+        if upper is not None:
+            record.upper = float(upper)
+        if record.lower > record.upper:
+            raise ModelError(
+                f"variable {variable.name!r} has lower bound {record.lower} > upper bound {record.upper}"
+            )
+
+    def fix(self, variable: Variable, value: float) -> None:
+        """Fix a variable to a constant by collapsing its bounds."""
+        self.set_bounds(variable, lower=value, upper=value)
+
+    @property
+    def is_mixed_integer(self) -> bool:
+        """True when any variable is integer or binary."""
+        return any(r.variable.kind is not VariableKind.CONTINUOUS for r in self._records)
+
+    # -- constraints and objective ----------------------------------------------
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint, skipping trivially satisfied constant constraints."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(f"expected a Constraint, got {constraint!r}")
+        if name:
+            constraint.name = name
+        if constraint.expression.is_constant():
+            if constraint.is_trivially_feasible():
+                return constraint
+            raise ModelError(
+                f"constraint {constraint.name or constraint!r} is constant and infeasible"
+            )
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    def set_objective(self, expression: ExpressionLike) -> None:
+        """Set the objective expression (interpreted with the model's sense)."""
+        self.objective = LinearExpression.from_value(expression)
+
+    # -- compilation to matrix form ----------------------------------------------
+    def to_matrices(self) -> "CompiledModel":
+        """Compile to the arrays consumed by ``scipy.optimize`` backends."""
+        n = self.num_variables
+        cost = np.zeros(n)
+        for index, coeff in self.objective.coefficients.items():
+            cost[index] = coeff
+        if self.sense == "max":
+            cost = -cost
+
+        lower = np.array([record.lower for record in self._records])
+        upper = np.array([record.upper for record in self._records])
+        integrality = np.array(
+            [0 if r.variable.kind is VariableKind.CONTINUOUS else 1 for r in self._records]
+        )
+
+        ub_rows: List[Tuple[Dict[int, float], float]] = []
+        eq_rows: List[Tuple[Dict[int, float], float]] = []
+        for constraint in self.constraints:
+            coeffs = dict(constraint.coefficient_items())
+            rhs = constraint.rhs
+            if constraint.sense is ConstraintSense.LESS_EQUAL:
+                ub_rows.append((coeffs, rhs))
+            elif constraint.sense is ConstraintSense.GREATER_EQUAL:
+                ub_rows.append(({i: -c for i, c in coeffs.items()}, -rhs))
+            else:
+                eq_rows.append((coeffs, rhs))
+
+        a_ub, b_ub = _rows_to_arrays(ub_rows, n)
+        a_eq, b_eq = _rows_to_arrays(eq_rows, n)
+        return CompiledModel(
+            cost=cost,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            lower=lower,
+            upper=upper,
+            integrality=integrality,
+            maximise=self.sense == "max",
+            objective_constant=self.objective.constant,
+        )
+
+    # -- solving and checking ------------------------------------------------------
+    def solve(self, options: Optional["SolverOptions"] = None) -> SolveResult:
+        """Solve the model with the SciPy HiGHS backends."""
+        from repro.lpsolver.solvers import solve_model
+
+        return solve_model(self, options)
+
+    def check_solution(self, values: Mapping[int, float], tolerance: float = 1e-6) -> List[str]:
+        """Return a list of violated constraint/bound descriptions (empty if feasible)."""
+        violations: List[str] = []
+        for record in self._records:
+            value = values.get(record.variable.index, 0.0)
+            if value < record.lower - tolerance or value > record.upper + tolerance:
+                violations.append(
+                    f"variable {record.variable.name} = {value:.6g} outside "
+                    f"[{record.lower:.6g}, {record.upper:.6g}]"
+                )
+        for constraint in self.constraints:
+            violation = constraint.violation(values)
+            if violation > tolerance:
+                label = constraint.name or repr(constraint)
+                violations.append(f"constraint {label} violated by {violation:.6g}")
+        return violations
+
+    def objective_value(self, values: Mapping[int, float]) -> float:
+        """Evaluate the objective expression for a candidate solution."""
+        return self.objective.evaluate(values)
+
+    def __repr__(self) -> str:
+        kind = "MILP" if self.is_mixed_integer else "LP"
+        return (
+            f"Model({self.name!r}, {kind}, {self.num_variables} variables, "
+            f"{self.num_constraints} constraints)"
+        )
+
+
+@dataclass
+class CompiledModel:
+    """Matrix form of a model, ready for ``linprog``/``milp``."""
+
+    cost: np.ndarray
+    a_ub: Optional[np.ndarray]
+    b_ub: Optional[np.ndarray]
+    a_eq: Optional[np.ndarray]
+    b_eq: Optional[np.ndarray]
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray
+    maximise: bool
+    objective_constant: float
+
+
+def _rows_to_arrays(
+    rows: Sequence[Tuple[Dict[int, float], float]], n_variables: int
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Convert sparse rows into dense coefficient matrices for SciPy."""
+    if not rows:
+        return None, None
+    matrix = np.zeros((len(rows), n_variables))
+    rhs = np.zeros(len(rows))
+    for row_index, (coeffs, bound) in enumerate(rows):
+        for var_index, coeff in coeffs.items():
+            matrix[row_index, var_index] = coeff
+        rhs[row_index] = bound
+    return matrix, rhs

@@ -1,0 +1,69 @@
+"""Solve results for the LP/MILP layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.lpsolver.expressions import LinearExpression, Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solver invocation."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    ERROR = "error"
+
+
+@dataclass
+class SolveResult:
+    """The outcome of solving a :class:`~repro.lpsolver.model.Model`.
+
+    Attributes
+    ----------
+    status:
+        Solver status classification.
+    objective:
+        Objective value (``nan`` when not optimal).
+    values:
+        Mapping from variable index to optimal value.
+    message:
+        Backend diagnostic message.
+    solver:
+        Which backend produced the result (``"linprog"`` or ``"milp"``).
+    iterations:
+        Iteration count reported by the backend, if any.
+    """
+
+    status: SolveStatus
+    objective: float
+    values: Dict[int, float] = field(default_factory=dict)
+    message: str = ""
+    solver: str = ""
+    iterations: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def value(self, item: Variable | LinearExpression) -> float:
+        """Value of a variable or linear expression at the optimum."""
+        if isinstance(item, Variable):
+            return self.values.get(item.index, 0.0)
+        if isinstance(item, LinearExpression):
+            return item.evaluate(self.values)
+        raise TypeError(f"cannot evaluate {item!r} against a solve result")
+
+    def values_by_name(self, variables: Mapping[str, Variable]) -> Dict[str, float]:
+        """Return ``{variable name: value}`` for a name->variable mapping."""
+        return {name: self.value(var) for name, var in variables.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveResult(status={self.status.value}, objective={self.objective:.6g}, "
+            f"solver={self.solver!r}, n_values={len(self.values)})"
+        )

@@ -1,0 +1,140 @@
+"""SciPy (HiGHS) backends for the LP/MILP modelling layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.lpsolver.model import CompiledModel, Model
+from repro.lpsolver.result import SolveResult, SolveStatus
+
+
+@dataclass
+class SolverOptions:
+    """Knobs shared across the linprog/milp backends.
+
+    Attributes
+    ----------
+    time_limit:
+        Wall-clock limit in seconds for the MILP backend (``None`` = no limit).
+    mip_gap:
+        Relative optimality gap accepted by the MILP backend.
+    presolve:
+        Whether to let HiGHS presolve the problem.
+    force_continuous:
+        Solve the LP relaxation even when the model declares integer variables.
+        Used by the heuristic solver, which fixes the integer siting decisions
+        itself and only needs the continuous provisioning sub-problem.
+    """
+
+    time_limit: Optional[float] = None
+    mip_gap: float = 1e-4
+    presolve: bool = True
+    force_continuous: bool = False
+
+
+_LINPROG_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ITERATION_LIMIT,
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+_MILP_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ITERATION_LIMIT,
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_model(model: Model, options: Optional[SolverOptions] = None) -> SolveResult:
+    """Solve ``model`` and return a :class:`SolveResult`.
+
+    Continuous models (or any model when ``force_continuous`` is set) are
+    routed to ``scipy.optimize.linprog``; models with integer variables go to
+    ``scipy.optimize.milp``.
+    """
+    options = options or SolverOptions()
+    compiled = model.to_matrices()
+    use_milp = model.is_mixed_integer and not options.force_continuous
+    if use_milp:
+        return _solve_milp(compiled, options)
+    return _solve_linprog(compiled, options)
+
+
+def _finalise(
+    compiled: CompiledModel,
+    status: SolveStatus,
+    x: Optional[np.ndarray],
+    message: str,
+    solver: str,
+    iterations: int,
+) -> SolveResult:
+    if status is SolveStatus.OPTIMAL and x is not None:
+        raw = float(np.dot(compiled.cost, x))
+        objective = (-raw if compiled.maximise else raw) + compiled.objective_constant
+        values = {index: float(value) for index, value in enumerate(x)}
+    else:
+        objective = float("nan")
+        values = {}
+    return SolveResult(
+        status=status,
+        objective=objective,
+        values=values,
+        message=message,
+        solver=solver,
+        iterations=iterations,
+    )
+
+
+def _solve_linprog(compiled: CompiledModel, options: SolverOptions) -> SolveResult:
+    bounds = list(zip(compiled.lower, compiled.upper))
+    result = optimize.linprog(
+        c=compiled.cost,
+        A_ub=compiled.a_ub,
+        b_ub=compiled.b_ub,
+        A_eq=compiled.a_eq,
+        b_eq=compiled.b_eq,
+        bounds=bounds,
+        method="highs",
+        options={"presolve": options.presolve},
+    )
+    status = _LINPROG_STATUS.get(result.status, SolveStatus.ERROR)
+    iterations = int(getattr(result, "nit", 0) or 0)
+    x = result.x if result.x is not None else None
+    return _finalise(compiled, status, x, str(result.message), "linprog", iterations)
+
+
+def _solve_milp(compiled: CompiledModel, options: SolverOptions) -> SolveResult:
+    constraints = []
+    if compiled.a_ub is not None:
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(compiled.a_ub), -np.inf, compiled.b_ub
+            )
+        )
+    if compiled.a_eq is not None:
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(compiled.a_eq), compiled.b_eq, compiled.b_eq
+            )
+        )
+    milp_options = {"presolve": options.presolve, "mip_rel_gap": options.mip_gap}
+    if options.time_limit is not None:
+        milp_options["time_limit"] = options.time_limit
+    result = optimize.milp(
+        c=compiled.cost,
+        constraints=constraints or None,
+        bounds=optimize.Bounds(compiled.lower, compiled.upper),
+        integrality=compiled.integrality,
+        options=milp_options,
+    )
+    status = _MILP_STATUS.get(result.status, SolveStatus.ERROR)
+    x = result.x if result.x is not None else None
+    return _finalise(compiled, status, x, str(result.message), "milp", 0)

@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate used by the GreenNebula emulation.
+
+The paper validates GreenNebula in emulation (three servers standing in for
+three datacenters).  We reproduce that with a small discrete-event engine:
+an event queue with deterministic ordering, a trace recorder for the
+quantities plotted in Fig. 15, and an HPC batch workload model (VM-shaped
+jobs of the kind the paper runs inside VirtualBox).
+"""
+
+from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.events import Event
+from repro.simulation.trace import TraceRecorder
+from repro.simulation.workload import HPCWorkloadGenerator, VMSpec
+
+from repro.simulation import engine, events, trace, workload
+
+__all__ = [
+    "Event",
+    "HPCWorkloadGenerator",
+    "SimulationEngine",
+    "SimulationError",
+    "TraceRecorder",
+    "VMSpec",
+]

@@ -1,0 +1,118 @@
+"""A small deterministic discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simulation.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling mistakes (events in the past, negative delays...)."""
+
+
+class SimulationEngine:
+    """Event-queue simulator with a floating-point clock in hours.
+
+    The engine is intentionally simple: callers schedule events (absolute time
+    or relative delay) and then advance the clock with :meth:`run_until` or
+    :meth:`run`.  Periodic activities (the hourly GreenNebula scheduling pass)
+    are expressed with :meth:`schedule_every`.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue: List[Event] = []
+        self._processed = 0
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        action: Optional[Callable[["SimulationEngine"], None]] = None,
+        name: str = "",
+        priority: int = 0,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Event:
+        """Schedule an event at an absolute simulation time."""
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at {time}; the clock is already at {self.now}"
+            )
+        event = Event(time=float(time), priority=priority, name=name, action=action,
+                      payload=payload or {})
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        action: Optional[Callable[["SimulationEngine"], None]] = None,
+        name: str = "",
+        priority: int = 0,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Event:
+        """Schedule an event ``delay`` hours from now."""
+        if delay < 0:
+            raise SimulationError("delays cannot be negative")
+        return self.schedule_at(self.now + delay, action, name, priority, payload)
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[["SimulationEngine"], None],
+        name: str = "",
+        priority: int = 0,
+        start_offset: float = 0.0,
+    ) -> None:
+        """Schedule ``action`` to run every ``interval`` hours, indefinitely."""
+        if interval <= 0:
+            raise SimulationError("the interval of a periodic event must be positive")
+
+        def periodic(engine: "SimulationEngine") -> None:
+            action(engine)
+            engine.schedule_after(interval, periodic, name=name, priority=priority)
+
+        self.schedule_after(start_offset, periodic, name=name, priority=priority)
+
+    # -- execution ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Process the next event; returns it, or None when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fire(self)
+            self._processed += 1
+            return event
+        return None
+
+    def run_until(self, end_time: float) -> int:
+        """Process events up to and including ``end_time``; returns the count."""
+        if end_time < self.now:
+            raise SimulationError("cannot run the simulation backwards")
+        processed = 0
+        while self._queue and self._queue[0].time <= end_time + 1e-12:
+            if self.step() is not None:
+                processed += 1
+        self.now = max(self.now, end_time)
+        return processed
+
+    def run(self) -> int:
+        """Process all scheduled events."""
+        processed = 0
+        while self._queue:
+            if self.step() is not None:
+                processed += 1
+        return processed
+
+    # -- introspection -----------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed

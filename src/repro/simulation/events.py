@@ -1,0 +1,38 @@
+"""Events for the discrete-event engine."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Events are ordered by ``(time, priority, sequence)`` so that simultaneous
+    events fire in a deterministic order: lower ``priority`` first, then
+    insertion order.  The ``action`` callable receives the engine as its only
+    argument; ``payload`` is free-form metadata available to the action and to
+    the trace.
+    """
+
+    time: float
+    priority: int = 0
+    sequence: int = field(default_factory=lambda: next(_sequence))
+    name: str = field(default="", compare=False)
+    action: Optional[Callable[["Any"], None]] = field(default=None, compare=False)
+    payload: Dict[str, Any] = field(default_factory=dict, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+    def fire(self, engine) -> None:
+        """Execute the event's action (no-op when there is none)."""
+        if self.action is not None and not self.cancelled:
+            self.action(engine)

@@ -1,0 +1,53 @@
+"""Trace recording for emulation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass
+class TraceRecorder:
+    """Collects time-stamped records (dicts) during a simulation run.
+
+    The Fig. 15 benchmark turns these records into the per-datacenter
+    load/PUE/migration/green-availability series the paper plots.
+    """
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record(self, time: float, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Append one record and return it."""
+        entry: Dict[str, Any] = {"time": float(time), "kind": str(kind)}
+        entry.update(fields)
+        self.records.append(entry)
+        return entry
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """All records of one kind, in chronological order."""
+        return [record for record in self.records if record["kind"] == kind]
+
+    def kinds(self) -> List[str]:
+        return sorted({record["kind"] for record in self.records})
+
+    def series(self, kind: str, field_name: str) -> List[float]:
+        """The values of one field across all records of a kind."""
+        return [record[field_name] for record in self.of_kind(kind) if field_name in record]
+
+    def between(self, start: float, end: float) -> List[Dict[str, Any]]:
+        """Records with ``start <= time < end``."""
+        if end < start:
+            raise ValueError("the end of the window must not precede its start")
+        return [record for record in self.records if start <= record["time"] < end]
+
+    def filter(self, predicate) -> List[Dict[str, Any]]:
+        return [record for record in self.records if predicate(record)]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

@@ -1,0 +1,122 @@
+"""HPC batch workload model.
+
+The paper's validation workload is a set of identically configured VMs (one
+virtual CPU, 512 MB of memory, a 5 GB disk, 30 W of power, writing 110 MB of
+disk data per hour) running CPU-intensive synthetic batch applications.  The
+generator below produces such VM specifications, either exactly homogeneous
+(the paper's setup) or with bounded heterogeneity for the wider test-suite,
+and can size a fleet to a target IT power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """Resource and behaviour specification of one batch VM."""
+
+    name: str
+    virtual_cpus: int = 1
+    memory_mb: float = 512.0
+    disk_gb: float = 5.0
+    power_w: float = 30.0
+    dirty_data_mb_per_hour: float = 110.0
+    runtime_hours: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.virtual_cpus <= 0:
+            raise ValueError("a VM needs at least one virtual CPU")
+        for field_name in ("memory_mb", "disk_gb", "power_w", "dirty_data_mb_per_hour"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} cannot be negative")
+        if self.runtime_hours <= 0:
+            raise ValueError("the runtime must be positive")
+
+    @property
+    def power_kw(self) -> float:
+        return self.power_w / 1000.0
+
+    @property
+    def migration_state_mb(self) -> float:
+        """Baseline state moved by a live migration: the memory footprint."""
+        return self.memory_mb
+
+
+class HPCWorkloadGenerator:
+    """Generates fleets of batch VMs.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for the heterogeneous variants.
+    base_spec:
+        Template VM; the paper's 512 MB / 5 GB / 30 W configuration by default.
+    """
+
+    def __init__(self, seed: int = 0, base_spec: Optional[VMSpec] = None) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.base_spec = base_spec or VMSpec(name="template")
+
+    def homogeneous_fleet(self, count: int, prefix: str = "vm") -> List[VMSpec]:
+        """``count`` identical VMs (the paper's 9-VM validation workload)."""
+        if count < 0:
+            raise ValueError("the fleet size cannot be negative")
+        base = self.base_spec
+        return [
+            VMSpec(
+                name=f"{prefix}-{index:04d}",
+                virtual_cpus=base.virtual_cpus,
+                memory_mb=base.memory_mb,
+                disk_gb=base.disk_gb,
+                power_w=base.power_w,
+                dirty_data_mb_per_hour=base.dirty_data_mb_per_hour,
+                runtime_hours=base.runtime_hours,
+            )
+            for index in range(count)
+        ]
+
+    def heterogeneous_fleet(
+        self,
+        count: int,
+        prefix: str = "vm",
+        memory_range_mb: tuple = (512.0, 4096.0),
+        power_range_w: tuple = (20.0, 120.0),
+    ) -> List[VMSpec]:
+        """A fleet with varied memory footprints and power draws.
+
+        Used by tests and the migration planner benchmarks: the paper's
+        planner picks small-footprint VMs first, which only matters when VMs
+        are not all identical.
+        """
+        if count < 0:
+            raise ValueError("the fleet size cannot be negative")
+        if memory_range_mb[0] > memory_range_mb[1] or power_range_w[0] > power_range_w[1]:
+            raise ValueError("ranges must be (low, high)")
+        fleet = []
+        for index in range(count):
+            memory = float(self.rng.uniform(*memory_range_mb))
+            power = float(self.rng.uniform(*power_range_w))
+            disk = float(self.rng.uniform(5.0, 50.0))
+            dirty = float(self.rng.uniform(50.0, 300.0))
+            fleet.append(
+                VMSpec(
+                    name=f"{prefix}-{index:04d}",
+                    memory_mb=memory,
+                    disk_gb=disk,
+                    power_w=power,
+                    dirty_data_mb_per_hour=dirty,
+                )
+            )
+        return fleet
+
+    def fleet_for_power(self, target_power_kw: float, prefix: str = "vm") -> List[VMSpec]:
+        """Enough identical VMs to draw approximately ``target_power_kw``."""
+        if target_power_kw < 0:
+            raise ValueError("the target power cannot be negative")
+        count = int(round(target_power_kw / self.base_spec.power_kw))
+        return self.homogeneous_fleet(count, prefix=prefix)

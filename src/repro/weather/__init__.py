@@ -1,0 +1,39 @@
+"""Synthetic Typical Meteorological Year (TMY) data and the world location catalogue.
+
+The paper drives its siting study with DOE TMY datasets for 1373 world-wide
+locations (hourly temperature, solar irradiation, air pressure and wind
+speed).  That dataset is not redistributable here, so this subpackage
+synthesises an equivalent: a deterministic hourly weather generator based on
+solar geometry, seasonal/diurnal temperature cycles and Weibull-like wind,
+plus a catalogue of 1373 synthetic locations whose capacity-factor and PUE
+distributions span the same ranges the paper reports, including named
+*anchor* locations calibrated to the exact values of Tables II and III.
+"""
+
+from repro.weather.records import TMYDataset, HOURS_PER_YEAR
+from repro.weather.solar_geometry import (
+    clear_sky_irradiance,
+    solar_declination_deg,
+    solar_elevation_deg,
+)
+from repro.weather.synthesis import ClimateProfile, TMYGenerator
+from repro.weather.locations import (
+    ANCHOR_LOCATIONS,
+    Location,
+    WorldCatalog,
+    build_world_catalog,
+)
+
+__all__ = [
+    "ANCHOR_LOCATIONS",
+    "ClimateProfile",
+    "HOURS_PER_YEAR",
+    "Location",
+    "TMYDataset",
+    "TMYGenerator",
+    "WorldCatalog",
+    "build_world_catalog",
+    "clear_sky_irradiance",
+    "solar_declination_deg",
+    "solar_elevation_deg",
+]

@@ -1,0 +1,121 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures are deliberately small (a couple of dozen candidate locations, a
+coarse epoch grid, short heuristic searches) so the whole suite runs in a few
+minutes; the benchmarks under ``benchmarks/`` use larger configurations.
+Session scope is used for everything expensive and immutable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EnergySources,
+    FrameworkParameters,
+    PlacementTool,
+    SearchSettings,
+    SitingProblem,
+    StorageMode,
+)
+from repro.energy import EpochGrid, ProfileBuilder
+from repro.lpsolver import SolverOptions
+from repro.weather import build_world_catalog
+
+
+@pytest.fixture(scope="session")
+def small_catalog():
+    """A 24-location world catalogue (anchors plus synthetic locations)."""
+    return build_world_catalog(num_locations=24, seed=7)
+
+
+@pytest.fixture(scope="session")
+def epoch_grid():
+    """Four seasonal representative days split into 3-hour epochs (32 epochs)."""
+    return EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=3)
+
+
+@pytest.fixture(scope="session")
+def hourly_grid():
+    """One representative day per season at hourly resolution (96 epochs)."""
+    return EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=1)
+
+
+@pytest.fixture(scope="session")
+def profile_builder(small_catalog):
+    return ProfileBuilder(small_catalog)
+
+
+@pytest.fixture(scope="session")
+def all_profiles(profile_builder, epoch_grid):
+    return profile_builder.build_all(epoch_grid)
+
+
+@pytest.fixture(scope="session")
+def anchor_profiles(profile_builder, epoch_grid, small_catalog):
+    """Profiles of the named anchor locations, keyed by location name."""
+    return {
+        location.name: profile_builder.build(location, epoch_grid)
+        for location in small_catalog.locations
+        if location.is_anchor
+    }
+
+
+@pytest.fixture(scope="session")
+def params():
+    return FrameworkParameters()
+
+
+@pytest.fixture(scope="session")
+def fast_settings():
+    """Heuristic settings small enough for unit tests."""
+    return SearchSettings(
+        keep_locations=6, max_iterations=10, patience=6, num_chains=1, seed=1, max_datacenters=4
+    )
+
+
+@pytest.fixture(scope="session")
+def small_tool(small_catalog, epoch_grid):
+    return PlacementTool(catalog=small_catalog, epoch_grid=epoch_grid)
+
+
+@pytest.fixture(scope="session")
+def two_site_problem(anchor_profiles, params):
+    """A two-candidate problem used by the provisioning/formulation tests."""
+    profiles = [
+        anchor_profiles["Mount Washington, NH, USA"],
+        anchor_profiles["Grissom, IN, USA"],
+    ]
+    problem_params = params.with_updates(
+        total_capacity_kw=50_000.0, min_green_fraction=0.5
+    )
+    return SitingProblem(
+        profiles=profiles,
+        params=problem_params,
+        sources=EnergySources.SOLAR_AND_WIND,
+        storage=StorageMode.NET_METERING,
+    )
+
+
+@pytest.fixture(scope="session")
+def case_study_solution(small_tool, fast_settings):
+    """A solved 50 MW / 50 % green network used by several test modules."""
+    return small_tool.plan_network(
+        total_capacity_kw=50_000.0,
+        min_green_fraction=0.5,
+        sources=EnergySources.SOLAR_AND_WIND,
+        storage=StorageMode.NET_METERING,
+        settings=fast_settings,
+    )
+
+
+@pytest.fixture(scope="session")
+def case_study_plan(case_study_solution):
+    plan = case_study_solution.plan
+    assert plan is not None, "the shared case-study scenario must be feasible"
+    return plan
+
+
+@pytest.fixture(scope="session")
+def solver_options():
+    return SolverOptions()

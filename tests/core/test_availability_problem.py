@@ -1,0 +1,127 @@
+"""Tests for the availability model and the SitingProblem container."""
+
+import pytest
+
+from repro.core import (
+    EnergySources,
+    SitingProblem,
+    StorageMode,
+    Tier,
+    datacenters_needed,
+    network_availability,
+)
+from repro.core.availability import availability_from_binomial
+
+
+class TestNetworkAvailability:
+    def test_single_datacenter(self):
+        assert network_availability(1, 0.99827) == pytest.approx(0.99827)
+
+    def test_more_datacenters_increase_availability(self):
+        one = network_availability(1, 0.9967)
+        two = network_availability(2, 0.9967)
+        three = network_availability(3, 0.9967)
+        assert one < two < three < 1.0
+
+    def test_matches_binomial_form(self):
+        for n in range(1, 6):
+            assert network_availability(n, 0.9974) == pytest.approx(
+                availability_from_binomial(n, 0.9974), abs=1e-12
+            )
+
+    def test_zero_datacenters(self):
+        assert network_availability(0, 0.99) == 0.0
+        assert availability_from_binomial(0, 0.99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            network_availability(-1, 0.99)
+        with pytest.raises(ValueError):
+            network_availability(1, 1.5)
+
+    def test_two_near_tier3_datacenters_reach_five_nines(self):
+        """The paper's base case: ~Tier III DCs, 99.999 % target, 2 DCs suffice."""
+        assert network_availability(2, 0.99827) >= 0.99999
+
+    def test_tier_enum_values(self):
+        assert Tier.TIER_I.availability == pytest.approx(0.9967)
+        assert Tier.TIER_IV.availability == pytest.approx(0.99995)
+        assert Tier.NEAR_TIER_III.availability == pytest.approx(0.99827)
+
+
+class TestDatacentersNeeded:
+    def test_paper_default_needs_two(self):
+        assert datacenters_needed(0.99827, 0.99999) == 2
+
+    def test_tier4_needs_fewer_than_tier1(self):
+        assert datacenters_needed(0.99995, 0.99999) <= datacenters_needed(0.9967, 0.99999)
+
+    def test_loose_requirement_needs_one(self):
+        assert datacenters_needed(0.999, 0.99) == 1
+
+    def test_resulting_count_meets_target(self):
+        for a in (0.9967, 0.9974, 0.9998, 0.99995):
+            n = datacenters_needed(a, 0.999999)
+            assert network_availability(n, a) >= 0.999999
+            if n > 1:
+                assert network_availability(n - 1, a) < 0.999999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            datacenters_needed(1.2, 0.999)
+        with pytest.raises(ValueError):
+            datacenters_needed(0.99, 1.0)
+
+
+class TestSitingProblem:
+    def test_basic_properties(self, two_site_problem):
+        assert two_site_problem.num_locations == 2
+        assert two_site_problem.num_epochs == two_site_problem.epochs.num_epochs
+        assert two_site_problem.min_datacenters == 2
+
+    def test_profile_lookup(self, two_site_problem):
+        profile = two_site_problem.profile_by_name("Grissom, IN, USA")
+        assert profile.name == "Grissom, IN, USA"
+        with pytest.raises(KeyError):
+            two_site_problem.profile_by_name("nowhere")
+
+    def test_restricted_to(self, two_site_problem):
+        restricted = two_site_problem.restricted_to(["Grissom, IN, USA"])
+        assert restricted.num_locations == 1
+        with pytest.raises(KeyError):
+            two_site_problem.restricted_to(["nowhere"])
+
+    def test_with_updates(self, two_site_problem):
+        updated = two_site_problem.with_updates(storage=StorageMode.BATTERIES)
+        assert updated.storage is StorageMode.BATTERIES
+        assert two_site_problem.storage is StorageMode.NET_METERING
+
+    def test_requires_profiles(self, params):
+        with pytest.raises(ValueError):
+            SitingProblem(profiles=[], params=params)
+
+    def test_duplicate_profiles_rejected(self, anchor_profiles, params):
+        profile = anchor_profiles["Nairobi, Kenya"]
+        with pytest.raises(ValueError):
+            SitingProblem(profiles=[profile, profile], params=params)
+
+    def test_green_requirement_without_sources_rejected(self, anchor_profiles, params):
+        with pytest.raises(ValueError):
+            SitingProblem(
+                profiles=[anchor_profiles["Nairobi, Kenya"]],
+                params=params.with_updates(min_green_fraction=0.5),
+                sources=EnergySources.NONE,
+            )
+
+    def test_mixed_epoch_grids_rejected(self, anchor_profiles, profile_builder, hourly_grid, small_catalog, params):
+        coarse = anchor_profiles["Nairobi, Kenya"]
+        fine = profile_builder.build(small_catalog.get("Kiev, Ukraine"), hourly_grid)
+        with pytest.raises(ValueError):
+            SitingProblem(profiles=[coarse, fine], params=params)
+
+    def test_energy_sources_flags(self):
+        assert EnergySources.SOLAR_ONLY.allows_solar
+        assert not EnergySources.SOLAR_ONLY.allows_wind
+        assert EnergySources.WIND_ONLY.allows_wind
+        assert EnergySources.SOLAR_AND_WIND.allows_solar and EnergySources.SOLAR_AND_WIND.allows_wind
+        assert not EnergySources.NONE.allows_solar and not EnergySources.NONE.allows_wind

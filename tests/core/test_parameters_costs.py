@@ -1,0 +1,189 @@
+"""Tests for the Table I parameters and the CAPEX/OPEX cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, FinancingModel, FrameworkParameters
+
+
+class TestFrameworkParameters:
+    def test_defaults_match_table1(self, params):
+        assert params.area_dc_m2_per_kw == pytest.approx(0.557)
+        assert params.area_solar_m2_per_kw == pytest.approx(9.41)
+        assert params.area_wind_m2_per_kw == pytest.approx(18.21)
+        assert params.price_build_solar_per_kw == pytest.approx(5250.0)
+        assert params.price_build_wind_per_kw == pytest.approx(2100.0)
+        assert params.price_server == 2000.0
+        assert params.price_switch == 20000.0
+        assert params.servers_per_switch == 32
+        assert params.price_battery_per_kwh == 200.0
+        assert params.battery_efficiency == 0.75
+        assert params.cost_line_power_per_km == pytest.approx(310_000.0)
+        assert params.cost_line_network_per_km == pytest.approx(300_000.0)
+
+    def test_power_per_server_includes_switch_share(self, params):
+        assert params.power_per_server_kw == pytest.approx(0.275 + 0.480 / 32)
+
+    def test_num_servers_for_25mw(self, params):
+        # The paper's case study quotes ~91,000 servers for two 25 MW datacenters.
+        servers = params.num_servers(25_000.0)
+        assert 80_000 <= servers <= 95_000
+
+    def test_dc_build_price_small_vs_large(self, params):
+        assert params.price_build_dc_per_kw(5_000.0) == 15_000.0
+        assert params.price_build_dc_per_kw(25_000.0) == 12_000.0
+
+    def test_with_updates_returns_new_object(self, params):
+        updated = params.with_updates(min_green_fraction=0.8)
+        assert updated.min_green_fraction == 0.8
+        assert params.min_green_fraction == 0.5
+        assert updated is not params
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("total_capacity_kw", -1.0),
+            ("min_green_fraction", 1.5),
+            ("min_availability", 1.5),
+            ("migration_factor", 2.0),
+            ("battery_efficiency", 0.0),
+            ("credit_net_meter", -0.1),
+            ("price_server", -1.0),
+            ("servers_per_switch", 0),
+            ("brown_plant_cap_fraction", 0.0),
+        ],
+    )
+    def test_validation(self, params, field, value):
+        with pytest.raises(ValueError):
+            params.with_updates(**{field: value})
+
+
+class TestFinancingModel:
+    def test_monthly_cost_combines_interest_and_depreciation(self):
+        financing = FinancingModel(annual_interest_rate=0.12)
+        monthly = financing.monthly_cost(1200.0, amortisation_years=10.0)
+        assert monthly == pytest.approx(1200.0 * 0.01 + 1200.0 / 120.0)
+
+    def test_interest_only_for_land(self):
+        financing = FinancingModel(annual_interest_rate=0.0325)
+        assert financing.monthly_interest_only(100_000.0) == pytest.approx(
+            100_000.0 * 0.0325 / 12.0
+        )
+
+    def test_zero_interest(self):
+        financing = FinancingModel(annual_interest_rate=0.0)
+        assert financing.monthly_cost(120.0, 1.0) == pytest.approx(10.0)
+        assert financing.monthly_interest_only(120.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FinancingModel(annual_interest_rate=-0.01)
+        financing = FinancingModel()
+        with pytest.raises(ValueError):
+            financing.monthly_cost(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            financing.monthly_cost(1.0, 0.0)
+        with pytest.raises(ValueError):
+            financing.monthly_interest_only(-5.0)
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def cost_model(self, params):
+        return CostModel(params)
+
+    @pytest.fixture(scope="class")
+    def profile(self, anchor_profiles):
+        return anchor_profiles["Grissom, IN, USA"]
+
+    def test_capex_independent_uses_distances(self, cost_model, profile, params):
+        monthly = cost_model.capex_independent_monthly(profile)
+        capital = (
+            params.cost_line_power_per_km * profile.distance_power_km
+            + params.cost_line_network_per_km * profile.distance_network_km
+        )
+        expected = CostModel(params).financing.monthly_cost(capital, 12.0)
+        assert monthly == pytest.approx(expected)
+
+    def test_it_equipment_cost_scale(self, cost_model):
+        # ~86,000 servers at $2,000 plus switches, amortised over 4 years at 3.25%:
+        # roughly $5-6M per month for a 25 MW datacenter.
+        monthly = cost_model.it_equipment_monthly(25_000.0)
+        assert 4e6 <= monthly <= 7e6
+
+    def test_building_cost_small_vs_large(self, cost_model, profile):
+        small = cost_model.building_dc_monthly(profile, 5_000.0, "small")
+        large_price_same_size = cost_model.building_dc_monthly(profile, 5_000.0, "large")
+        assert small > large_price_same_size
+
+    def test_building_cost_auto_class(self, cost_model, profile):
+        auto = cost_model.building_dc_monthly(profile, 25_000.0, "auto")
+        large = cost_model.building_dc_monthly(profile, 25_000.0, "large")
+        assert auto == pytest.approx(large)
+        with pytest.raises(ValueError):
+            cost_model.building_dc_monthly(profile, 25_000.0, "gigantic")
+
+    def test_land_cost_is_interest_only(self, cost_model, profile, params):
+        monthly = cost_model.land_monthly(profile, 25_000.0, 0.0, 0.0)
+        capital = profile.land_price_per_m2 * 25_000.0 * params.area_dc_m2_per_kw
+        assert monthly == pytest.approx(capital * params.annual_interest_rate / 12.0)
+
+    def test_wind_cheaper_than_solar_per_kw(self, cost_model):
+        assert cost_model.building_wind_monthly(1000.0) < cost_model.building_solar_monthly(1000.0)
+
+    def test_battery_monthly(self, cost_model, params):
+        monthly = cost_model.battery_monthly(1000.0)
+        capital = 1000.0 * params.price_battery_per_kwh
+        assert monthly == pytest.approx(
+            capital * (params.annual_interest_rate / 12.0 + 1.0 / (4.0 * 12.0))
+        )
+
+    def test_brown_energy_cost_with_net_metering_credit(self, cost_model, profile):
+        epochs = profile.epochs.num_epochs
+        brown = np.full(epochs, 1000.0)
+        pushed = np.full(epochs, 500.0)
+        drawn = np.full(epochs, 500.0)
+        with_credit = cost_model.brown_energy_monthly(profile, brown, drawn, pushed)
+        without_storage = cost_model.brown_energy_monthly(profile, brown)
+        # With a 100% credit the banked-and-drawn energy nets out.
+        assert with_credit == pytest.approx(without_storage)
+
+    def test_brown_energy_cost_shape_mismatch(self, cost_model, profile):
+        with pytest.raises(ValueError):
+            cost_model.brown_energy_monthly(profile, np.array([1.0, 2.0]))
+
+    def test_opex_combines_bandwidth_and_energy(self, cost_model, profile):
+        epochs = profile.epochs.num_epochs
+        brown = np.zeros(epochs)
+        opex = cost_model.opex_monthly(profile, 25_000.0, brown)
+        assert opex == pytest.approx(cost_model.network_bandwidth_monthly(25_000.0))
+
+    def test_linear_coefficients_match_explicit_costs(self, cost_model, profile, params):
+        """The optimiser's objective coefficients must agree with the explicit model."""
+        coefficients = cost_model.linear_coefficients(profile, "large")
+        capacity, solar, wind, battery = 25_000.0, 40_000.0, 60_000.0, 5_000.0
+        explicit = (
+            cost_model.land_monthly(profile, capacity, solar, wind)
+            + cost_model.building_dc_monthly(profile, capacity, "large")
+            + cost_model.building_solar_monthly(solar)
+            + cost_model.building_wind_monthly(wind)
+            + cost_model.it_equipment_monthly(capacity)
+            + cost_model.battery_monthly(battery)
+            + cost_model.network_bandwidth_monthly(capacity)
+        )
+        linear = (
+            coefficients["capacity_kw"] * capacity
+            + coefficients["solar_kw"] * solar
+            + coefficients["wind_kw"] * wind
+            + coefficients["battery_kwh"] * battery
+        )
+        assert linear == pytest.approx(explicit, rel=1e-9)
+
+    def test_linear_brown_coefficient(self, cost_model, profile):
+        coefficients = cost_model.linear_coefficients(profile, "large")
+        assert coefficients["brown_kwh_year"] == pytest.approx(
+            profile.energy_price_per_kwh / 12.0
+        )
+        assert coefficients["net_charge_kwh_year"] == pytest.approx(
+            -profile.energy_price_per_kwh / 12.0
+        )

@@ -1,0 +1,133 @@
+"""Tests for the DatacenterPlan / NetworkPlan solution structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.solution import COST_COMPONENTS, DatacenterPlan, NetworkPlan
+
+
+@pytest.fixture(scope="module")
+def example_plan(case_study_plan):
+    return case_study_plan
+
+
+class TestDatacenterPlan:
+    def test_series_lengths_validated(self, example_plan, params):
+        dc = example_plan.datacenters[0]
+        with pytest.raises(ValueError):
+            DatacenterPlan(
+                profile=dc.profile,
+                size_class="large",
+                capacity_kw=1000.0,
+                solar_kw=0.0,
+                wind_kw=0.0,
+                battery_kwh=0.0,
+                monthly_costs={"building_dc": 1.0},
+                compute_power_kw=np.zeros(3),
+                migrate_power_kw=np.zeros(3),
+                brown_power_kw=np.zeros(3),
+                green_direct_kw=np.zeros(3),
+                battery_charge_kw=np.zeros(3),
+                battery_discharge_kw=np.zeros(3),
+                net_charge_kw=np.zeros(3),
+                net_discharge_kw=np.zeros(3),
+            )
+
+    def test_unknown_cost_component_rejected(self, example_plan):
+        dc = example_plan.datacenters[0]
+        epochs = dc.profile.epochs.num_epochs
+        zeros = np.zeros(epochs)
+        with pytest.raises(ValueError):
+            DatacenterPlan(
+                profile=dc.profile,
+                size_class="large",
+                capacity_kw=1000.0,
+                solar_kw=0.0,
+                wind_kw=0.0,
+                battery_kwh=0.0,
+                monthly_costs={"lobbying": 1.0},
+                compute_power_kw=zeros,
+                migrate_power_kw=zeros,
+                brown_power_kw=zeros,
+                green_direct_kw=zeros,
+                battery_charge_kw=zeros,
+                battery_discharge_kw=zeros,
+                net_charge_kw=zeros,
+                net_discharge_kw=zeros,
+            )
+
+    def test_total_monthly_cost_sums_components(self, example_plan):
+        dc = example_plan.datacenters[0]
+        assert dc.total_monthly_cost == pytest.approx(sum(dc.monthly_costs.values()))
+
+    def test_power_demand_uses_pue(self, example_plan):
+        dc = example_plan.datacenters[0]
+        expected = (dc.compute_power_kw + dc.migrate_power_kw) * dc.profile.pue
+        np.testing.assert_allclose(dc.power_demand_kw, expected)
+
+    def test_energy_accounting_consistent(self, example_plan):
+        for dc in example_plan.datacenters:
+            assert dc.demand_energy_kwh_year > 0
+            assert dc.green_energy_kwh_year >= 0
+            assert dc.brown_energy_kwh_year >= 0
+            # Supply covers demand over the year.
+            assert (
+                dc.green_energy_kwh_year + dc.brown_energy_kwh_year
+                >= dc.demand_energy_kwh_year - 1.0
+            )
+
+    def test_green_production_at_least_green_used_without_storage_losses(self, example_plan):
+        for dc in example_plan.datacenters:
+            if dc.battery_kwh == 0.0:
+                # With net metering only, green used cannot exceed production.
+                assert dc.green_energy_kwh_year <= dc.green_production_kwh_year + 1.0
+
+    def test_summary_keys(self, example_plan):
+        summary = example_plan.datacenters[0].summary()
+        assert {"capacity_kw", "solar_kw", "wind_kw", "monthly_cost"} <= set(summary)
+
+
+class TestNetworkPlan:
+    def test_requires_datacenters(self, params):
+        with pytest.raises(ValueError):
+            NetworkPlan(datacenters=[], params=params)
+
+    def test_duplicate_datacenters_rejected(self, example_plan, params):
+        dc = example_plan.datacenters[0]
+        with pytest.raises(ValueError):
+            NetworkPlan(datacenters=[dc, dc], params=params)
+
+    def test_aggregates(self, example_plan):
+        assert example_plan.total_capacity_kw == pytest.approx(
+            sum(dc.capacity_kw for dc in example_plan.datacenters)
+        )
+        assert example_plan.total_monthly_cost == pytest.approx(
+            sum(dc.total_monthly_cost for dc in example_plan.datacenters)
+        )
+        assert 0.0 <= example_plan.green_fraction <= 1.0
+
+    def test_cost_breakdown_covers_total(self, example_plan):
+        breakdown = example_plan.cost_breakdown()
+        assert set(breakdown) == set(COST_COMPONENTS)
+        assert sum(breakdown.values()) == pytest.approx(example_plan.total_monthly_cost)
+
+    def test_datacenter_lookup(self, example_plan):
+        name = example_plan.datacenters[0].name
+        assert example_plan.datacenter(name).name == name
+        with pytest.raises(KeyError):
+            example_plan.datacenter("nowhere")
+
+    def test_describe_mentions_each_datacenter(self, example_plan):
+        text = example_plan.describe()
+        for dc in example_plan.datacenters:
+            assert dc.name in text
+
+    def test_summary_keys(self, example_plan):
+        summary = example_plan.summary()
+        assert {
+            "num_datacenters",
+            "monthly_cost",
+            "capacity_kw",
+            "green_fraction",
+            "availability",
+        } <= set(summary)

@@ -1,0 +1,102 @@
+"""Tests for the solar and wind production models."""
+
+import numpy as np
+import pytest
+
+from repro.energy import SolarPanelModel, WindTurbineModel
+
+
+class TestSolarPanelModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SolarPanelModel()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolarPanelModel(module_efficiency=0.0)
+        with pytest.raises(ValueError):
+            SolarPanelModel(inverter_efficiency=1.5)
+        with pytest.raises(ValueError):
+            SolarPanelModel(temperature_coefficient=0.01)
+
+    def test_zero_irradiance_gives_zero(self, model):
+        assert model.production_fraction(np.array([0.0]), np.array([25.0]))[0] == 0.0
+
+    def test_stc_production_close_to_inverter_efficiency(self, model):
+        # 1000 W/m^2 heats the cell above 25 degC, so output is slightly below
+        # the inverter efficiency.
+        fraction = model.production_fraction(np.array([1000.0]), np.array([25.0]))[0]
+        assert 0.75 <= fraction <= model.inverter_efficiency
+
+    def test_output_bounded(self, model):
+        ghi = np.linspace(0, 1400, 100)
+        temps = np.linspace(-20, 50, 100)
+        fraction = model.production_fraction(ghi, temps)
+        assert np.all(fraction >= 0.0) and np.all(fraction <= 1.0)
+
+    def test_hot_cells_produce_less(self, model):
+        cool = model.production_fraction(np.array([800.0]), np.array([5.0]))[0]
+        hot = model.production_fraction(np.array([800.0]), np.array([45.0]))[0]
+        assert hot < cool
+
+    def test_cell_temperature_above_ambient_under_sun(self, model):
+        cell = model.cell_temperature_c(np.array([20.0]), np.array([800.0]))[0]
+        assert cell > 20.0
+
+    def test_area_per_kw_near_table1_value(self, model):
+        # Table I instantiates areaSolar = 9.41 m^2/kW.
+        assert model.area_per_kw_m2() == pytest.approx(9.41, rel=0.05)
+
+
+class TestWindTurbineModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return WindTurbineModel()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindTurbineModel(conversion_efficiency=0.0)
+        with pytest.raises(ValueError):
+            WindTurbineModel(cut_in_speed_m_s=10.0, rated_speed_m_s=5.0)
+
+    def test_below_cut_in_no_power(self, model):
+        assert model.power_curve_fraction(np.array([2.0]))[0] == 0.0
+
+    def test_above_cut_out_no_power(self, model):
+        assert model.power_curve_fraction(np.array([30.0]))[0] == 0.0
+
+    def test_rated_region_full_power(self, model):
+        fraction = model.power_curve_fraction(np.array([20.0]))[0]
+        assert fraction == pytest.approx(1.0)
+
+    def test_monotonic_between_cut_in_and_rated(self, model):
+        speeds = np.linspace(3.0, 13.0, 30)
+        curve = model.power_curve_fraction(speeds)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_production_includes_conversion_losses(self, model):
+        production = model.production_fraction(np.array([20.0]))[0]
+        assert production == pytest.approx(model.conversion_efficiency, abs=1e-9)
+
+    def test_thin_air_reduces_output_below_rated(self, model):
+        sea_level = model.production_fraction(np.array([8.0]), 101.325, 15.0)[0]
+        altitude = model.production_fraction(np.array([8.0]), 80.0, 15.0)[0]
+        assert altitude < sea_level
+
+    def test_density_does_not_exceed_rated(self, model):
+        # Very dense, cold air cannot push the turbine above nameplate.
+        production = model.production_fraction(np.array([20.0]), 105.0, -30.0)[0]
+        assert production <= 1.0
+
+    def test_output_bounded(self, model):
+        speeds = np.linspace(0, 40, 200)
+        production = model.production_fraction(speeds)
+        assert np.all(production >= 0.0) and np.all(production <= 1.0)
+
+    def test_air_density_formula(self, model):
+        density = model.air_density(np.array([101.325]), np.array([15.0]))[0]
+        assert density == pytest.approx(1.225, rel=0.01)
+
+    def test_area_per_kw_near_table1_value(self, model):
+        # Table I instantiates areaWind = 18.21 m^2/kW.
+        assert model.area_per_kw_m2() == pytest.approx(18.21, rel=0.1)

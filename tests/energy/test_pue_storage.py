@@ -1,0 +1,119 @@
+"""Tests for the PUE curve, battery bank and net-metering policy."""
+
+import numpy as np
+import pytest
+
+from repro.energy import BatteryBank, NetMeteringPolicy, PUEModel
+
+
+class TestPUEModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return PUEModel()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PUEModel(min_pue=0.9)
+        with pytest.raises(ValueError):
+            PUEModel(economizer_pue=2.0)
+        with pytest.raises(ValueError):
+            PUEModel(free_cooling_limit_c=40.0, economizer_limit_c=30.0)
+
+    def test_flat_below_free_cooling_limit(self, model):
+        assert model.pue(0.0) == pytest.approx(model.min_pue)
+        assert model.pue(15.0) == pytest.approx(model.min_pue)
+
+    def test_fig4_shape_monotonic(self, model):
+        temperatures, pues = model.curve(15.0, 45.0, 1.0)
+        assert pues[0] == pytest.approx(1.05, abs=0.01)
+        assert pues[-1] == pytest.approx(1.40, abs=0.01)
+        assert np.all(np.diff(pues) >= -1e-12)
+
+    def test_clipped_above_peak(self, model):
+        assert model.pue(60.0) == pytest.approx(model.max_pue)
+
+    def test_scalar_and_vector_interfaces(self, model):
+        scalar = model.pue(25.0)
+        vector = model.series(np.array([25.0, 35.0]))
+        assert isinstance(scalar, float)
+        assert vector.shape == (2,)
+        assert vector[0] == pytest.approx(scalar)
+
+    def test_paper_average_range(self, model):
+        # Mild climates (10-25 degC) should land in the paper's 1.05-1.13 band.
+        temps = np.random.default_rng(0).uniform(5, 25, 1000)
+        assert 1.04 <= float(np.mean(model.series(temps))) <= 1.13
+
+
+class TestBatteryBank:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatteryBank(capacity_kwh=-1.0)
+        with pytest.raises(ValueError):
+            BatteryBank(capacity_kwh=10.0, charge_efficiency=0.0)
+        with pytest.raises(ValueError):
+            BatteryBank(capacity_kwh=10.0, level_kwh=20.0)
+
+    def test_charge_applies_efficiency(self):
+        battery = BatteryBank(capacity_kwh=100.0, charge_efficiency=0.75)
+        absorbed = battery.charge(10.0)
+        assert absorbed == pytest.approx(10.0)
+        assert battery.level_kwh == pytest.approx(7.5)
+
+    def test_charge_respects_capacity(self):
+        battery = BatteryBank(capacity_kwh=6.0, charge_efficiency=0.75)
+        absorbed = battery.charge(100.0)
+        assert battery.level_kwh == pytest.approx(6.0)
+        assert absorbed == pytest.approx(8.0)  # 6 kWh stored / 0.75 efficiency
+
+    def test_discharge_limited_by_level(self):
+        battery = BatteryBank(capacity_kwh=10.0, level_kwh=4.0)
+        delivered = battery.discharge(10.0)
+        assert delivered == pytest.approx(4.0)
+        assert battery.level_kwh == pytest.approx(0.0)
+
+    def test_negative_amounts_rejected(self):
+        battery = BatteryBank(capacity_kwh=10.0)
+        with pytest.raises(ValueError):
+            battery.charge(-1.0)
+        with pytest.raises(ValueError):
+            battery.discharge(-1.0)
+
+    def test_reset(self):
+        battery = BatteryBank(capacity_kwh=10.0, level_kwh=5.0)
+        battery.reset(2.0)
+        assert battery.level_kwh == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            battery.reset(100.0)
+
+    def test_headroom(self):
+        battery = BatteryBank(capacity_kwh=10.0, level_kwh=4.0)
+        assert battery.headroom_kwh == pytest.approx(6.0)
+
+
+class TestNetMeteringPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetMeteringPolicy(credit_fraction=1.5)
+
+    def test_disallowed_policy(self):
+        policy = NetMeteringPolicy.disallowed()
+        assert not policy.allowed
+        with pytest.raises(ValueError):
+            policy.settlement_cost(1.0, 0.0, 0.1)
+
+    def test_full_credit_storage_is_free(self):
+        policy = NetMeteringPolicy(credit_fraction=1.0)
+        # Banking X kWh and later drawing X kWh back nets to zero cost.
+        cost = policy.settlement_cost(drawn_kwh=100.0, pushed_kwh=100.0, retail_price_per_kwh=0.1)
+        assert cost == pytest.approx(0.0)
+
+    def test_partial_credit_costs_money(self):
+        policy = NetMeteringPolicy(credit_fraction=0.5)
+        cost = policy.settlement_cost(100.0, 100.0, 0.1)
+        assert cost == pytest.approx(5.0)
+
+    def test_negative_energy_rejected(self):
+        policy = NetMeteringPolicy()
+        with pytest.raises(ValueError):
+            policy.settlement_cost(-1.0, 0.0, 0.1)

@@ -1,0 +1,138 @@
+"""Tests for the GreenNebula emulation harness (Section V-B/C)."""
+
+import numpy as np
+import pytest
+
+from repro.greennebula import EmulatedCloud, EmulationConfig
+from repro.greennebula.emulation import DatacenterSpec
+
+
+FLEET_KW = 9 * 0.03
+
+
+@pytest.fixture(scope="module")
+def table3_specs(anchor_profiles):
+    """Three solar-heavy datacenters shaped like Table III, scaled to the fleet."""
+    names = ["Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"]
+    return [
+        DatacenterSpec(
+            name=name,
+            profile=anchor_profiles[name],
+            it_capacity_kw=FLEET_KW * 1.2,
+            solar_kw=FLEET_KW * 7.0,
+            wind_kw=FLEET_KW * 0.4,
+        )
+        for name in names
+    ]
+
+
+@pytest.fixture(scope="module")
+def emulation_run(table3_specs):
+    config = EmulationConfig(
+        num_vms=9, duration_hours=24, initial_datacenter="Harare, Zimbabwe", seed=3
+    )
+    cloud = EmulatedCloud(table3_specs, config)
+    summary = cloud.run()
+    return cloud, summary
+
+
+class TestConfiguration:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EmulationConfig(num_vms=0)
+        with pytest.raises(ValueError):
+            EmulationConfig(duration_hours=0)
+        with pytest.raises(ValueError):
+            EmulationConfig(wan_bandwidth_mb_per_hour=0.0)
+
+    def test_requires_datacenters(self):
+        with pytest.raises(ValueError):
+            EmulatedCloud([], EmulationConfig())
+
+    def test_unknown_initial_datacenter(self, table3_specs):
+        with pytest.raises(KeyError):
+            EmulatedCloud(table3_specs, EmulationConfig(initial_datacenter="nowhere"))
+
+
+class TestWorkloadDeployment:
+    def test_all_vms_start_at_initial_datacenter(self, table3_specs):
+        cloud = EmulatedCloud(
+            table3_specs, EmulationConfig(num_vms=9, initial_datacenter="Harare, Zimbabwe")
+        )
+        assert cloud.datacenter("Harare, Zimbabwe").num_vms == 9
+        assert cloud.datacenter("Mexico City, Mexico").num_vms == 0
+
+    def test_each_vm_has_a_gdfs_file(self, table3_specs):
+        cloud = EmulatedCloud(table3_specs, EmulationConfig(num_vms=5))
+        assert len(cloud.gdfs.files) == 5
+        for vm in cloud.vms.values():
+            assert vm.gdfs_file in cloud.gdfs.files
+
+
+class TestEmulationRun:
+    def test_summary_quantities(self, emulation_run):
+        _, summary = emulation_run
+        assert summary.total_hours == 24
+        assert summary.total_migrations >= 1
+        assert summary.total_green_used_kwh > 0
+        assert 0.0 <= summary.green_fraction <= 1.0
+        assert summary.mean_schedule_time_s > 0
+
+    def test_no_vm_lost_during_the_day(self, emulation_run):
+        cloud, _ = emulation_run
+        assert sum(dc.num_vms for dc in cloud.datacenters) == 9
+
+    def test_load_follows_the_renewables(self, emulation_run):
+        """Load must not stay pinned at the starting site for the whole day."""
+        cloud, _ = emulation_run
+        start_series = np.array(cloud.load_series("Harare, Zimbabwe"))
+        others = [
+            np.array(cloud.load_series(name))
+            for name in ("Mexico City, Mexico", "Andersen, Guam")
+        ]
+        assert start_series.min() < start_series.max()  # load left the starting site
+        assert max(series.max() for series in others) > 0.0  # and showed up elsewhere
+
+    def test_trace_contains_all_kinds(self, emulation_run):
+        cloud, _ = emulation_run
+        kinds = cloud.trace.kinds()
+        assert "datacenter" in kinds and "schedule" in kinds
+        per_dc = cloud.trace.of_kind("datacenter")
+        assert len(per_dc) == 24 * 3
+
+    def test_trace_energy_balance(self, emulation_run):
+        cloud, _ = emulation_run
+        for record in cloud.trace.of_kind("datacenter"):
+            supplied = record["brown_kw"] + min(record["green_available_kw"], record["facility_kw"])
+            assert supplied >= record["facility_kw"] - 1e-6
+            assert record["pue"] >= 1.0
+
+    def test_gdfs_invariants_hold_after_run(self, emulation_run):
+        cloud, _ = emulation_run
+        assert cloud.gdfs.check_invariants() == []
+
+    def test_migrated_state_bounded_by_paper_budget(self, emulation_run):
+        """Each migration moves memory + unreplicated disk state (~hundreds of MB)."""
+        cloud, _ = emulation_run
+        for record in cloud.trace.of_kind("migration"):
+            assert record["state_mb"] >= 512.0
+            assert record["state_mb"] <= 512.0 + 5 * 1024.0
+
+    def test_scheduling_runs_every_hour(self, emulation_run):
+        cloud, _ = emulation_run
+        assert len(cloud.decisions) == 24
+
+
+class TestFromNetworkPlan:
+    def test_scaling_preserves_ratios(self, case_study_plan):
+        config = EmulationConfig(num_vms=9, duration_hours=2)
+        cloud = EmulatedCloud.from_network_plan(case_study_plan, config)
+        assert len(cloud.datacenters) == case_study_plan.num_datacenters
+        plan_by_name = {dc.name: dc for dc in case_study_plan.datacenters}
+        for dc in cloud.datacenters:
+            plan_dc = plan_by_name[dc.name]
+            if plan_dc.wind_kw > 0:
+                scale = dc.wind_kw / plan_dc.wind_kw
+                assert scale < 1e-3  # dramatically scaled down
+        summary = cloud.run()
+        assert summary.total_hours == 2

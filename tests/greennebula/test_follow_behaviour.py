@@ -1,0 +1,123 @@
+"""Behavioural tests: prediction noise, planner edge cases and emulation options."""
+
+import numpy as np
+import pytest
+
+from repro.greennebula import (
+    EmulatedCloud,
+    EmulationConfig,
+    GreenDatacenter,
+    GreenEnergyPredictor,
+    GreenNebulaScheduler,
+    MigrationPlanner,
+    VirtualMachine,
+)
+from repro.greennebula.emulation import DatacenterSpec
+from repro.simulation import VMSpec
+
+
+FLEET_KW = 6 * 0.03
+
+
+@pytest.fixture(scope="module")
+def two_site_specs(anchor_profiles):
+    return [
+        DatacenterSpec(
+            name="Mexico City, Mexico",
+            profile=anchor_profiles["Mexico City, Mexico"],
+            it_capacity_kw=FLEET_KW * 1.5,
+            solar_kw=FLEET_KW * 6.0,
+        ),
+        DatacenterSpec(
+            name="Andersen, Guam",
+            profile=anchor_profiles["Andersen, Guam"],
+            it_capacity_kw=FLEET_KW * 1.5,
+            solar_kw=FLEET_KW * 6.0,
+        ),
+    ]
+
+
+class TestPredictionNoiseEffect:
+    def test_noisy_predictor_still_schedules(self, anchor_profiles):
+        dc = GreenDatacenter(
+            name="Harare, Zimbabwe",
+            profile=anchor_profiles["Harare, Zimbabwe"],
+            it_capacity_kw=1.0,
+            solar_kw=5.0,
+        )
+        dc.provision_hosts(2)
+        dc.manager.deploy(VirtualMachine(spec=VMSpec(name="one")))
+        scheduler = GreenNebulaScheduler(
+            [dc], predictor=GreenEnergyPredictor(horizon_hours=24, noise_std=0.3, seed=2),
+            horizon_hours=24,
+        )
+        decision = scheduler.schedule(6.0)
+        assert decision.target_power_kw["Harare, Zimbabwe"] >= 0.0
+
+    def test_noise_changes_forecasts_not_reality(self, anchor_profiles):
+        dc = GreenDatacenter(
+            name="Nairobi, Kenya",
+            profile=anchor_profiles["Nairobi, Kenya"],
+            it_capacity_kw=1.0,
+            solar_kw=5.0,
+        )
+        noisy = GreenEnergyPredictor(horizon_hours=24, noise_std=0.4, seed=1).predict(dc, 0.0)
+        exact = dc.green_power_forecast_kw(0.0, 24)
+        assert noisy.shape == exact.shape
+        assert not np.allclose(noisy, exact)
+
+
+class TestPlannerEdgeCases:
+    def test_targets_above_current_produce_no_migrations(self, anchor_profiles):
+        dc = GreenDatacenter(
+            name="Kiev, Ukraine",
+            profile=anchor_profiles["Kiev, Ukraine"],
+            it_capacity_kw=1.0,
+        )
+        dc.provision_hosts(1)
+        planner = MigrationPlanner()
+        assert planner.plan([dc], {"Kiev, Ukraine": 5.0}) == []
+
+    def test_receiver_without_room_is_skipped(self, anchor_profiles):
+        donor = GreenDatacenter(
+            name="Kiev, Ukraine", profile=anchor_profiles["Kiev, Ukraine"], it_capacity_kw=1.0
+        )
+        receiver = GreenDatacenter(
+            name="Berlin, Germany", profile=anchor_profiles["Berlin, Germany"], it_capacity_kw=1.0
+        )
+        donor.provision_hosts(2)
+        # The receiver has no hosts at all, so nothing can actually land there.
+        for index in range(3):
+            donor.manager.deploy(VirtualMachine(spec=VMSpec(name=f"vm-{index}")))
+        migrations = MigrationPlanner().plan(
+            [donor, receiver], {"Kiev, Ukraine": 0.0, "Berlin, Germany": 0.09}
+        )
+        assert migrations == []
+
+
+class TestEmulationOptions:
+    def test_prediction_noise_option_runs(self, two_site_specs):
+        config = EmulationConfig(
+            num_vms=6, duration_hours=6, prediction_noise_std=0.2, seed=9,
+            initial_datacenter="Andersen, Guam",
+        )
+        cloud = EmulatedCloud(two_site_specs, config)
+        summary = cloud.run()
+        assert summary.total_hours == 6
+        assert sum(dc.num_vms for dc in cloud.datacenters) == 6
+
+    def test_single_datacenter_emulation_never_migrates(self, anchor_profiles):
+        spec = DatacenterSpec(
+            name="Harare, Zimbabwe",
+            profile=anchor_profiles["Harare, Zimbabwe"],
+            it_capacity_kw=FLEET_KW * 2,
+            solar_kw=FLEET_KW * 5,
+        )
+        cloud = EmulatedCloud([spec], EmulationConfig(num_vms=4, duration_hours=6))
+        summary = cloud.run()
+        assert summary.total_migrations == 0
+
+    def test_replication_factor_clamped_to_sites(self, two_site_specs):
+        config = EmulationConfig(num_vms=4, duration_hours=2, gdfs_replication_factor=5)
+        cloud = EmulatedCloud(two_site_specs, config)
+        assert cloud.gdfs.replication_factor == 2

@@ -1,0 +1,156 @@
+"""Tests for GDFS, GreenNebula's multi-datacenter file system."""
+
+import pytest
+
+from repro.greennebula import GDFS
+
+
+DCS = ["dc-a", "dc-b", "dc-c"]
+
+
+@pytest.fixture()
+def gdfs():
+    return GDFS(DCS, replication_factor=2, block_size_mb=64.0)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GDFS([])
+        with pytest.raises(ValueError):
+            GDFS(["a", "a"])
+        with pytest.raises(ValueError):
+            GDFS(["a"], replication_factor=0)
+        with pytest.raises(ValueError):
+            GDFS(["a"], replication_factor=2)
+        with pytest.raises(ValueError):
+            GDFS(["a"], block_size_mb=0.0)
+
+
+class TestNamespace:
+    def test_create_file_replicates_blocks(self, gdfs):
+        metadata = gdfs.create_file("vm.img", 5 * 1024.0, "dc-a")
+        assert metadata.num_blocks == 80
+        for replicas in metadata.replicas.values():
+            assert len(replicas) == 2
+            assert "dc-a" in replicas
+            assert all(replica.valid for replica in replicas.values())
+
+    def test_duplicate_file_rejected(self, gdfs):
+        gdfs.create_file("x", 10.0, "dc-a")
+        with pytest.raises(ValueError):
+            gdfs.create_file("x", 10.0, "dc-b")
+
+    def test_empty_file(self, gdfs):
+        metadata = gdfs.create_file("empty", 0.0, "dc-a")
+        assert metadata.num_blocks == 0
+
+    def test_unknown_datacenter_rejected(self, gdfs):
+        with pytest.raises(KeyError):
+            gdfs.create_file("x", 10.0, "dc-z")
+
+    def test_delete_file(self, gdfs):
+        gdfs.create_file("x", 10.0, "dc-a")
+        gdfs.delete_file("x")
+        with pytest.raises(KeyError):
+            gdfs.file("x")
+
+
+class TestReadsAndWrites:
+    def test_local_read_is_free(self, gdfs):
+        gdfs.create_file("f", 128.0, "dc-a")
+        assert gdfs.read("f", 0, "dc-a") == 0.0
+
+    def test_remote_read_fetches_block(self, gdfs):
+        gdfs.create_file("f", 128.0, "dc-a")
+        # dc-c holds no replica (replication factor 2 places on dc-a and dc-b).
+        traffic = gdfs.read("f", 0, "dc-c")
+        assert traffic == 64.0
+        # The fetched copy is now cached locally: a second read is free.
+        assert gdfs.read("f", 0, "dc-c") == 0.0
+        assert gdfs.transfers.fetch_mb == 64.0
+
+    def test_write_invalidates_remote_replicas(self, gdfs):
+        gdfs.create_file("f", 128.0, "dc-a")
+        gdfs.write("f", 0, "dc-a")
+        replicas = gdfs.file("f").replicas[0]
+        assert replicas["dc-a"].valid and replicas["dc-a"].dirty
+        assert not replicas["dc-b"].valid
+
+    def test_partial_write_without_local_replica_fetches_first(self, gdfs):
+        gdfs.create_file("f", 128.0, "dc-a")
+        traffic = gdfs.write("f", 0, "dc-c", partial=True)
+        assert traffic == 64.0
+        replicas = gdfs.file("f").replicas[0]
+        assert replicas["dc-c"].valid and replicas["dc-c"].dirty
+
+    def test_full_write_without_local_replica_is_free(self, gdfs):
+        gdfs.create_file("f", 128.0, "dc-a")
+        traffic = gdfs.write("f", 0, "dc-c", partial=False)
+        assert traffic == 0.0
+
+    def test_read_of_unknown_block_rejected(self, gdfs):
+        gdfs.create_file("f", 64.0, "dc-a")
+        with pytest.raises(KeyError):
+            gdfs.read("f", 5, "dc-a")
+
+    def test_writes_always_leave_a_valid_replica(self, gdfs):
+        gdfs.create_file("f", 192.0, "dc-a")
+        for block in range(3):
+            gdfs.write("f", block, "dc-b")
+        assert gdfs.check_invariants() == []
+
+
+class TestReplicationAndMigration:
+    def test_dirty_blocks_tracked(self, gdfs):
+        gdfs.create_file("f", 128.0, "dc-a")
+        gdfs.write("f", 0, "dc-a")
+        assert ("f", 0) in gdfs.dirty_blocks("dc-a")
+        assert gdfs.dirty_blocks("dc-b") == []
+
+    def test_background_replication_clears_dirty_blocks(self, gdfs):
+        gdfs.create_file("f", 128.0, "dc-a")
+        gdfs.write("f", 0, "dc-a")
+        gdfs.write("f", 1, "dc-a")
+        traffic = gdfs.replicate_step(max_blocks=10)
+        assert traffic > 0
+        assert gdfs.dirty_blocks() == []
+        assert gdfs.check_invariants() == []
+
+    def test_replicate_step_respects_budget(self, gdfs):
+        gdfs.create_file("f", 640.0, "dc-a")
+        for block in range(10):
+            gdfs.write("f", block, "dc-a")
+        gdfs.replicate_step(max_blocks=3)
+        assert len(gdfs.dirty_blocks()) == 7
+        with pytest.raises(ValueError):
+            gdfs.replicate_step(max_blocks=0)
+
+    def test_unreplicated_data_for_migration(self, gdfs):
+        gdfs.create_file("vm.img", 256.0, "dc-a")
+        gdfs.write("vm.img", 0, "dc-a")
+        gdfs.write("vm.img", 1, "dc-a")
+        assert gdfs.unreplicated_data_mb("vm.img", "dc-a") == 128.0
+        assert gdfs.unreplicated_data_mb("vm.img", "dc-b") == 0.0
+
+    def test_migration_moves_only_dirty_blocks(self, gdfs):
+        gdfs.create_file("vm.img", 256.0, "dc-a")
+        gdfs.write("vm.img", 0, "dc-a")
+        traffic = gdfs.transfer_for_migration("vm.img", "dc-a", "dc-b")
+        assert traffic == 64.0
+        assert gdfs.unreplicated_data_mb("vm.img", "dc-a") == 0.0
+        replicas = gdfs.file("vm.img").replicas[0]
+        assert replicas["dc-b"].valid
+
+    def test_migration_after_replication_moves_nothing(self, gdfs):
+        """The design goal: re-replicated blocks do not travel with the VM."""
+        gdfs.create_file("vm.img", 256.0, "dc-a")
+        gdfs.write("vm.img", 0, "dc-a")
+        gdfs.replicate_step(max_blocks=10)
+        assert gdfs.transfer_for_migration("vm.img", "dc-a", "dc-b") == 0.0
+
+    def test_invariants_detect_problems(self, gdfs):
+        gdfs.create_file("f", 64.0, "dc-a")
+        for replica in gdfs.file("f").replicas[0].values():
+            replica.valid = False
+        assert gdfs.check_invariants()

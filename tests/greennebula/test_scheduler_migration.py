@@ -1,0 +1,241 @@
+"""Tests for the datacenter model, predictor, migration planner and scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.greennebula import (
+    GreenDatacenter,
+    GreenEnergyPredictor,
+    GreenNebulaScheduler,
+    MigrationPlanner,
+    MigrationRequest,
+    VirtualMachine,
+    WANLink,
+)
+from repro.simulation import VMSpec
+
+
+@pytest.fixture(scope="module")
+def three_dcs(anchor_profiles):
+    """Three emulation-scale datacenters mirroring Table III's locations."""
+    fleet_kw = 9 * 0.03
+    names = ["Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"]
+    dcs = []
+    for name in names:
+        dc = GreenDatacenter(
+            name=name,
+            profile=anchor_profiles[name],
+            it_capacity_kw=fleet_kw * 1.5,
+            solar_kw=fleet_kw * 7.0,
+            wind_kw=0.0,
+        )
+        dc.provision_hosts(4)
+        dcs.append(dc)
+    return dcs
+
+
+def deploy_vms(dc, count, prefix="vm"):
+    vms = []
+    for index in range(count):
+        vm = VirtualMachine(spec=VMSpec(name=f"{prefix}-{index}"))
+        dc.manager.deploy(vm)
+        vms.append(vm)
+    return vms
+
+
+class TestGreenDatacenter:
+    def test_validation(self, anchor_profiles):
+        with pytest.raises(ValueError):
+            GreenDatacenter(name="bad", profile=anchor_profiles["Nairobi, Kenya"], it_capacity_kw=0.0)
+        with pytest.raises(ValueError):
+            GreenDatacenter(
+                name="bad", profile=anchor_profiles["Nairobi, Kenya"], it_capacity_kw=1.0, solar_kw=-1.0
+            )
+
+    def test_green_power_scales_with_installed_capacity(self, anchor_profiles):
+        profile = anchor_profiles["Harare, Zimbabwe"]
+        small = GreenDatacenter(name="s", profile=profile, it_capacity_kw=1.0, solar_kw=1.0)
+        large = GreenDatacenter(name="l", profile=profile, it_capacity_kw=1.0, solar_kw=10.0)
+        hours = np.arange(24.0)
+        small_energy = sum(small.green_power_kw(h) for h in hours)
+        large_energy = sum(large.green_power_kw(h) for h in hours)
+        assert large_energy == pytest.approx(10.0 * small_energy, rel=1e-9)
+        assert large_energy > 0
+
+    def test_epoch_index_wraps(self, anchor_profiles):
+        profile = anchor_profiles["Nairobi, Kenya"]
+        dc = GreenDatacenter(name="n", profile=profile, it_capacity_kw=1.0)
+        total_hours = profile.epochs.num_epochs * profile.epochs.hours_per_epoch
+        assert dc.epoch_index(0.0) == dc.epoch_index(float(total_hours))
+
+    def test_forecast_length_and_positivity(self, three_dcs):
+        forecast = three_dcs[0].green_power_forecast_kw(0.0, 48)
+        assert forecast.shape == (48,)
+        assert np.all(forecast >= 0.0)
+        with pytest.raises(ValueError):
+            three_dcs[0].green_power_forecast_kw(0.0, 0)
+
+    def test_power_accounting(self, anchor_profiles):
+        dc = GreenDatacenter(
+            name="x", profile=anchor_profiles["Nairobi, Kenya"], it_capacity_kw=1.0
+        )
+        dc.provision_hosts(2)
+        deploy_vms(dc, 3)
+        assert dc.vm_power_kw == pytest.approx(0.09)
+        assert dc.headroom_kw == pytest.approx(1.0 - 0.09)
+        assert dc.facility_power_kw(0.0) >= dc.it_power_kw
+        assert dc.brown_power_kw(0.0) >= 0.0
+
+
+class TestGreenEnergyPredictor:
+    def test_perfect_prediction_matches_actual(self, three_dcs):
+        predictor = GreenEnergyPredictor(horizon_hours=24, noise_std=0.0)
+        predicted = predictor.predict(three_dcs[0], 0.0)
+        actual = three_dcs[0].green_power_forecast_kw(0.0, 24)
+        np.testing.assert_allclose(predicted, actual)
+
+    def test_noisy_prediction_stays_nonnegative(self, three_dcs):
+        predictor = GreenEnergyPredictor(horizon_hours=24, noise_std=0.5, seed=1)
+        predicted = predictor.predict(three_dcs[0], 12.0)
+        assert np.all(predicted >= 0.0)
+
+    def test_predict_all_keys(self, three_dcs):
+        predictor = GreenEnergyPredictor(horizon_hours=12)
+        predictions = predictor.predict_all(three_dcs, 0.0)
+        assert set(predictions) == {dc.name for dc in three_dcs}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreenEnergyPredictor(horizon_hours=0)
+        with pytest.raises(ValueError):
+            GreenEnergyPredictor(noise_std=-0.1)
+
+
+class TestWANLinkAndRequests:
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            WANLink("a", "a")
+        with pytest.raises(ValueError):
+            WANLink("a", "b", bandwidth_mb_per_hour=0.0)
+
+    def test_paper_migration_fits_in_an_hour(self):
+        """Section V-B: ~750 MB of memory + dirty disk moves in under one hour."""
+        link = WANLink("barcelona", "piscataway")
+        assert link.transfer_hours(750.0) <= 1.0
+
+    def test_transfer_time_negative_rejected(self):
+        link = WANLink("a", "b")
+        with pytest.raises(ValueError):
+            link.transfer_hours(-1.0)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            MigrationRequest("vm", "a", "a", 10.0, 0.03)
+        with pytest.raises(ValueError):
+            MigrationRequest("vm", "a", "b", -1.0, 0.03)
+
+
+class TestMigrationPlanner:
+    def test_plan_moves_power_from_donor_to_receiver(self, three_dcs):
+        donor, receiver, third = three_dcs
+        vms = deploy_vms(donor, 6, prefix="plan")
+        try:
+            targets = {
+                donor.name: donor.vm_power_kw - 3 * 0.03,
+                receiver.name: receiver.vm_power_kw + 3 * 0.03,
+                third.name: third.vm_power_kw,
+            }
+            planner = MigrationPlanner()
+            migrations = planner.plan(three_dcs, targets)
+            assert len(migrations) == 3
+            assert all(m.source == donor.name and m.destination == receiver.name for m in migrations)
+            assert MigrationPlanner.migrated_power_kw(migrations) == pytest.approx(0.09)
+        finally:
+            for vm in vms:
+                donor.manager.undeploy(vm.name)
+
+    def test_smallest_footprint_vms_move_first(self, three_dcs):
+        donor, receiver, third = three_dcs
+        small = VirtualMachine(spec=VMSpec(name="small", memory_mb=256.0))
+        big = VirtualMachine(spec=VMSpec(name="big", memory_mb=2048.0))
+        donor.manager.deploy(big)
+        donor.manager.deploy(small)
+        try:
+            targets = {donor.name: donor.vm_power_kw - 0.03, receiver.name: receiver.vm_power_kw + 0.03}
+            migrations = MigrationPlanner().plan(three_dcs, targets)
+            assert migrations[0].vm_name == "small"
+        finally:
+            donor.manager.undeploy("small")
+            donor.manager.undeploy("big")
+
+    def test_unknown_target_rejected(self, three_dcs):
+        with pytest.raises(KeyError):
+            MigrationPlanner().plan(three_dcs, {"nowhere": 1.0})
+
+    def test_no_migration_when_targets_match_current(self, three_dcs):
+        targets = {dc.name: dc.vm_power_kw for dc in three_dcs}
+        assert MigrationPlanner().plan(three_dcs, targets) == []
+
+    def test_default_link_created_on_demand(self):
+        planner = MigrationPlanner(default_bandwidth_mb_per_hour=1000.0)
+        link = planner.link("a", "b")
+        assert link.bandwidth_mb_per_hour == 1000.0
+        assert planner.link("a", "b") is link
+
+    def test_explicit_link_is_bidirectional(self):
+        planner = MigrationPlanner(links=[WANLink("a", "b", bandwidth_mb_per_hour=100.0)])
+        assert planner.link("b", "a").bandwidth_mb_per_hour == 100.0
+
+
+class TestGreenNebulaScheduler:
+    def test_schedule_returns_targets_for_all_datacenters(self, three_dcs):
+        donor = three_dcs[2]
+        vms = deploy_vms(donor, 9, prefix="sched")
+        try:
+            scheduler = GreenNebulaScheduler(three_dcs, horizon_hours=24)
+            decision = scheduler.schedule(hour_of_year=0.0)
+            assert set(decision.target_power_kw) == {dc.name for dc in three_dcs}
+            total_target = sum(decision.target_power_kw.values())
+            assert total_target >= donor.vm_power_kw - 1e-6
+            assert decision.solve_time_seconds > 0.0
+            assert decision.predicted_brown_kwh >= 0.0
+        finally:
+            for vm in vms:
+                donor.manager.undeploy(vm.name)
+
+    def test_scheduler_moves_load_toward_green(self, three_dcs):
+        """With abundant solar at one site and none at another, load follows the sun."""
+        fleet_kw = 9 * 0.03
+        sunny, dark = three_dcs[0], three_dcs[2]
+        # Temporarily strip the dark site of its solar plant.
+        original_solar = dark.solar_kw
+        dark.solar_kw = 0.0
+        vms = deploy_vms(dark, 9, prefix="follow")
+        try:
+            scheduler = GreenNebulaScheduler(three_dcs, horizon_hours=24)
+            noon = 12.0  # UTC noon: the Americas site has daylight within the window
+            decision = scheduler.schedule(hour_of_year=noon)
+            assert decision.target_power_kw[dark.name] < fleet_kw - 1e-6
+            assert decision.migrations
+        finally:
+            dark.solar_kw = original_solar
+            for vm in vms:
+                dark.manager.undeploy(vm.name)
+
+    def test_solve_time_well_under_a_second(self, three_dcs):
+        """Section V-C reports sub-second scheduling; our LP should match."""
+        scheduler = GreenNebulaScheduler(three_dcs, horizon_hours=48)
+        decision = scheduler.schedule(hour_of_year=0.0)
+        assert decision.solve_time_seconds < 2.0
+
+    def test_validation(self, three_dcs):
+        with pytest.raises(ValueError):
+            GreenNebulaScheduler([], horizon_hours=24)
+        with pytest.raises(ValueError):
+            GreenNebulaScheduler(three_dcs, horizon_hours=0)
+
+    def test_build_model_checks_forecast_length(self, three_dcs):
+        scheduler = GreenNebulaScheduler(three_dcs, horizon_hours=24)
+        bad_forecasts = {dc.name: np.zeros(4) for dc in three_dcs}
+        with pytest.raises(ValueError):
+            scheduler.build_model(0.0, 0.27, {dc.name: 0.0 for dc in three_dcs}, bad_forecasts)

@@ -1,0 +1,167 @@
+"""Tests for VMs, physical hosts and the OpenNebula-like within-DC manager."""
+
+import pytest
+
+from repro.greennebula import OpenNebulaManager, PhysicalHost, PlacementError, VirtualMachine, VMState
+from repro.simulation import VMSpec
+
+
+def make_vm(name="vm-1", memory_mb=512.0, power_w=30.0, cpus=1):
+    return VirtualMachine(spec=VMSpec(name=name, memory_mb=memory_mb, power_w=power_w, virtual_cpus=cpus))
+
+
+class TestVirtualMachine:
+    def test_initial_state(self):
+        vm = make_vm()
+        assert vm.state is VMState.PENDING
+        assert not vm.is_placed
+        assert vm.power_kw == pytest.approx(0.03)
+
+    def test_place_and_stop(self):
+        vm = make_vm()
+        vm.place("dc-a", "host-1")
+        assert vm.state is VMState.RUNNING and vm.is_placed
+        vm.stop()
+        assert vm.power_kw == 0.0
+
+    def test_dirty_data_accumulates_only_while_running(self):
+        vm = make_vm()
+        vm.accumulate_dirty_data(2.0)
+        assert vm.dirty_data_mb == 0.0  # still pending
+        vm.place("dc-a", "host-1")
+        vm.accumulate_dirty_data(2.0)
+        assert vm.dirty_data_mb == pytest.approx(220.0)
+        with pytest.raises(ValueError):
+            vm.accumulate_dirty_data(-1.0)
+
+    def test_migration_state_includes_dirty_data(self):
+        vm = make_vm()
+        vm.place("dc-a", "host-1")
+        vm.accumulate_dirty_data(1.0)
+        assert vm.migration_state_mb == pytest.approx(512.0 + 110.0)
+        assert vm.flush_dirty_data() == pytest.approx(110.0)
+        assert vm.migration_state_mb == pytest.approx(512.0)
+
+    def test_migration_lifecycle(self):
+        vm = make_vm()
+        vm.place("dc-a", "host-1")
+        vm.start_migration()
+        assert vm.state is VMState.MIGRATING
+        vm.finish_migration("dc-b", "host-9")
+        assert vm.state is VMState.RUNNING
+        assert vm.datacenter == "dc-b"
+        assert vm.total_migrations == 1
+
+    def test_invalid_migration_transitions(self):
+        vm = make_vm()
+        with pytest.raises(ValueError):
+            vm.start_migration()  # not running yet
+        vm.place("dc-a", "host-1")
+        with pytest.raises(ValueError):
+            vm.finish_migration("dc-b", "host-2")  # not migrating
+
+
+class TestPhysicalHost:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalHost(name="bad", cpu_cores=0)
+        with pytest.raises(ValueError):
+            PhysicalHost(name="bad", memory_mb=0)
+
+    def test_capacity_accounting(self):
+        host = PhysicalHost(name="h", cpu_cores=4, memory_mb=2048.0)
+        vm = make_vm()
+        host.attach(vm)
+        assert host.used_cores == 1
+        assert host.free_memory_mb == pytest.approx(1536.0)
+
+    def test_cannot_overfill(self):
+        host = PhysicalHost(name="h", cpu_cores=1, memory_mb=600.0)
+        host.attach(make_vm("a"))
+        assert not host.can_host(make_vm("b"))
+        with pytest.raises(ValueError):
+            host.attach(make_vm("b"))
+
+    def test_duplicate_attach_rejected(self):
+        host = PhysicalHost(name="h")
+        vm = make_vm()
+        host.attach(vm)
+        with pytest.raises(ValueError):
+            host.attach(vm)
+
+    def test_detach(self):
+        host = PhysicalHost(name="h")
+        vm = make_vm()
+        host.attach(vm)
+        assert host.detach(vm.name) is vm
+        with pytest.raises(KeyError):
+            host.detach(vm.name)
+
+    def test_power_model(self):
+        host = PhysicalHost(name="h", idle_power_kw=0.1)
+        assert host.power_kw == pytest.approx(0.1)
+        vm = make_vm()
+        vm.place("dc", "h")
+        host.attach(vm)
+        assert host.power_kw == pytest.approx(0.13)
+
+
+class TestOpenNebulaManager:
+    @pytest.fixture()
+    def manager(self):
+        manager = OpenNebulaManager(datacenter_name="dc-a")
+        for index in range(2):
+            manager.add_host(PhysicalHost(name=f"host-{index}", cpu_cores=2, memory_mb=1536.0))
+        return manager
+
+    def test_first_fit_deployment(self, manager):
+        first = manager.deploy(make_vm("vm-1"))
+        second = manager.deploy(make_vm("vm-2"))
+        third = manager.deploy(make_vm("vm-3"))
+        assert first.name == "host-0" and second.name == "host-0"
+        assert third.name == "host-1"
+        assert manager.num_vms == 3
+
+    def test_placement_error_when_full(self, manager):
+        for index in range(4):
+            manager.deploy(make_vm(f"vm-{index}"))
+        with pytest.raises(PlacementError):
+            manager.deploy(make_vm("vm-overflow"))
+
+    def test_deploy_sets_vm_placement(self, manager):
+        vm = make_vm("vm-1")
+        manager.deploy(vm)
+        assert vm.datacenter == "dc-a"
+        assert vm.state is VMState.RUNNING
+
+    def test_undeploy(self, manager):
+        vm = make_vm("vm-1")
+        manager.deploy(vm)
+        returned = manager.undeploy("vm-1")
+        assert returned is vm
+        assert manager.num_vms == 0
+        with pytest.raises(KeyError):
+            manager.undeploy("vm-1")
+
+    def test_find_and_list(self, manager):
+        vm = make_vm("vm-1")
+        manager.deploy(vm)
+        assert manager.find_vm("vm-1") is vm
+        assert manager.find_vm("ghost") is None
+        assert manager.vm_names() == ["vm-1"]
+
+    def test_power_accounting(self, manager):
+        manager.deploy(make_vm("vm-1"))
+        manager.deploy(make_vm("vm-2"))
+        assert manager.vm_power_kw == pytest.approx(0.06)
+        assert manager.it_power_kw > manager.vm_power_kw  # idle host power included
+
+    def test_duplicate_host_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.add_host(PhysicalHost(name="host-0"))
+
+    def test_free_capacity_and_can_accept(self, manager):
+        assert manager.can_accept(make_vm("vm-x"))
+        capacity = manager.free_capacity()
+        assert capacity["cores"] == 4
+        assert capacity["memory_mb"] == pytest.approx(3072.0)

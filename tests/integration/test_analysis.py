@@ -1,0 +1,114 @@
+"""Tests for the analysis (figure/table) drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    case_study_breakdown,
+    figure3_capacity_factor_cdf,
+    figure4_pue_curve,
+    figure5_pue_vs_capacity_factor,
+    figure11_capacity_vs_green,
+    figure15_follow_the_renewables,
+    format_table,
+    series_to_rows,
+    table2_good_locations,
+    table3_no_storage_network,
+)
+from repro.analysis.figures import solution_costs
+from repro.analysis.tables import network_summary_row
+
+
+class TestInputDataFigures:
+    def test_figure3_sorted_cdf(self, all_profiles):
+        data = figure3_capacity_factor_cdf(all_profiles)
+        assert np.all(np.diff(data["solar_cf"]) >= 0)
+        assert np.all(np.diff(data["wind_cf"]) >= 0)
+        assert data["locations_pct"][0] == 0.0 and data["locations_pct"][-1] == 100.0
+        with pytest.raises(ValueError):
+            figure3_capacity_factor_cdf([])
+
+    def test_figure4_matches_paper_endpoints(self):
+        data = figure4_pue_curve()
+        assert data["temperature_c"][0] == 15.0
+        assert data["pue"][0] == pytest.approx(1.05, abs=0.01)
+        assert data["pue"][-1] == pytest.approx(1.40, abs=0.01)
+
+    def test_figure5_arrays_aligned(self, all_profiles):
+        data = figure5_pue_vs_capacity_factor(all_profiles)
+        assert data["solar_cf"].shape == data["avg_pue"].shape == data["wind_cf"].shape
+        assert np.all(data["avg_pue"] >= 1.0)
+
+
+class TestTables:
+    def test_table2_rows(self, small_tool):
+        rows = table2_good_locations(small_tool)
+        assert len(rows) == 5
+        by_location = {row["location"]: row for row in rows}
+        assert by_location["Kiev, Ukraine"]["dc_type"] == "brown"
+        assert by_location["Harare, Zimbabwe"]["solar_capacity_factor_pct"] == pytest.approx(
+            22.4, abs=1.0
+        )
+        assert by_location["Mount Washington, NH, USA"]["wind_capacity_factor_pct"] == pytest.approx(
+            55.6, abs=1.5
+        )
+        # Costs land in the ballpark of Table II's $8.7M-16.5M/month.
+        for row in rows:
+            assert 6.0 <= row["monthly_cost_musd"] <= 25.0
+
+    def test_table3_rows(self, case_study_plan):
+        rows = table3_no_storage_network(case_study_plan)
+        assert len(rows) == case_study_plan.num_datacenters
+        assert all("it_capacity_mw" in row for row in rows)
+
+    def test_case_study_breakdown_totals(self, case_study_plan):
+        rows = case_study_breakdown(case_study_plan)
+        assert rows[-1]["location"] == "TOTAL"
+        assert rows[-1]["total_musd"] == pytest.approx(
+            case_study_plan.total_monthly_cost / 1e6, rel=1e-6
+        )
+
+    def test_network_summary_row_handles_missing_plan(self):
+        row = network_summary_row("scenario", None)
+        assert row["num_datacenters"] == 0
+
+
+class TestSweepHelpers:
+    def test_solution_costs_and_capacities(self, case_study_solution):
+        results = {"wind_and_or_solar": {0.5: case_study_solution}}
+        costs = solution_costs(results)
+        assert costs["wind_and_or_solar"][0] == pytest.approx(
+            case_study_solution.monthly_cost / 1e6
+        )
+        capacities = figure11_capacity_vs_green(results)
+        assert capacities["wind_and_or_solar"][0] == pytest.approx(
+            case_study_solution.plan.total_capacity_kw / 1000.0
+        )
+
+
+class TestFigure15:
+    def test_emulation_series_structure(self, case_study_plan):
+        series = figure15_follow_the_renewables(case_study_plan, duration_hours=6, num_vms=6)
+        assert len(series) == case_study_plan.num_datacenters
+        for per_dc in series.values():
+            assert len(per_dc["hour"]) == 6
+            assert all(value >= 0.0 for value in per_dc["load_kw"])
+            assert all(value >= 0.0 for value in per_dc["green_available_kw"])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 20.5, "b": "longer"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_series_to_rows(self):
+        rows = series_to_rows({"cost": [1.0, 2.0]}, "green_pct", [0, 50])
+        assert rows[1] == {"green_pct": 50, "cost": 2.0}
+        with pytest.raises(ValueError):
+            series_to_rows({"cost": [1.0]}, "x", [0, 1])

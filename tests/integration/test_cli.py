@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.capacity_mw == 50.0
+        assert args.green == 0.5
+        assert args.storage == "net_metering"
+
+    def test_invalid_storage_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--storage", "flywheel"])
+
+    def test_emulate_defaults(self):
+        args = build_parser().parse_args(["emulate"])
+        assert args.vms == 9
+        assert len(args.sites) == 3
+
+
+class TestPlanCommand:
+    def test_small_plan_runs(self):
+        code, output = run_cli(
+            [
+                "--locations", "24", "--seed", "3",
+                "plan", "--capacity-mw", "20", "--green", "0.5",
+                "--iterations", "6", "--keep", "6", "--chains", "1",
+            ]
+        )
+        assert code == 0
+        assert "Network of" in output
+        assert "achieved green fraction" in output
+
+    def test_brown_plan_runs(self):
+        code, output = run_cli(
+            [
+                "--locations", "24", "--seed", "3",
+                "plan", "--capacity-mw", "20", "--green", "0.0", "--sources", "none",
+                "--iterations", "5", "--keep", "6", "--chains", "1",
+            ]
+        )
+        assert code == 0
+        assert "green fraction: 0.0 %" in output
+
+
+class TestSingleSiteCommand:
+    def test_known_location(self):
+        code, output = run_cli(
+            ["--locations", "24", "single-site", "--location", "Nairobi, Kenya", "--green", "0.5"]
+        )
+        assert code == 0
+        assert "Nairobi, Kenya" in output
+
+    def test_unknown_location_lists_anchors(self):
+        code, output = run_cli(["--locations", "24", "single-site", "--location", "Atlantis"])
+        assert code == 1
+        assert "Kiev, Ukraine" in output
+
+
+class TestEmulateCommand:
+    def test_short_emulation(self):
+        code, output = run_cli(["--locations", "24", "emulate", "--hours", "4", "--vms", "4"])
+        assert code == 0
+        assert "migrations" in output
+        assert "green fraction" in output
+
+    def test_unknown_site_fails_cleanly(self):
+        code, output = run_cli(
+            ["--locations", "24", "emulate", "--hours", "2", "--sites", "Nowhere, Atlantis"]
+        )
+        assert code == 1
+        assert "unknown emulation site" in output

@@ -1,0 +1,170 @@
+"""End-to-end shape checks against the paper's headline claims.
+
+These tests do not reproduce the paper's absolute dollar figures (our location
+data is synthetic and the heuristic settings are scaled down for test speed);
+they assert the qualitative findings of Section IV and Section V: orderings,
+rough factors and crossovers.
+"""
+
+import pytest
+
+from repro.core import EnergySources, SearchSettings, StorageMode
+from repro.greennebula import EmulatedCloud, EmulationConfig
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return SearchSettings(
+        keep_locations=8, max_iterations=14, patience=8, num_chains=2, seed=11, max_datacenters=4
+    )
+
+
+@pytest.fixture(scope="module")
+def brown_solution(small_tool, settings):
+    return small_tool.plan_network(
+        50_000.0, 0.0, EnergySources.NONE, StorageMode.NET_METERING, settings=settings
+    )
+
+
+@pytest.fixture(scope="module")
+def green50_solution(small_tool, settings):
+    return small_tool.plan_network(
+        50_000.0, 0.5, EnergySources.SOLAR_AND_WIND, StorageMode.NET_METERING, settings=settings
+    )
+
+
+@pytest.fixture(scope="module")
+def green100_net_metering(small_tool, settings):
+    return small_tool.plan_network(
+        50_000.0, 1.0, EnergySources.SOLAR_AND_WIND, StorageMode.NET_METERING, settings=settings
+    )
+
+
+@pytest.fixture(scope="module")
+def green100_no_storage(small_tool, settings):
+    return small_tool.plan_network(
+        50_000.0, 1.0, EnergySources.SOLAR_AND_WIND, StorageMode.NONE, settings=settings
+    )
+
+
+class TestSectionIVClaims:
+    def test_all_scenarios_feasible(
+        self, brown_solution, green50_solution, green100_net_metering, green100_no_storage
+    ):
+        for solution in (
+            brown_solution,
+            green50_solution,
+            green100_net_metering,
+            green100_no_storage,
+        ):
+            assert solution.feasible and solution.plan is not None
+
+    def test_green_service_costs_a_low_premium(self, brown_solution, green50_solution):
+        """Claim: ~50 % green costs only ~13 % more than the best brown network."""
+        premium = green50_solution.monthly_cost / brown_solution.monthly_cost - 1.0
+        assert 0.0 <= premium <= 0.35
+
+    def test_100_percent_green_premium_moderate_with_net_metering(
+        self, brown_solution, green100_net_metering
+    ):
+        """Claim: 100 % green with net metering is ~28 % more than brown."""
+        premium = green100_net_metering.monthly_cost / brown_solution.monthly_cost - 1.0
+        assert 0.0 <= premium <= 0.60
+
+    def test_wind_cheaper_than_solar_with_net_metering(self, small_tool, settings):
+        """Claim: with storage, wind is the more cost-effective technology."""
+        wind = small_tool.plan_network(
+            50_000.0, 0.75, EnergySources.WIND_ONLY, StorageMode.NET_METERING, settings=settings
+        )
+        solar = small_tool.plan_network(
+            50_000.0, 0.75, EnergySources.SOLAR_ONLY, StorageMode.NET_METERING, settings=settings
+        )
+        assert wind.feasible and solar.feasible
+        assert wind.monthly_cost < solar.monthly_cost
+
+    def test_no_storage_is_much_more_expensive_at_100_percent(
+        self, green100_net_metering, green100_no_storage
+    ):
+        """Claim: storage cuts the cost of a 100 % green service by a large factor."""
+        ratio = green100_no_storage.monthly_cost / green100_net_metering.monthly_cost
+        assert ratio >= 1.5
+
+    def test_batteries_between_net_metering_and_nothing(
+        self, small_tool, settings, green100_net_metering, green100_no_storage
+    ):
+        batteries = small_tool.plan_network(
+            50_000.0, 1.0, EnergySources.SOLAR_AND_WIND, StorageMode.BATTERIES, settings=settings
+        )
+        assert batteries.feasible
+        assert batteries.monthly_cost >= green100_net_metering.monthly_cost * 0.98
+        assert batteries.monthly_cost <= green100_no_storage.monthly_cost * 1.02
+
+    def test_little_overprovisioning_with_storage(self, green100_net_metering):
+        """Claim (Fig. 11): with net metering the network stays near the 50 MW minimum."""
+        plan = green100_net_metering.plan
+        assert plan.total_capacity_kw <= 50_000.0 * 1.25
+
+    def test_no_storage_requires_overprovisioning_or_more_sites(self, green100_no_storage):
+        """Claim (Fig. 12 / Table III): without storage the service over-provisions."""
+        plan = green100_no_storage.plan
+        overprovisioned = plan.total_capacity_kw > 50_000.0 * 1.05
+        more_sites = plan.num_datacenters >= 3
+        big_plants = (plan.total_solar_kw + plan.total_wind_kw) > 4 * 50_000.0
+        assert overprovisioned or more_sites or big_plants
+
+    def test_few_datacenters_needed_with_storage(self, green100_net_metering):
+        """Claim: 2-3 datacenters suffice even for high green percentages."""
+        assert green100_net_metering.plan.num_datacenters <= 3
+
+    def test_migration_overhead_matters_without_storage(self, small_tool, settings):
+        """Claim (Fig. 13): cheaper migrations reduce the no-storage 100 % green cost."""
+        free_migration = small_tool.plan_network(
+            50_000.0,
+            1.0,
+            EnergySources.SOLAR_AND_WIND,
+            StorageMode.NONE,
+            migration_factor=0.0,
+            settings=settings,
+        )
+        full_migration = small_tool.plan_network(
+            50_000.0,
+            1.0,
+            EnergySources.SOLAR_AND_WIND,
+            StorageMode.NONE,
+            migration_factor=1.0,
+            settings=settings,
+        )
+        assert free_migration.feasible and full_migration.feasible
+        assert free_migration.monthly_cost <= full_migration.monthly_cost * 1.02
+
+    def test_net_metering_return_has_little_impact(self, small_tool, settings):
+        """Claim (Section IV-B): the credit level barely changes the total cost."""
+        full_credit = small_tool.plan_network(
+            50_000.0,
+            1.0,
+            EnergySources.SOLAR_AND_WIND,
+            StorageMode.NET_METERING,
+            net_meter_credit=1.0,
+            settings=settings,
+        )
+        no_credit = small_tool.plan_network(
+            50_000.0,
+            1.0,
+            EnergySources.SOLAR_AND_WIND,
+            StorageMode.NET_METERING,
+            net_meter_credit=0.0,
+            settings=settings,
+        )
+        assert full_credit.feasible and no_credit.feasible
+        assert no_credit.monthly_cost <= full_credit.monthly_cost * 1.15
+
+
+class TestSectionVClaims:
+    def test_follow_the_renewables_with_low_overhead(self, case_study_plan):
+        """GreenNebula keeps the service running while moving load with the sun."""
+        config = EmulationConfig(num_vms=9, duration_hours=24, seed=5)
+        cloud = EmulatedCloud.from_network_plan(case_study_plan, config)
+        summary = cloud.run()
+        assert summary.total_migrations < 9 * 24  # not thrashing
+        assert summary.mean_schedule_time_s < 2.0  # paper reports sub-second scheduling
+        assert sum(dc.num_vms for dc in cloud.datacenters) == 9

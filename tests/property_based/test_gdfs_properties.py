@@ -1,0 +1,117 @@
+"""Property-based tests for GDFS and the migration planner."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.greennebula import GDFS, GreenDatacenter, MigrationPlanner, VirtualMachine
+from repro.simulation import VMSpec
+
+
+DCS = ["dc-a", "dc-b", "dc-c"]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "replicate", "migrate"]),
+        st.integers(min_value=0, max_value=3),  # block index
+        st.sampled_from(DCS),
+        st.sampled_from(DCS),
+    ),
+    max_size=40,
+)
+
+
+class TestGDFSInvariants:
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_every_block_always_has_a_valid_replica(self, ops):
+        """Whatever sequence of reads/writes/replications/migrations happens,
+        no block ever loses its last valid replica and replica placement stays
+        within the known datacenters."""
+        gdfs = GDFS(DCS, replication_factor=2, block_size_mb=64.0)
+        gdfs.create_file("f", 4 * 64.0, "dc-a")
+        for operation, block, source, destination in ops:
+            if operation == "read":
+                gdfs.read("f", block, source)
+            elif operation == "write":
+                gdfs.write("f", block, source, partial=bool(block % 2))
+            elif operation == "replicate":
+                gdfs.replicate_step(max_blocks=2)
+            elif operation == "migrate" and source != destination:
+                gdfs.transfer_for_migration("f", source, destination)
+            assert gdfs.check_invariants() == []
+
+    @given(ops=operations)
+    @settings(max_examples=40, deadline=None)
+    def test_replication_is_idempotent_once_clean(self, ops):
+        """After enough background replication passes there is nothing dirty left,
+        and further passes move no data."""
+        gdfs = GDFS(DCS, replication_factor=2, block_size_mb=64.0)
+        gdfs.create_file("f", 4 * 64.0, "dc-a")
+        for operation, block, source, _ in ops:
+            if operation == "write":
+                gdfs.write("f", block, source)
+        for _ in range(10):
+            gdfs.replicate_step(max_blocks=8)
+        assert gdfs.dirty_blocks() == []
+        assert gdfs.replicate_step(max_blocks=8) == 0.0
+
+    @given(
+        writes=st.lists(st.integers(min_value=0, max_value=7), max_size=20),
+        writer=st.sampled_from(DCS),
+        destination=st.sampled_from(DCS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_migration_traffic_equals_unreplicated_data(self, writes, writer, destination):
+        if writer == destination:
+            return
+        gdfs = GDFS(DCS, replication_factor=2, block_size_mb=64.0)
+        gdfs.create_file("f", 8 * 64.0, "dc-a")
+        for block in writes:
+            gdfs.write("f", block, writer)
+        expected = gdfs.unreplicated_data_mb("f", writer)
+        moved = gdfs.transfer_for_migration("f", writer, destination)
+        assert moved == expected
+        assert gdfs.unreplicated_data_mb("f", writer) == 0.0
+
+
+class TestMigrationPlannerProperties:
+    @given(
+        vm_counts=st.tuples(
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=6),
+        ),
+        shed_fraction=st.floats(min_value=0.0, max_value=1.0),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plan_never_overshoots_donor_excess(
+        self, anchor_profiles, vm_counts, shed_fraction, data
+    ):
+        """The planner moves at most (excess + one VM) of power out of any donor
+        and never plans a migration whose source equals its destination."""
+        names = ["Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"]
+        dcs = []
+        for name, count in zip(names, vm_counts):
+            dc = GreenDatacenter(
+                name=name, profile=anchor_profiles[name], it_capacity_kw=1.0
+            )
+            dc.provision_hosts(4)
+            for index in range(count):
+                dc.manager.deploy(VirtualMachine(spec=VMSpec(name=f"{name}-{index}")))
+            dcs.append(dc)
+        current = {dc.name: dc.vm_power_kw for dc in dcs}
+        total = sum(current.values())
+        # Build an arbitrary feasible target split of the same total power.
+        weights = [data.draw(st.floats(min_value=0.0, max_value=1.0)) for _ in dcs]
+        weight_sum = sum(weights) or 1.0
+        targets = {dc.name: total * w / weight_sum for dc, w in zip(dcs, weights)}
+        migrations = MigrationPlanner().plan(dcs, targets)
+        per_vm = 0.03
+        moved_out = {dc.name: 0.0 for dc in dcs}
+        for migration in migrations:
+            assert migration.source != migration.destination
+            moved_out[migration.source] += migration.power_kw
+        for dc in dcs:
+            excess = max(0.0, current[dc.name] - targets[dc.name])
+            assert moved_out[dc.name] <= excess + per_vm + 1e-9

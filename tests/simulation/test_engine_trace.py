@@ -1,0 +1,194 @@
+"""Tests for the discrete-event engine, trace recorder and workload generator."""
+
+import pytest
+
+from repro.simulation import (
+    Event,
+    HPCWorkloadGenerator,
+    SimulationEngine,
+    SimulationError,
+    TraceRecorder,
+    VMSpec,
+)
+
+
+class TestSimulationEngine:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(2.0, lambda e: fired.append("late"))
+        engine.schedule_at(1.0, lambda e: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda e: fired.append("second"), priority=1)
+        engine.schedule_at(1.0, lambda e: fired.append("first"), priority=0)
+        engine.schedule_at(1.0, lambda e: fired.append("third"), priority=1)
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = SimulationEngine()
+        engine.schedule_after(5.0, lambda e: None)
+        engine.run()
+        assert engine.now == pytest.approx(5.0)
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda e: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda e: None)
+
+    def test_run_until_stops_at_boundary(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda e, t=t: fired.append(t))
+        processed = engine.run_until(2.0)
+        assert processed == 2
+        assert fired == [1.0, 2.0]
+        assert engine.now == pytest.approx(2.0)
+        assert engine.pending_events == 1
+
+    def test_run_until_backwards_rejected(self):
+        engine = SimulationEngine(start_time=5.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+    def test_cancelled_events_skipped(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda e: fired.append("no"))
+        event.cancel()
+        engine.schedule_at(2.0, lambda e: fired.append("yes"))
+        engine.run()
+        assert fired == ["yes"]
+
+    def test_periodic_scheduling(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_every(1.0, lambda e: ticks.append(e.now), start_offset=1.0)
+        engine.run_until(5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periodic_requires_positive_interval(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_every(0.0, lambda e: None)
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain(e):
+            fired.append(e.now)
+            if e.now < 3.0:
+                e.schedule_after(1.0, chain)
+
+        engine.schedule_at(1.0, chain)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_processed_counter(self):
+        engine = SimulationEngine()
+        for t in range(5):
+            engine.schedule_at(float(t), lambda e: None)
+        engine.run()
+        assert engine.processed_events == 5
+
+    def test_event_payload_and_fire(self):
+        collected = {}
+        event = Event(time=1.0, name="probe", payload={"key": "value"},
+                      action=lambda e: collected.update(e="done"))
+        event.fire(None)
+        assert collected == {"e": "done"}
+
+
+class TestTraceRecorder:
+    def test_record_and_filter_by_kind(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "load", datacenter="a", value=1.0)
+        trace.record(1.0, "load", datacenter="b", value=2.0)
+        trace.record(1.0, "migration", vm="x")
+        assert len(trace) == 3
+        assert len(trace.of_kind("load")) == 2
+        assert trace.kinds() == ["load", "migration"]
+
+    def test_series_extraction(self):
+        trace = TraceRecorder()
+        for hour, value in enumerate([1.0, 2.0, 3.0]):
+            trace.record(float(hour), "load", value=value)
+        assert trace.series("load", "value") == [1.0, 2.0, 3.0]
+
+    def test_between_window(self):
+        trace = TraceRecorder()
+        for hour in range(5):
+            trace.record(float(hour), "tick")
+        assert len(trace.between(1.0, 3.0)) == 2
+        with pytest.raises(ValueError):
+            trace.between(3.0, 1.0)
+
+    def test_filter_predicate_and_clear(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "a", value=1)
+        trace.record(0.0, "b", value=2)
+        assert len(trace.filter(lambda r: r["value"] > 1)) == 1
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestWorkloadGenerator:
+    def test_paper_vm_defaults(self):
+        spec = VMSpec(name="vm")
+        assert spec.memory_mb == 512.0
+        assert spec.disk_gb == 5.0
+        assert spec.power_w == 30.0
+        assert spec.dirty_data_mb_per_hour == 110.0
+        assert spec.power_kw == pytest.approx(0.03)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            VMSpec(name="bad", virtual_cpus=0)
+        with pytest.raises(ValueError):
+            VMSpec(name="bad", memory_mb=-1.0)
+        with pytest.raises(ValueError):
+            VMSpec(name="bad", runtime_hours=0.0)
+
+    def test_homogeneous_fleet(self):
+        generator = HPCWorkloadGenerator()
+        fleet = generator.homogeneous_fleet(9)
+        assert len(fleet) == 9
+        assert len({spec.name for spec in fleet}) == 9
+        assert all(spec.memory_mb == 512.0 for spec in fleet)
+
+    def test_heterogeneous_fleet_varies(self):
+        generator = HPCWorkloadGenerator(seed=1)
+        fleet = generator.heterogeneous_fleet(20)
+        memories = {spec.memory_mb for spec in fleet}
+        assert len(memories) > 5
+
+    def test_heterogeneous_range_validation(self):
+        generator = HPCWorkloadGenerator()
+        with pytest.raises(ValueError):
+            generator.heterogeneous_fleet(3, memory_range_mb=(100.0, 50.0))
+
+    def test_fleet_for_power(self):
+        generator = HPCWorkloadGenerator()
+        fleet = generator.fleet_for_power(0.27)
+        assert len(fleet) == 9
+
+    def test_negative_counts_rejected(self):
+        generator = HPCWorkloadGenerator()
+        with pytest.raises(ValueError):
+            generator.homogeneous_fleet(-1)
+        with pytest.raises(ValueError):
+            generator.fleet_for_power(-1.0)
+
+    def test_deterministic_with_seed(self):
+        a = HPCWorkloadGenerator(seed=5).heterogeneous_fleet(5)
+        b = HPCWorkloadGenerator(seed=5).heterogeneous_fleet(5)
+        assert [s.memory_mb for s in a] == [s.memory_mb for s in b]

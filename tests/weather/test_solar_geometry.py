@@ -1,0 +1,89 @@
+"""Tests for the solar-geometry approximations."""
+
+import numpy as np
+import pytest
+
+from repro.weather import clear_sky_irradiance, solar_declination_deg, solar_elevation_deg
+from repro.weather.solar_geometry import daylight_hours
+
+
+class TestDeclination:
+    def test_bounds(self):
+        days = np.arange(365)
+        declination = solar_declination_deg(days)
+        assert np.all(declination <= 23.45 + 1e-9)
+        assert np.all(declination >= -23.45 - 1e-9)
+
+    def test_solstices(self):
+        # Around June 21st (day ~171) the declination is near +23.45.
+        assert solar_declination_deg(171.0) == pytest.approx(23.45, abs=0.5)
+        # Around December 21st (day ~354) it is near -23.45.
+        assert solar_declination_deg(354.0) == pytest.approx(-23.45, abs=0.5)
+
+    def test_equinox_near_zero(self):
+        assert abs(solar_declination_deg(79.0)) < 2.0  # around March 21st
+
+    def test_scalar_return(self):
+        assert isinstance(solar_declination_deg(10.0), float)
+
+
+class TestElevation:
+    def test_noon_higher_than_morning(self):
+        noon = solar_elevation_deg(40.0, 100, 12.0)
+        morning = solar_elevation_deg(40.0, 100, 8.0)
+        assert noon > morning
+
+    def test_midnight_below_horizon_mid_latitudes(self):
+        assert solar_elevation_deg(40.0, 100, 0.0) < 0.0
+
+    def test_equator_equinox_noon_near_zenith(self):
+        elevation = solar_elevation_deg(0.0, 79, 12.0)
+        assert elevation == pytest.approx(90.0, abs=3.0)
+
+    def test_polar_night(self):
+        # Above the Arctic circle in mid-winter the sun never rises.
+        elevations = solar_elevation_deg(75.0, 355, np.arange(24))
+        assert np.all(elevations < 0.0)
+
+    def test_vector_shape(self):
+        hours = np.arange(24)
+        elevations = solar_elevation_deg(45.0, 180, hours)
+        assert elevations.shape == (24,)
+
+
+class TestClearSkyIrradiance:
+    def test_zero_at_night(self):
+        assert clear_sky_irradiance(40.0, 180, 0.0) == 0.0
+
+    def test_positive_at_noon(self):
+        ghi = clear_sky_irradiance(40.0, 180, 12.0)
+        assert 600.0 < ghi < 1100.0
+
+    def test_never_exceeds_solar_constant(self):
+        hours = np.arange(24)
+        for day in (0, 90, 180, 270):
+            ghi = clear_sky_irradiance(0.0, day, hours)
+            assert np.all(ghi <= 1361.0)
+            assert np.all(ghi >= 0.0)
+
+    def test_bad_turbidity_rejected(self):
+        with pytest.raises(ValueError):
+            clear_sky_irradiance(0.0, 0, 12.0, turbidity=0.0)
+
+    def test_higher_latitude_less_winter_sun(self):
+        tropics = clear_sky_irradiance(10.0, 0, 12.0)
+        high = clear_sky_irradiance(60.0, 0, 12.0)
+        assert tropics > high
+
+
+class TestDaylightHours:
+    def test_equator_always_about_12(self):
+        for day in (0, 90, 180, 270):
+            assert daylight_hours(0.0, day) == pytest.approx(12.0, abs=0.5)
+
+    def test_summer_longer_than_winter(self):
+        assert daylight_hours(50.0, 172) > daylight_hours(50.0, 355)
+
+    def test_polar_extremes(self):
+        assert daylight_hours(80.0, 172) == pytest.approx(24.0, abs=0.1)
+        assert daylight_hours(80.0, 355) == pytest.approx(0.0, abs=0.1)

@@ -1,0 +1,121 @@
+"""Tests for the synthetic TMY generator."""
+
+import numpy as np
+import pytest
+
+from repro.weather import ClimateProfile, TMYGenerator
+from repro.weather.records import HOURS_PER_YEAR, TMYDataset
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TMYGenerator(seed=42)
+
+
+@pytest.fixture(scope="module")
+def temperate(generator):
+    return generator.generate("temperate", 45.0, ClimateProfile())
+
+
+class TestClimateProfile:
+    def test_invalid_cloudiness(self):
+        with pytest.raises(ValueError):
+            ClimateProfile(cloudiness=1.5)
+
+    def test_negative_wind_rejected(self):
+        with pytest.raises(ValueError):
+            ClimateProfile(mean_wind_speed_m_s=-1.0)
+
+    def test_invalid_wind_seasonality(self):
+        with pytest.raises(ValueError):
+            ClimateProfile(wind_seasonality=2.0)
+
+
+class TestTMYGeneration:
+    def test_shape_and_type(self, temperate):
+        assert isinstance(temperate, TMYDataset)
+        assert temperate.temperature_c.shape == (HOURS_PER_YEAR,)
+        assert temperate.ghi_w_m2.shape == (HOURS_PER_YEAR,)
+
+    def test_determinism(self, generator):
+        a = generator.generate("repeat", 30.0, ClimateProfile())
+        b = generator.generate("repeat", 30.0, ClimateProfile())
+        np.testing.assert_array_equal(a.temperature_c, b.temperature_c)
+        np.testing.assert_array_equal(a.wind_speed_m_s, b.wind_speed_m_s)
+
+    def test_different_locations_differ(self, generator):
+        a = generator.generate("first", 30.0, ClimateProfile())
+        b = generator.generate("second", 30.0, ClimateProfile())
+        assert not np.array_equal(a.ghi_w_m2, b.ghi_w_m2)
+
+    def test_mean_temperature_close_to_profile(self, generator):
+        climate = ClimateProfile(mean_temperature_c=20.0)
+        tmy = generator.generate("temp-check", 10.0, climate)
+        assert np.mean(tmy.temperature_c) == pytest.approx(20.0, abs=1.5)
+
+    def test_irradiance_nonnegative_and_zero_at_night(self, temperate):
+        assert np.all(temperate.ghi_w_m2 >= 0.0)
+        # Local midnight (hour 0 of each day) should have no sun at 45 deg latitude.
+        midnights = temperate.ghi_w_m2[::24]
+        assert np.all(midnights == 0.0)
+
+    def test_summer_sunnier_than_winter_northern_hemisphere(self, temperate):
+        daily = temperate.ghi_w_m2.reshape(365, 24).sum(axis=1)
+        july = daily[182:212].mean()
+        january = daily[0:30].mean()
+        assert july > january
+
+    def test_wind_mean_tracks_profile(self, generator):
+        low = generator.generate("low-wind", 40.0, ClimateProfile(mean_wind_speed_m_s=3.0))
+        high = generator.generate("high-wind", 40.0, ClimateProfile(mean_wind_speed_m_s=9.0))
+        assert np.mean(high.wind_speed_m_s) > np.mean(low.wind_speed_m_s)
+
+    def test_pressure_decreases_with_altitude(self, generator):
+        sea = generator.generate("sea", 0.0, ClimateProfile(altitude_m=0.0))
+        mountain = generator.generate("mountain", 0.0, ClimateProfile(altitude_m=2500.0))
+        assert np.mean(mountain.pressure_kpa) < np.mean(sea.pressure_kpa)
+
+    def test_cloudier_sites_produce_less_irradiance(self, generator):
+        clear = generator.generate("clear", 30.0, ClimateProfile(cloudiness=0.1))
+        cloudy = generator.generate("cloudy", 30.0, ClimateProfile(cloudiness=0.8))
+        assert clear.ghi_w_m2.mean() > cloudy.ghi_w_m2.mean()
+
+
+class TestTMYDatasetValidation:
+    def test_wrong_length_rejected(self):
+        short = np.zeros(100)
+        full = np.full(HOURS_PER_YEAR, 100.0)
+        with pytest.raises(ValueError):
+            TMYDataset(short, full, full, full)
+
+    def test_negative_irradiance_rejected(self):
+        full = np.full(HOURS_PER_YEAR, 10.0)
+        bad = np.full(HOURS_PER_YEAR, -1.0)
+        with pytest.raises(ValueError):
+            TMYDataset(full, bad, full, full)
+
+    def test_nonpositive_pressure_rejected(self):
+        full = np.full(HOURS_PER_YEAR, 10.0)
+        zero = np.zeros(HOURS_PER_YEAR)
+        with pytest.raises(ValueError):
+            TMYDataset(full, full, full, zero)
+
+    def test_day_and_hour_indices(self, temperate):
+        assert temperate.hour_of_day()[25] == 1
+        assert temperate.day_of_year()[25] == 1
+
+    def test_select_days(self, temperate):
+        subset = temperate.select_days([0, 10])
+        assert subset["temperature_c"].shape == (48,)
+        with pytest.raises(ValueError):
+            temperate.select_days([400])
+
+    def test_summary_keys(self, temperate):
+        summary = temperate.summary()
+        assert set(summary) == {
+            "mean_temperature_c",
+            "max_temperature_c",
+            "mean_ghi_w_m2",
+            "mean_wind_speed_m_s",
+            "mean_pressure_kpa",
+        }
