@@ -1,0 +1,135 @@
+"""Perf-trajectory harness: run the solver benchmarks, write BENCH_solver.json.
+
+Runs the Section III-D heuristic-solver scaling benchmark and the Section V-C
+scheduler-timing benchmark without pytest and records wall-clock per stage,
+LP counts and cache hit rates to ``BENCH_solver.json`` next to this file, so
+future PRs have a machine-readable perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
+
+The committed ``BENCH_solver.json`` additionally carries the measured numbers
+of the seed implementation (``baseline_seed``) for the before/after record of
+the fast-siting-search PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR))
+
+from bench_sec3d_solver_scaling import CANDIDATE_COUNTS, run_heuristic  # noqa: E402
+from bench_sec5c_scheduler_timing import SCALES_MW, SETUPS, build_scheduler  # noqa: E402
+
+#: Seed-implementation numbers (commit b4313fa), measured on the same
+#: 1-CPU container this harness first ran on: sequential chains, dict-based
+#: LinearExpression model assembly, dense linprog backend.
+BASELINE_SEED = {
+    "sec3d_heuristic_scaling": {
+        "12": {"elapsed_s": 0.396, "evaluations": 9},
+        "30": {"elapsed_s": 0.592, "evaluations": 8},
+        "60": {"elapsed_s": 0.856, "evaluations": 9},
+    },
+    "sec5c_scheduler_timing_ms": {"50MW": 11.0, "200MW": 11.0},
+}
+
+
+def bench_sec3d(rounds: int = 2) -> dict:
+    """Best-of-``rounds`` per scale point, to damp container CPU jitter."""
+    results = {}
+    for count in CANDIDATE_COUNTS:
+        result = min(
+            (run_heuristic(count) for _ in range(rounds)),
+            key=lambda r: r["elapsed_s"],
+        )
+        results[str(count)] = {
+            "elapsed_s": round(result["elapsed_s"], 4),
+            "filter_seconds": round(result["filter_seconds"], 4),
+            "search_seconds": round(result["search_seconds"], 4),
+            "lps_solved": result["evaluations"],
+            "cache_hits": result["cache_hits"],
+            "cache_hit_rate": round(result["cache_hit_rate"], 4),
+            "cost_musd": round(result["cost_musd"], 4),
+            "feasible": result["feasible"],
+        }
+        print(
+            f"sec3d {count:>3} candidates: {result['elapsed_s']:.3f}s "
+            f"(filter {result['filter_seconds']:.3f}s / search {result['search_seconds']:.3f}s), "
+            f"{result['evaluations']} LPs, {result['cache_hits']} cache hits"
+        )
+    return results
+
+
+def bench_sec5c(rounds: int = 3) -> dict:
+    results = {}
+    for scale in SCALES_MW:
+        solar_share, wind_share = SETUPS["solar+wind"]
+        scheduler = build_scheduler(scale, solar_share, wind_share)
+        scheduler.schedule(12.0)  # warm-up
+        times = []
+        for _ in range(rounds):
+            times.append(scheduler.schedule(12.0).solve_time_seconds)
+        best_ms = 1000.0 * min(times)
+        results[f"{scale:.0f}MW"] = round(best_ms, 3)
+        print(f"sec5c solar+wind {scale:.0f} MW: {best_ms:.1f} ms per scheduling pass")
+    return results
+
+
+def git_revision() -> str:
+    try:
+        return (
+            subprocess.check_output(
+                ["git", "rev-parse", "--short", "HEAD"], cwd=BENCH_DIR, text=True
+            ).strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=BENCH_DIR / "BENCH_solver.json",
+        help="where to write the benchmark record (default: benchmarks/BENCH_solver.json)",
+    )
+    args = parser.parse_args()
+
+    started = time.perf_counter()
+    payload = {
+        "revision": git_revision(),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "rounds": "best of 2 per scale point",
+        "baseline_seed": BASELINE_SEED,
+        "sec3d_heuristic_scaling": bench_sec3d(),
+        "sec5c_scheduler_timing_ms": bench_sec5c(),
+    }
+    payload["harness_seconds"] = round(time.perf_counter() - started, 2)
+
+    largest = str(max(CANDIDATE_COUNTS))
+    seed = BASELINE_SEED["sec3d_heuristic_scaling"][largest]["elapsed_s"]
+    now = payload["sec3d_heuristic_scaling"][largest]["elapsed_s"]
+    payload["speedup_vs_seed_at_largest_scale"] = round(seed / now, 2)
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output} (speedup vs seed at {largest} candidates: "
+          f"{payload['speedup_vs_seed_at_largest_scale']:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

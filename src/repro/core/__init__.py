@@ -22,7 +22,11 @@ from repro.core.availability import Tier, datacenters_needed, network_availabili
 from repro.core.costs import CostModel, FinancingModel
 from repro.core.parameters import FrameworkParameters
 from repro.core.problem import EnergySources, GreenEnforcement, SitingProblem, StorageMode
-from repro.core.provisioning import ProvisioningResult, solve_provisioning
+from repro.core.provisioning import (
+    ProvisioningCompiler,
+    ProvisioningResult,
+    solve_provisioning,
+)
 from repro.core.formulation import build_full_milp, solve_full_milp
 from repro.core.heuristic import HeuristicSolver, SearchSettings
 from repro.core.single_site import SingleSiteAnalyzer, SingleSiteCost
@@ -39,6 +43,7 @@ __all__ = [
     "HeuristicSolver",
     "NetworkPlan",
     "PlacementTool",
+    "ProvisioningCompiler",
     "ProvisioningResult",
     "SearchSettings",
     "SingleSiteAnalyzer",

@@ -21,6 +21,22 @@ from repro.energy.profiles import LocationProfile
 MONTHS_PER_YEAR = 12.0
 
 
+#: Magnitude below which a negative capital value is treated as LP solver
+#: float noise (optimal provisioning variables sit on their zero bound and
+#: come back as values like ``-2.9e-08``) and clamped to zero rather than
+#: rejected.  Genuinely negative capital still raises.
+CAPITAL_NOISE_TOLERANCE = 1e-3
+
+
+def _clamp_capital(value: float, what: str = "capital") -> float:
+    """Clamp tiny negative ``value`` from LP float noise; reject real negatives."""
+    if value < 0:
+        if value >= -CAPITAL_NOISE_TOLERANCE:
+            return 0.0
+        raise ValueError(f"{what} cannot be negative")
+    return value
+
+
 @dataclass(frozen=True)
 class FinancingModel:
     """Turns an upfront capital cost into a monthly carrying cost.
@@ -32,6 +48,10 @@ class FinancingModel:
     ``monthly = capital * (annual_rate / 12) + capital / (amortisation_years * 12)``
 
     For fully recoverable assets (land) only the interest term applies.
+
+    Capital values within ``CAPITAL_NOISE_TOLERANCE`` below zero are clamped
+    to zero: cost entry points are routinely fed optimal LP variable values,
+    which can undershoot their zero lower bound by solver tolerances.
     """
 
     annual_interest_rate: float = 0.0325
@@ -42,8 +62,7 @@ class FinancingModel:
 
     def monthly_cost(self, capital: float, amortisation_years: float) -> float:
         """Monthly carrying cost of a depreciating, financed asset."""
-        if capital < 0:
-            raise ValueError("capital cannot be negative")
+        capital = _clamp_capital(capital)
         if amortisation_years <= 0:
             raise ValueError("the amortisation period must be positive")
         interest = capital * self.annual_interest_rate / MONTHS_PER_YEAR
@@ -52,8 +71,7 @@ class FinancingModel:
 
     def monthly_interest_only(self, capital: float) -> float:
         """Monthly financing cost of a fully recoverable asset (land)."""
-        if capital < 0:
-            raise ValueError("capital cannot be negative")
+        capital = _clamp_capital(capital)
         return capital * self.annual_interest_rate / MONTHS_PER_YEAR
 
 
@@ -128,6 +146,7 @@ class CostModel:
 
     def it_equipment_monthly(self, capacity_kw: float) -> float:
         """Monthly cost of servers and switches (``serverCost`` + ``switchCost``)."""
+        capacity_kw = _clamp_capital(capacity_kw, what="capacity")
         servers = self.params.num_servers(capacity_kw)
         capital = servers * self.params.price_server
         capital += (servers / self.params.servers_per_switch) * self.params.price_switch
@@ -160,6 +179,7 @@ class CostModel:
     # -- OPEX ---------------------------------------------------------------------------
     def network_bandwidth_monthly(self, capacity_kw: float) -> float:
         """``networkCost(d)``: external bandwidth, $/month."""
+        capacity_kw = _clamp_capital(capacity_kw, what="capacity")
         return self.params.num_servers(capacity_kw) * self.params.price_bandwidth_per_server_month
 
     def brown_energy_monthly(

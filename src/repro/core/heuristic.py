@@ -12,28 +12,66 @@ Section II-C of the paper makes the MILP tractable in three steps:
    search chains with different move mixes that periodically synchronise on
    the best solution found.
 
-The implementation mirrors those steps.  Chains are run sequentially (each
-starting from the best state found so far, which plays the role of the
-paper's periodic synchronisation between parallel instances).
+The implementation mirrors those steps and, like the paper's tool, runs the
+expensive parts concurrently when the hardware allows it:
+
+* the *filter* prices candidate locations in chunks (optionally across a
+  thread pool), each chunk reusing one warm-started HiGHS context — the
+  pricing LPs all share the same structure, so the previous optimal basis
+  cuts the simplex work roughly in half;
+* the *search* runs its annealing chains either sequentially (each chain
+  starting from the best siting found so far, the role of the paper's
+  periodic synchronisation) or as parallel chains that explore independently
+  from the shared starting point and synchronise at the end.  Parallel mode
+  is deterministic for a fixed seed: each chain owns its RNG, provisioning
+  LPs are solved cold (no cross-chain solver state), and the evaluation memo
+  is a table of futures so exactly one chain computes each unique siting.
+
+Every provisioning evaluation is memoized by its frozen siting — the
+annealing moves revisit states constantly — and all evaluations share one
+:class:`~repro.core.provisioning.ProvisioningCompiler` so the per-site model
+skeleton is built once per ``(location, size class)`` pair.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import random
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.core.problem import EnergySources, SitingProblem, StorageMode
-from repro.core.provisioning import ProvisioningResult, solve_provisioning
-from repro.core.single_site import SingleSiteAnalyzer
+from repro.core.problem import GreenEnforcement, SitingProblem
+from repro.core.provisioning import (
+    ProvisioningCompiler,
+    ProvisioningResult,
+    solve_provisioning,
+)
+from repro.core.single_site import (
+    priced_in_chunks,
+    scoring_parameters,
+    scoring_sources,
+    single_site_size_class,
+)
 from repro.core.solution import NetworkPlan
 from repro.lpsolver import SolverOptions
+from repro.lpsolver.highs_backend import AVAILABLE as _HIGHS_DIRECT_AVAILABLE
+from repro.lpsolver.highs_backend import HighsSolveContext
 
 #: Neighbour-move identifiers (the paper's four move kinds; "swap" is the
 #: combination of a remove and an add in one step, and "merge" removes one
 #: datacenter letting the LP grow the remaining ones).
 MOVES = ("add", "remove", "swap", "resize", "merge")
+
+#: The filter pricing pass always splits candidates into this many contiguous
+#: chunks (fewer when there are fewer candidates), one warm-started HiGHS
+#: context per chunk.  A fixed chunk count keeps the basis-carry-over
+#: sequences — and therefore the pricing scores, bit for bit — independent of
+#: how many workers happen to execute the chunks.
+FILTER_CHUNKS = 8
 
 
 @dataclass
@@ -45,12 +83,23 @@ class SearchSettings:
     patience: int = 20                #: stop a chain after this many non-improving iterations
     initial_temperature: float = 0.05  #: SA temperature as a fraction of the current cost
     cooling: float = 0.93             #: geometric temperature decay per iteration
-    num_chains: int = 2               #: number of sequential chains
+    num_chains: int = 2               #: number of annealing chains
     seed: int = 0                     #: RNG seed
     max_datacenters: int = 6          #: cap on simultaneously sited datacenters
     move_weights: Dict[str, float] = field(
         default_factory=lambda: {"add": 1.0, "remove": 1.0, "swap": 2.0, "resize": 1.0, "merge": 0.5}
     )
+    #: Run annealing chains on a thread pool.  ``None`` (default) means
+    #: sequential, where chain *k* starts from the best siting of chains
+    #: ``0..k-1`` — the two modes explore different trajectories, so the
+    #: default never depends on the machine's CPU count and a fixed seed
+    #: reproduces the same siting everywhere.  Set True to explore chains
+    #: independently in parallel (also deterministic for a fixed seed, for
+    #: any worker count — but along the parallel trajectory).
+    parallel_chains: Optional[bool] = None
+    #: Worker cap for the filter pricing pass and the parallel chains
+    #: (``None`` = number of CPUs).
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.keep_locations < 1:
@@ -59,6 +108,8 @@ class SearchSettings:
             raise ValueError("the search needs at least one iteration and one chain")
         if not 0.0 < self.cooling <= 1.0:
             raise ValueError("the cooling factor must lie in (0, 1]")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         unknown = set(self.move_weights) - set(MOVES)
         if unknown:
             raise ValueError(f"unknown neighbour moves: {sorted(unknown)}")
@@ -75,6 +126,18 @@ class HeuristicSolution:
     filtered_locations: List[str]
     history: List[Tuple[int, float]]
     message: str = ""
+    cache_hits: int = 0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class _ChainOutcome:
+    """What one annealing chain reports back to the merge step."""
+
+    chain: int
+    best_siting: Dict[str, str]
+    best_result: ProvisioningResult
+    improvements: List[Tuple[int, float]]
 
 
 class HeuristicSolver:
@@ -89,8 +152,28 @@ class HeuristicSolver:
         self.problem = problem
         self.settings = settings or SearchSettings()
         self.solver_options = solver_options or SolverOptions()
-        self._cache: Dict[FrozenSet[Tuple[str, str]], ProvisioningResult] = {}
+        self._compiler = ProvisioningCompiler(problem)
+        self._cache: Dict[FrozenSet[Tuple[str, str]], Future] = {}
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
         self._evaluations = 0
+        # Basis warm-start contexts for the annealing loop, keyed by siting
+        # shape (site count, small-class count).  Only used while the chains
+        # run sequentially: contexts are not thread-safe, and cold solves keep
+        # the parallel search's results independent of chain scheduling.
+        self._sa_contexts: Dict[Tuple[int, int], HighsSolveContext] = {}
+        self._sa_warm_starts = False
+
+    # -- worker accounting ---------------------------------------------------------
+    def _workers(self, upper: int) -> int:
+        """Concurrency to use, bounded by settings, CPUs and the task size."""
+        limit = self.settings.max_workers or os.cpu_count() or 1
+        return max(1, min(limit, upper))
+
+    @property
+    def cache_hits(self) -> int:
+        """Provisioning evaluations answered from the siting memo."""
+        return self._cache_hits
 
     # -- step 1: filtering ---------------------------------------------------------
     def filter_locations(self) -> List[str]:
@@ -102,6 +185,10 @@ class HeuristicSolver:
         Infeasible locations (for example, ones whose nearest brown plant is
         too small) are discarded.
 
+        The pricing LPs are structurally identical across locations, so each
+        worker prices its chunk through one warm-started HiGHS context; with
+        more than one CPU the chunks run on a thread pool.
+
         Like the paper's filter, similar locations are not all kept: the
         survivors are spread across time zones (the paper removes "subsets of
         locations that are similar (e.g., same time zone)"), which is what
@@ -110,23 +197,49 @@ class HeuristicSolver:
         """
         problem = self.problem
         share_kw = problem.params.total_capacity_kw / max(1, problem.min_datacenters)
-        analyzer = SingleSiteAnalyzer(problem.params, self.solver_options)
         # For the *scoring* step, require only a modest green share: a site can
         # be a valuable night-time/receiver location in a follow-the-renewables
         # network even if it cannot host the full green requirement by itself.
         score_green = min(problem.params.min_green_fraction, 0.5)
-        scored: List[Tuple[float, str, float]] = []
-        for profile in problem.profiles:
-            result = analyzer.cost_at(
-                profile,
-                capacity_kw=share_kw,
-                min_green_fraction=score_green,
-                sources=problem.sources,
-                storage=problem.storage,
-            )
-            if result.feasible:
-                longitude = profile.location.point.longitude
-                scored.append((result.monthly_cost, profile.name, longitude))
+        # One shared pricing problem (the single-site scoring configuration of
+        # SingleSiteAnalyzer.cost_at) so every location's LP flows through the
+        # same compiler: the CSC pattern is templated once and each chunk's
+        # HiGHS context warm-starts from the previous location's basis.
+        # Scoring always uses ANNUAL green enforcement (as cost_at does): the
+        # filter ranks sites by their annual economics even when the network
+        # problem enforces the share per epoch.
+        pricing_params = scoring_parameters(problem.params, share_kw, score_green)
+        pricing_problem = problem.with_updates(
+            params=pricing_params,
+            sources=scoring_sources(score_green, problem.sources),
+            green_enforcement=GreenEnforcement.ANNUAL,
+        )
+        pricing_compiler = ProvisioningCompiler(pricing_problem)
+
+        def price_chunk(profiles) -> List[Tuple[float, str, float]]:
+            context = HighsSolveContext() if _HIGHS_DIRECT_AVAILABLE else None
+            chunk_scores: List[Tuple[float, str, float]] = []
+            for profile in profiles:
+                size_class = single_site_size_class(share_kw, profile, pricing_params)
+                result = solve_provisioning(
+                    pricing_problem,
+                    {profile.name: size_class},
+                    options=self.solver_options,
+                    enforce_spread=False,
+                    compiler=pricing_compiler,
+                    solver_context=context,
+                )
+                if result.feasible:
+                    longitude = profile.location.point.longitude
+                    chunk_scores.append((result.monthly_cost, profile.name, longitude))
+            return chunk_scores
+
+        scored = priced_in_chunks(
+            problem.profiles,
+            price_chunk,
+            num_chunks=FILTER_CHUNKS,
+            workers=self._workers(FILTER_CHUNKS),
+        )
         scored.sort()
         keep = max(self.settings.keep_locations, problem.min_datacenters)
 
@@ -148,7 +261,13 @@ class HeuristicSolver:
 
     # -- step 2: fixed-siting evaluation ----------------------------------------------
     def evaluate(self, siting: Dict[str, str]) -> ProvisioningResult:
-        """Solve (and cache) the provisioning LP for a siting decision."""
+        """Solve (and memoize) the provisioning LP for a siting decision.
+
+        The memo is a table of futures: the first caller of a siting computes
+        it, concurrent callers of the same siting block on the same future.
+        Results are therefore independent of chain scheduling, which is what
+        keeps the parallel search deterministic.
+        """
         if len(siting) < self.problem.min_datacenters:
             return ProvisioningResult(
                 feasible=False,
@@ -160,19 +279,45 @@ class HeuristicSolver:
                 ),
             )
         key = frozenset(siting.items())
-        if key not in self._cache:
-            self._evaluations += 1
-            self._cache[key] = solve_provisioning(
-                self.problem, siting, options=self.solver_options
-            )
-        return self._cache[key]
+        with self._cache_lock:
+            future = self._cache.get(key)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._cache[key] = future
+                self._evaluations += 1
+            else:
+                self._cache_hits += 1
+        if owner:
+            context = None
+            if self._sa_warm_starts and _HIGHS_DIRECT_AVAILABLE:
+                shape = (len(siting), sum(1 for c in siting.values() if c == "small"))
+                context = self._sa_contexts.get(shape)
+                if context is None:
+                    context = self._sa_contexts.setdefault(shape, HighsSolveContext())
+            try:
+                result = solve_provisioning(
+                    self.problem,
+                    siting,
+                    options=self.solver_options,
+                    compiler=self._compiler,
+                    solver_context=context,
+                )
+            except BaseException as error:  # propagate to all waiters
+                future.set_exception(error)
+                raise
+            future.set_result(result)
+            return result
+        return future.result()
 
     # -- step 3: simulated annealing ----------------------------------------------------
     def solve(self) -> HeuristicSolution:
         """Run the full heuristic and return the best plan found."""
         settings = self.settings
         problem = self.problem
+        filter_started = time.perf_counter()
         candidates = self.filter_locations()
+        filter_seconds = time.perf_counter() - filter_started
         if len(candidates) < problem.min_datacenters:
             return HeuristicSolution(
                 plan=None,
@@ -185,39 +330,52 @@ class HeuristicSolver:
                     f"only {len(candidates)} feasible candidate locations, but the "
                     f"availability constraint requires {problem.min_datacenters}"
                 ),
+                cache_hits=self._cache_hits,
+                stats={"filter_seconds": filter_seconds},
             )
 
+        search_started = time.perf_counter()
         best_siting = self._initial_siting(candidates)
         best_result = self.evaluate(best_siting)
         history: List[Tuple[int, float]] = [(0, best_result.monthly_cost)]
-        iteration = 0
 
-        for chain in range(settings.num_chains):
-            rng = random.Random(settings.seed + 7919 * chain)
-            move_weights = self._chain_move_weights(chain)
-            current_siting = dict(best_siting)
-            current_result = best_result
-            temperature = settings.initial_temperature
-            stale = 0
-            for _ in range(settings.max_iterations):
-                iteration += 1
-                neighbour = self._neighbour(current_siting, candidates, rng, move_weights)
-                if neighbour is None:
-                    continue
-                result = self.evaluate(neighbour)
-                if not result.feasible:
-                    continue
-                if self._accept(current_result, result, temperature, rng):
-                    current_siting, current_result = neighbour, result
-                if result.feasible and result.monthly_cost < best_result.monthly_cost - 1e-6:
-                    best_siting, best_result = dict(neighbour), result
-                    history.append((iteration, result.monthly_cost))
-                    stale = 0
-                else:
-                    stale += 1
-                temperature *= settings.cooling
-                if stale >= settings.patience:
-                    break
+        chain_workers = self._workers(settings.num_chains)
+        parallel = bool(settings.parallel_chains) and settings.num_chains > 1
+        self._sa_warm_starts = not parallel
+
+        if parallel:
+            # All chains explore independently from the shared initial best and
+            # synchronise at the end; the merge prefers lower cost, ties broken
+            # by chain index, so the outcome is reproducible for a fixed seed.
+            with ThreadPoolExecutor(max_workers=min(chain_workers, settings.num_chains)) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda chain: self._run_chain(chain, best_siting, best_result, candidates),
+                        range(settings.num_chains),
+                    )
+                )
+            for outcome in outcomes:
+                offset = outcome.chain * settings.max_iterations
+                history.extend(
+                    (offset + iteration, cost) for iteration, cost in outcome.improvements
+                )
+                if outcome.best_result.monthly_cost < best_result.monthly_cost - 1e-6:
+                    best_siting, best_result = outcome.best_siting, outcome.best_result
+        else:
+            # Sequential chains: each starts from the best state found so far,
+            # which plays the role of the paper's periodic synchronisation
+            # between parallel instances.
+            iteration_offset = 0
+            for chain in range(settings.num_chains):
+                outcome = self._run_chain(chain, best_siting, best_result, candidates)
+                history.extend(
+                    (iteration_offset + iteration, cost)
+                    for iteration, cost in outcome.improvements
+                )
+                iteration_offset += settings.max_iterations
+                if outcome.best_result.monthly_cost < best_result.monthly_cost - 1e-6:
+                    best_siting, best_result = outcome.best_siting, outcome.best_result
+        search_seconds = time.perf_counter() - search_started
 
         return HeuristicSolution(
             plan=best_result.plan,
@@ -225,8 +383,58 @@ class HeuristicSolver:
             feasible=best_result.feasible,
             evaluations=self._evaluations,
             filtered_locations=candidates,
-            history=history,
+            history=sorted(history),
             message=best_result.message,
+            cache_hits=self._cache_hits,
+            stats={
+                "filter_seconds": filter_seconds,
+                "search_seconds": search_seconds,
+                "parallel_chains": float(parallel),
+                "chain_workers": float(min(chain_workers, settings.num_chains)),
+            },
+        )
+
+    def _run_chain(
+        self,
+        chain: int,
+        start_siting: Dict[str, str],
+        start_result: ProvisioningResult,
+        candidates: Sequence[str],
+    ) -> _ChainOutcome:
+        """One annealing chain; deterministic given its index and start state."""
+        settings = self.settings
+        rng = random.Random(settings.seed + 7919 * chain)
+        move_weights = self._chain_move_weights(chain)
+        current_siting = dict(start_siting)
+        current_result = start_result
+        best_siting = dict(start_siting)
+        best_result = start_result
+        improvements: List[Tuple[int, float]] = []
+        temperature = settings.initial_temperature
+        stale = 0
+        for iteration in range(1, settings.max_iterations + 1):
+            neighbour = self._neighbour(current_siting, candidates, rng, move_weights)
+            if neighbour is None:
+                continue
+            result = self.evaluate(neighbour)
+            if not result.feasible:
+                continue
+            if self._accept(current_result, result, temperature, rng):
+                current_siting, current_result = neighbour, result
+            if result.feasible and result.monthly_cost < best_result.monthly_cost - 1e-6:
+                best_siting, best_result = dict(neighbour), result
+                improvements.append((iteration, result.monthly_cost))
+                stale = 0
+            else:
+                stale += 1
+            temperature *= settings.cooling
+            if stale >= settings.patience:
+                break
+        return _ChainOutcome(
+            chain=chain,
+            best_siting=best_siting,
+            best_result=best_result,
+            improvements=improvements,
         )
 
     # -- helpers --------------------------------------------------------------------------

@@ -14,25 +14,99 @@ only green energy that actually serves the load (directly or via storage).
 This closes a loophole in the figure's aggregate form in which simultaneous
 charge/discharge could inflate the green numerator, and matches the intent
 described in Sections II-B and IV.
+
+Two model builders emit the identical LP:
+
+* the **vectorized** builder (default) emits each per-epoch constraint family
+  — power balance, battery dynamics, net-metering bank, migration coupling —
+  as one :meth:`~repro.lpsolver.model.Model.add_linear_block` call of COO
+  triplets, with the per-site triplet skeleton cached by a
+  :class:`ProvisioningCompiler` so the annealing search pays assembly costs
+  only once per ``(location, size class)`` pair it visits;
+* the **scalar** builder keeps the original readable
+  ``for t in range(num_epochs)`` object-API construction, selected with
+  ``backend="scalar"`` and used by the differential tests to pin the fast
+  path to the reference formulation.
+
+Plan extraction is lazy: :class:`ProvisioningResult` materialises the
+:class:`NetworkPlan` on first access of ``.plan``, so the thousands of
+intermediate LPs the annealing search discards never pay extraction costs.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core.costs import CostModel
-from repro.core.problem import EnergySources, GreenEnforcement, SitingProblem, StorageMode
+from repro.core.problem import GreenEnforcement, SitingProblem, StorageMode
 from repro.core.solution import DatacenterPlan, NetworkPlan
 from repro.energy.profiles import LocationProfile
-from repro.lpsolver import LinearExpression, Model, SolverOptions, Variable
+from repro.lpsolver import (
+    ConstraintSense,
+    LinearExpression,
+    Model,
+    RowFormLP,
+    SolverOptions,
+    Variable,
+)
+from repro.lpsolver import highs_backend
+
+#: Per-epoch variable families of one site, in registration order (after the
+#: four scalar sizing variables capacity/solar/wind/battery).
+_EPOCH_FAMILIES = (
+    "compute",
+    "migrate",
+    "brown",
+    "green_direct",
+    "battery_charge",
+    "battery_discharge",
+    "battery_level",
+    "net_charge",
+    "net_discharge",
+    "net_level",
+)
+
+#: Default model-construction backend; ``"scalar"`` keeps the readable
+#: object-API builder for differential testing.
+DEFAULT_BACKEND = "vectorized"
+
+
+@dataclass
+class _SiteLayout:
+    """Index layout of one site's variables inside the model's vector.
+
+    Both builders register variables in the same order, so the layout is
+    fully determined by the site's base offset and the number of epochs:
+    ``[capacity, solar, wind, battery]`` followed by the ten per-epoch
+    families of ``_EPOCH_FAMILIES``.
+    """
+
+    profile: LocationProfile
+    size_class: str
+    base: int
+    num_epochs: int
+
+    def __post_init__(self) -> None:
+        t = np.arange(self.num_epochs, dtype=np.int64)
+        self.capacity = self.base
+        self.solar = self.base + 1
+        self.wind = self.base + 2
+        self.battery = self.base + 3
+        for k, family in enumerate(_EPOCH_FAMILIES):
+            setattr(self, family, self.base + 4 + k * self.num_epochs + t)
+
+    @property
+    def num_variables(self) -> int:
+        return 4 + len(_EPOCH_FAMILIES) * self.num_epochs
 
 
 @dataclass
 class _SiteVariables:
-    """Handles to the LP variables of one sited location."""
+    """Handles to the LP variables of one sited location (scalar builder)."""
 
     profile: LocationProfile
     size_class: str
@@ -53,16 +127,684 @@ class _SiteVariables:
 
 
 @dataclass
-class ProvisioningResult:
-    """Outcome of a fixed-siting provisioning solve."""
+class _SiteSkeleton:
+    """Cached constraint/objective skeleton of one ``(location, size class)``.
 
-    feasible: bool
-    monthly_cost: float
-    plan: Optional[NetworkPlan]
-    message: str = ""
+    Everything is expressed in site-local variable indices ``0..n-1``; the
+    compiler offsets rows and columns when stitching sites into a model.
+    ``blocks`` holds ``(rows, cols, vals, sense, rhs, name)`` tuples; the
+    ``tri_*``/``rhs``/mask fields carry the same triplets pre-concatenated
+    (with block-local row offsets applied) for the templated row-form path.
+    ``green_*`` holds the site's contribution to the cross-site minimum-green
+    coupling constraint.  Variable names are generated lazily — only the
+    Model route needs them.
+    """
+
+    location_name: str
+    num_epochs: int
+    lower: np.ndarray
+    upper: np.ndarray
+    blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray, ConstraintSense, np.ndarray, str]]
+    objective_cols: np.ndarray
+    objective_vals: np.ndarray
+    fixed_cost: float
+    tri_rows: np.ndarray
+    tri_cols: np.ndarray
+    tri_vals: np.ndarray
+    rhs: np.ndarray
+    le_mask: np.ndarray
+    ge_mask: np.ndarray
+    green_rows: np.ndarray
+    green_cols: np.ndarray
+    green_vals: np.ndarray
+    _names: Optional[List[str]] = None
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.rhs.shape[0])
+
+    @property
+    def names(self) -> List[str]:
+        """Variable names in layout order (generated on first Model build)."""
+        if self._names is None:
+            name = self.location_name
+            names = [f"capacity[{name}]", f"solar[{name}]", f"wind[{name}]", f"battery[{name}]"]
+            for family in _EPOCH_FAMILIES:
+                names.extend(f"{family}[{name},{epoch}]" for epoch in range(self.num_epochs))
+            self._names = names
+        return self._names
+
+
+@dataclass
+class _ModelTemplate:
+    """Cached CSC sparsity pattern of one siting *shape*.
+
+    Sitings whose ordered size-class tuples match produce LPs with identical
+    sparsity patterns (per-site skeletons keep explicit zeros precisely so
+    this holds across locations); only the coefficient values differ.  The
+    template maps the deterministic triplet concatenation order onto CSC data
+    order (``perm``) so assembling a new model of the same shape is a single
+    fancy-index, and caches the per-row sense masks used to expand right-hand
+    sides into HiGHS row bounds.
+    """
+
+    shape: Tuple[int, int]
+    perm: np.ndarray
+    indices: np.ndarray
+    indptr: np.ndarray
+    le_mask: np.ndarray
+    ge_mask: np.ndarray
+
+
+class ProvisioningResult:
+    """Outcome of a fixed-siting provisioning solve.
+
+    ``monthly_cost`` is the LP objective.  The :class:`NetworkPlan` behind
+    ``plan`` is extracted lazily on first access — the annealing search
+    evaluates thousands of sitings but only ever reads the plan of the best
+    one, so eager extraction would dominate the hot path.
+    """
+
+    __slots__ = ("feasible", "monthly_cost", "message", "_plan", "_extractor")
+
+    def __init__(
+        self,
+        feasible: bool,
+        monthly_cost: float,
+        plan: Optional[NetworkPlan] = None,
+        message: str = "",
+        extractor: Optional[Callable[[], NetworkPlan]] = None,
+    ) -> None:
+        self.feasible = feasible
+        self.monthly_cost = monthly_cost
+        self.message = message
+        self._plan = plan
+        self._extractor = extractor
+
+    @property
+    def plan(self) -> Optional[NetworkPlan]:
+        # Snapshot the extractor: results are shared across threads through
+        # the siting memo, and two concurrent first reads must both see a
+        # callable (duplicate extraction is harmless; both produce the same
+        # plan from the same solve vector).
+        extractor = self._extractor
+        if self._plan is None and extractor is not None:
+            self._plan = extractor()
+            self._extractor = None
+        return self._plan
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience only
         return self.feasible
+
+    def __repr__(self) -> str:
+        return (
+            f"ProvisioningResult(feasible={self.feasible}, "
+            f"monthly_cost={self.monthly_cost:.6g}, message={self.message!r})"
+        )
+
+
+class ProvisioningCompiler:
+    """Compiles siting decisions of one problem into provisioning models.
+
+    The compiler caches the per-site constraint skeleton (COO triplets,
+    bounds, objective coefficients) keyed by ``(location, size class)``.
+    The annealing moves — add, remove, swap, resize, merge — revisit the same
+    pairs constantly, so after warm-up a model assembly is little more than
+    concatenating cached arrays and adding the cross-site coupling rows.
+    Thread-safe; the parallel annealing chains share one compiler.
+    """
+
+    def __init__(self, problem: SitingProblem) -> None:
+        self.problem = problem
+        self.cost_model = CostModel(problem.params)
+        self._profiles = problem.profile_map()
+        self._skeletons: Dict[Tuple[str, str], _SiteSkeleton] = {}
+        # Per-shape CSC pattern cache; False marks shapes that cannot be
+        # templated (degenerate grids with duplicate COO coordinates).
+        self._templates: Dict[Tuple, object] = {}
+        self._lock = threading.Lock()
+
+    # -- per-site skeleton -------------------------------------------------------
+    def site_skeleton(self, name: str, size_class: str) -> _SiteSkeleton:
+        key = (name, size_class)
+        with self._lock:
+            skeleton = self._skeletons.get(key)
+        if skeleton is None:
+            skeleton = self._build_site_skeleton(name, size_class)
+            with self._lock:
+                self._skeletons.setdefault(key, skeleton)
+        return skeleton
+
+    def _build_site_skeleton(self, name: str, size_class: str) -> _SiteSkeleton:
+        problem = self.problem
+        params = problem.params
+        profile = self._profiles.get(name)
+        if profile is None:
+            raise KeyError(f"siting refers to unknown location {name!r}")
+        epochs = problem.epochs
+        T = epochs.num_epochs
+        weights = epochs.epoch_weights_hours()
+        hours = epochs.epoch_hours
+        t = np.arange(T, dtype=np.int64)
+        prev = (t - 1) % T
+        ones = np.ones(T)
+
+        allow_solar = problem.sources.allows_solar
+        allow_wind = problem.sources.allows_wind
+        use_batteries = problem.storage is StorageMode.BATTERIES
+        use_net_metering = problem.storage is StorageMode.NET_METERING
+        inf = float("inf")
+
+        # Local variable layout mirrors _SiteLayout / the scalar builder.
+        cap, sol, wnd, bat = 0, 1, 2, 3
+        fam = {
+            family: 4 + k * T + t for k, family in enumerate(_EPOCH_FAMILIES)
+        }
+        n_vars = 4 + len(_EPOCH_FAMILIES) * T
+        lower = np.zeros(n_vars)
+        upper = np.full(n_vars, inf)
+        upper[sol] = inf if allow_solar else 0.0
+        upper[wnd] = inf if allow_wind else 0.0
+        upper[bat] = inf if use_batteries else 0.0
+        brown_cap = params.brown_plant_cap_fraction * profile.near_plant_capacity_kw
+        upper[fam["brown"]] = max(0.0, brown_cap)
+        storage_upper = inf if use_batteries else 0.0
+        upper[fam["battery_charge"]] = storage_upper
+        upper[fam["battery_discharge"]] = storage_upper
+        upper[fam["battery_level"]] = storage_upper
+        net_upper = inf if use_net_metering else 0.0
+        upper[fam["net_charge"]] = net_upper
+        upper[fam["net_discharge"]] = net_upper
+        upper[fam["net_level"]] = net_upper
+
+        pue = profile.pue
+        mf_pue = params.migration_factor * pue
+
+        blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray, ConstraintSense, np.ndarray, str]] = []
+
+        def block(row_lists, col_lists, val_lists, sense, rhs, label):
+            blocks.append(
+                (
+                    np.concatenate(row_lists),
+                    np.concatenate(col_lists),
+                    np.concatenate(val_lists),
+                    sense,
+                    np.asarray(rhs, dtype=float),
+                    f"{label}[{name}]",
+                )
+            )
+
+        # Size-class consistency: the construction price per kW assumed in the
+        # objective is only valid within the class's power range.
+        if size_class == "small":
+            block(
+                [np.zeros(1, dtype=np.int64)],
+                [np.array([cap], dtype=np.int64)],
+                [np.array([profile.max_pue])],
+                ConstraintSense.LESS_EQUAL,
+                [params.small_dc_threshold_kw],
+                "small_dc",
+            )
+        # Migration overhead: load that left this site since the previous epoch
+        # still consumes energy here during this epoch.
+        block(
+            [t, t, t],
+            [fam["migrate"], fam["compute"][prev], fam["compute"]],
+            [ones, -ones, ones],
+            ConstraintSense.GREATER_EQUAL,
+            np.zeros(T),
+            "migration",
+        )
+        # Constraint 1: provisioned capacity covers compute plus incoming load.
+        block(
+            [t, t, t],
+            [np.full(T, cap, dtype=np.int64), fam["compute"], fam["migrate"]],
+            [ones, -ones, -ones],
+            ConstraintSense.GREATER_EQUAL,
+            np.zeros(T),
+            "capacity_cover",
+        )
+        # Constraint 5: demand is met by direct green, storage draws and brown.
+        block(
+            [t, t, t, t, t, t],
+            [
+                fam["green_direct"],
+                fam["battery_discharge"],
+                fam["net_discharge"],
+                fam["brown"],
+                fam["compute"],
+                fam["migrate"],
+            ],
+            [ones, ones, ones, ones, -pue, -mf_pue],
+            ConstraintSense.GREATER_EQUAL,
+            np.zeros(T),
+            "power_balance",
+        )
+        # Green energy only counts toward the requirement when it actually
+        # serves load: what is delivered (directly or from storage) in an epoch
+        # cannot exceed that epoch's demand.  Surplus production is curtailed
+        # (or, with net metering, banked for later).
+        block(
+            [t, t, t, t, t],
+            [
+                fam["compute"],
+                fam["migrate"],
+                fam["green_direct"],
+                fam["battery_discharge"],
+                fam["net_discharge"],
+            ],
+            [pue, mf_pue, -ones, -ones, -ones],
+            ConstraintSense.GREATER_EQUAL,
+            np.zeros(T),
+            "green_delivery_cap",
+        )
+        # Green allocation: direct use plus storage charging cannot exceed production.
+        block(
+            [t, t, t, t, t],
+            [
+                np.full(T, sol, dtype=np.int64),
+                np.full(T, wnd, dtype=np.int64),
+                fam["green_direct"],
+                fam["battery_charge"],
+                fam["net_charge"],
+            ],
+            [profile.solar_alpha, profile.wind_beta, -ones, -ones, -ones],
+            ConstraintSense.GREATER_EQUAL,
+            np.zeros(T),
+            "green_allocation",
+        )
+        if use_batteries:
+            # Constraints 6-7: battery level dynamics (cyclic over the year).
+            eff_hours = params.battery_efficiency * hours
+            block(
+                [t, t, t, t],
+                [
+                    fam["battery_level"],
+                    fam["battery_level"][prev],
+                    fam["battery_charge"],
+                    fam["battery_discharge"],
+                ],
+                [ones, -ones, np.full(T, -eff_hours), np.full(T, hours)],
+                ConstraintSense.EQUAL,
+                np.zeros(T),
+                "battery_dynamics",
+            )
+            block(
+                [t, t],
+                [fam["battery_level"], np.full(T, bat, dtype=np.int64)],
+                [ones, -ones],
+                ConstraintSense.LESS_EQUAL,
+                np.zeros(T),
+                "battery_capacity",
+            )
+        if use_net_metering:
+            # Constraints 8-9: net-metered energy bank (cyclic over the year).
+            block(
+                [t, t, t, t],
+                [
+                    fam["net_level"],
+                    fam["net_level"][prev],
+                    fam["net_charge"],
+                    fam["net_discharge"],
+                ],
+                [ones, -ones, np.full(T, -hours), np.full(T, hours)],
+                ConstraintSense.EQUAL,
+                np.zeros(T),
+                "net_dynamics",
+            )
+
+        # Objective contribution of this site.
+        coefficients = self.cost_model.linear_coefficients(profile, size_class)
+        obj_cols = [np.array([cap, sol, wnd, bat], dtype=np.int64), fam["brown"]]
+        obj_vals = [
+            np.array(
+                [
+                    coefficients["capacity_kw"],
+                    coefficients["solar_kw"],
+                    coefficients["wind_kw"],
+                    coefficients["battery_kwh"],
+                ]
+            ),
+            coefficients["brown_kwh_year"] * weights,
+        ]
+        if use_net_metering:
+            obj_cols.append(fam["net_discharge"])
+            obj_vals.append(coefficients["net_discharge_kwh_year"] * weights)
+            obj_cols.append(fam["net_charge"])
+            obj_vals.append(coefficients["net_charge_kwh_year"] * weights)
+
+        # Pre-concatenated triplets (block-local row offsets applied) and
+        # per-row sense masks for the templated row-form fast path.
+        tri_rows_parts: List[np.ndarray] = []
+        rhs_parts: List[np.ndarray] = []
+        le_parts: List[np.ndarray] = []
+        ge_parts: List[np.ndarray] = []
+        row_offset = 0
+        for rows, _cols, _vals, sense, rhs, _label in blocks:
+            tri_rows_parts.append(rows + row_offset)
+            rhs_parts.append(rhs)
+            n_rows = len(rhs)
+            le_parts.append(
+                np.full(n_rows, sense is ConstraintSense.LESS_EQUAL, dtype=bool)
+            )
+            ge_parts.append(
+                np.full(n_rows, sense is ConstraintSense.GREATER_EQUAL, dtype=bool)
+            )
+            row_offset += n_rows
+
+        # This site's slice of the cross-site minimum-green coupling row(s):
+        # delivered green counts positive, a ``frac`` share of the demand
+        # counts negative (annual form weights epochs by their hours).
+        if params.min_green_fraction > 0:
+            frac = params.min_green_fraction
+            per_epoch = problem.green_enforcement is GreenEnforcement.PER_EPOCH
+            if per_epoch:
+                green_val = np.ones(T)
+                compute_val = -(pue * frac)
+                migrate_val = -(mf_pue * frac)
+                green_rows = np.concatenate([t] * 5)
+            else:
+                green_val = weights.astype(float)
+                compute_val = -((pue * weights) * frac)
+                migrate_val = -((mf_pue * weights) * frac)
+                green_rows = np.zeros(5 * T, dtype=np.int64)
+            green_cols = np.concatenate(
+                [
+                    fam["green_direct"],
+                    fam["battery_discharge"],
+                    fam["net_discharge"],
+                    fam["compute"],
+                    fam["migrate"],
+                ]
+            )
+            green_vals = np.concatenate(
+                [green_val, green_val, green_val, compute_val, migrate_val]
+            )
+        else:
+            green_rows = np.empty(0, dtype=np.int64)
+            green_cols = np.empty(0, dtype=np.int64)
+            green_vals = np.empty(0)
+
+        return _SiteSkeleton(
+            location_name=name,
+            num_epochs=T,
+            lower=lower,
+            upper=upper,
+            blocks=blocks,
+            objective_cols=np.concatenate(obj_cols),
+            objective_vals=np.concatenate(obj_vals),
+            fixed_cost=coefficients["fixed"],
+            tri_rows=np.concatenate(tri_rows_parts),
+            tri_cols=np.concatenate([cols for _rows, cols, *_rest in blocks]),
+            tri_vals=np.concatenate([vals for _rows, _cols, vals, *_rest in blocks]),
+            rhs=np.concatenate(rhs_parts),
+            le_mask=np.concatenate(le_parts),
+            ge_mask=np.concatenate(ge_parts),
+            green_rows=green_rows,
+            green_cols=green_cols,
+            green_vals=green_vals,
+        )
+
+    # -- whole-model assembly -----------------------------------------------------
+    def compile(
+        self, siting: Mapping[str, str], enforce_spread: bool = True
+    ) -> Tuple[Model, List[_SiteLayout]]:
+        """Assemble the provisioning LP for one siting decision as a Model."""
+        problem = self.problem
+        params = problem.params
+        T = problem.num_epochs
+        t = np.arange(T, dtype=np.int64)
+        model = Model(name="provisioning", sense="min")
+        layouts: List[_SiteLayout] = []
+        skeletons: List[_SiteSkeleton] = []
+        profiles = self._profiles
+
+        objective_cols: List[np.ndarray] = []
+        objective_vals: List[np.ndarray] = []
+        fixed_cost = 0.0
+        for name, size_class in siting.items():
+            skeleton = self.site_skeleton(name, size_class)
+            base = model.num_variables
+            model.add_variable_array(skeleton.names, skeleton.lower, skeleton.upper)
+            layouts.append(
+                _SiteLayout(
+                    profile=profiles[name], size_class=size_class, base=base, num_epochs=T
+                )
+            )
+            skeletons.append(skeleton)
+            for rows, cols, vals, sense, rhs, label in skeleton.blocks:
+                model.add_linear_block(
+                    rows, cols + base, vals, sense, rhs, name=label, validate=False
+                )
+            objective_cols.append(skeleton.objective_cols + base)
+            objective_vals.append(skeleton.objective_vals)
+            fixed_cost += skeleton.fixed_cost
+
+        # Constraint 2: the network must provide the requested compute power in
+        # every epoch.
+        model.add_linear_block(
+            np.concatenate([t] * len(layouts)),
+            np.concatenate([layout.compute for layout in layouts]),
+            np.ones(T * len(layouts)),
+            ConstraintSense.GREATER_EQUAL,
+            np.full(T, params.total_capacity_kw),
+            name="total_capacity",
+            validate=False,
+        )
+
+        # Constraint 3: minimum share of green energy, enforced either over the
+        # whole year (the paper's main formulation) or in every epoch (the
+        # stricter variant studied in the technical report).  The per-site
+        # contributions are cached in the skeletons.
+        if params.min_green_fraction > 0:
+            per_epoch = problem.green_enforcement is GreenEnforcement.PER_EPOCH
+            model.add_linear_block(
+                np.concatenate([skeleton.green_rows for skeleton in skeletons]),
+                np.concatenate(
+                    [
+                        skeleton.green_cols + layout.base
+                        for skeleton, layout in zip(skeletons, layouts)
+                    ]
+                ),
+                np.concatenate([skeleton.green_vals for skeleton in skeletons]),
+                ConstraintSense.GREATER_EQUAL,
+                np.zeros(T) if per_epoch else np.zeros(1),
+                name="min_green_fraction",
+                validate=False,
+            )
+
+        # Availability spread: every sited DC keeps at least S/n servers.
+        if enforce_spread and layouts:
+            floor = params.total_capacity_kw / len(layouts)
+            model.add_linear_block(
+                np.arange(len(layouts), dtype=np.int64),
+                np.array([layout.capacity for layout in layouts], dtype=np.int64),
+                np.ones(len(layouts)),
+                ConstraintSense.GREATER_EQUAL,
+                np.full(len(layouts), floor),
+                name="capacity_spread",
+                validate=False,
+            )
+
+        model.set_objective(
+            LinearExpression(
+                dict(
+                    zip(
+                        np.concatenate(objective_cols).tolist(),
+                        np.concatenate(objective_vals).tolist(),
+                    )
+                ),
+                fixed_cost,
+            )
+        )
+        return model, layouts
+
+    # -- templated row-form assembly ------------------------------------------------
+    def compile_row_form(
+        self, siting: Mapping[str, str], enforce_spread: bool = True
+    ) -> Optional[Tuple[RowFormLP, List[_SiteLayout]]]:
+        """Assemble the LP directly in HiGHS row form via the pattern cache.
+
+        Sitings with the same ordered size-class tuple share one CSC sparsity
+        pattern, so after the first assembly of a shape only the coefficient
+        values, bounds and right-hand sides are rebuilt (a few array
+        concatenations and one fancy-index).  Returns ``None`` when the shape
+        cannot be templated (degenerate single-epoch grids produce duplicate
+        COO coordinates); callers then fall back to :meth:`compile`.
+        """
+        problem = self.problem
+        params = problem.params
+        T = problem.num_epochs
+        if T < 2:
+            return None
+        skeletons: List[_SiteSkeleton] = []
+        classes: List[str] = []
+        for name, size_class in siting.items():
+            skeletons.append(self.site_skeleton(name, size_class))
+            classes.append(size_class)
+        num_sites = len(skeletons)
+        nvars_site = len(skeletons[0].lower)
+        has_green = params.min_green_fraction > 0
+        per_epoch = problem.green_enforcement is GreenEnforcement.PER_EPOCH
+
+        key = (tuple(classes), bool(enforce_spread))
+        with self._lock:
+            template = self._templates.get(key)
+        if template is False:
+            return None
+        if template is None:
+            template = self._build_template(
+                key, skeletons, enforce_spread, has_green, per_epoch
+            )
+            with self._lock:
+                self._templates.setdefault(key, template if template is not None else False)
+            if template is None:
+                return None
+
+        # Values, right-hand sides, bounds and costs in the same deterministic
+        # order the template's pattern was built in.
+        vals_parts = [skeleton.tri_vals for skeleton in skeletons]
+        rhs_parts = [skeleton.rhs for skeleton in skeletons]
+        vals_parts.append(np.ones(T * num_sites))  # total_capacity
+        rhs_parts.append(np.full(T, params.total_capacity_kw))
+        if has_green:
+            vals_parts.extend(skeleton.green_vals for skeleton in skeletons)
+            rhs_parts.append(np.zeros(T if per_epoch else 1))
+        if enforce_spread:
+            vals_parts.append(np.ones(num_sites))
+            rhs_parts.append(np.full(num_sites, params.total_capacity_kw / num_sites))
+        vals = np.concatenate(vals_parts)
+        rhs = np.concatenate(rhs_parts)
+        if len(vals) != len(template.perm) or len(rhs) != template.shape[0]:
+            return None  # pattern drifted; let the Model path handle it
+
+        num_cols = num_sites * nvars_site
+        cost = np.zeros(num_cols)
+        fixed_cost = 0.0
+        for index, skeleton in enumerate(skeletons):
+            cost[skeleton.objective_cols + index * nvars_site] = skeleton.objective_vals
+            fixed_cost += skeleton.fixed_cost
+        row_form = RowFormLP(
+            cost=cost,
+            a_indptr=template.indptr,
+            a_indices=template.indices,
+            a_data=vals[template.perm],
+            shape=template.shape,
+            row_lower=np.where(template.le_mask, -np.inf, rhs),
+            row_upper=np.where(template.ge_mask, np.inf, rhs),
+            lower=np.concatenate([skeleton.lower for skeleton in skeletons]),
+            upper=np.concatenate([skeleton.upper for skeleton in skeletons]),
+            integrality=np.zeros(num_cols, dtype=np.int64),
+            maximise=False,
+            objective_constant=fixed_cost,
+        )
+        profiles = self._profiles
+        layouts = [
+            _SiteLayout(
+                profile=profiles[name],
+                size_class=size_class,
+                base=index * nvars_site,
+                num_epochs=T,
+            )
+            for index, (name, size_class) in enumerate(siting.items())
+        ]
+        return row_form, layouts
+
+    def _build_template(
+        self,
+        key: Tuple,
+        skeletons: List[_SiteSkeleton],
+        enforce_spread: bool,
+        has_green: bool,
+        per_epoch: bool,
+    ) -> Optional[_ModelTemplate]:
+        problem = self.problem
+        T = problem.num_epochs
+        t = np.arange(T, dtype=np.int64)
+        num_sites = len(skeletons)
+        nvars_site = len(skeletons[0].lower)
+        num_cols = num_sites * nvars_site
+        compute_local = 4 + t  # compute is the first per-epoch family
+        capacity_local = 0
+
+        rows_parts: List[np.ndarray] = []
+        cols_parts: List[np.ndarray] = []
+        le_parts: List[np.ndarray] = []
+        ge_parts: List[np.ndarray] = []
+        row_offset = 0
+        for index, skeleton in enumerate(skeletons):
+            rows_parts.append(skeleton.tri_rows + row_offset)
+            cols_parts.append(skeleton.tri_cols + index * nvars_site)
+            le_parts.append(skeleton.le_mask)
+            ge_parts.append(skeleton.ge_mask)
+            row_offset += skeleton.num_rows
+        rows_parts.append(np.tile(t, num_sites) + row_offset)
+        cols_parts.append(
+            np.concatenate([compute_local + index * nvars_site for index in range(num_sites)])
+        )
+        le_parts.append(np.zeros(T, dtype=bool))
+        ge_parts.append(np.ones(T, dtype=bool))
+        row_offset += T
+        if has_green:
+            green_rows = T if per_epoch else 1
+            for index, skeleton in enumerate(skeletons):
+                rows_parts.append(skeleton.green_rows + row_offset)
+                cols_parts.append(skeleton.green_cols + index * nvars_site)
+            le_parts.append(np.zeros(green_rows, dtype=bool))
+            ge_parts.append(np.ones(green_rows, dtype=bool))
+            row_offset += green_rows
+        if enforce_spread:
+            rows_parts.append(np.arange(num_sites, dtype=np.int64) + row_offset)
+            cols_parts.append(
+                np.array(
+                    [capacity_local + index * nvars_site for index in range(num_sites)],
+                    dtype=np.int64,
+                )
+            )
+            le_parts.append(np.zeros(num_sites, dtype=bool))
+            ge_parts.append(np.ones(num_sites, dtype=bool))
+            row_offset += num_sites
+
+        rows = np.concatenate(rows_parts)
+        cols = np.concatenate(cols_parts)
+        num_rows = row_offset
+        # CSC order: sort entries by (column, row); bail out on duplicate
+        # coordinates, which would be silently summed by scipy but not HiGHS.
+        codes = cols * np.int64(num_rows) + rows
+        perm = np.argsort(codes, kind="stable")
+        sorted_codes = codes[perm]
+        if np.any(sorted_codes[1:] == sorted_codes[:-1]):
+            return None
+        indptr = np.zeros(num_cols + 1, dtype=np.int64)
+        np.cumsum(np.bincount(cols, minlength=num_cols), out=indptr[1:])
+        return _ModelTemplate(
+            shape=(num_rows, num_cols),
+            perm=perm,
+            indices=rows[perm].astype(np.int32),
+            indptr=indptr.astype(np.int32),
+            le_mask=np.concatenate(le_parts),
+            ge_mask=np.concatenate(ge_parts),
+        )
 
 
 class ProvisioningModelBuilder:
@@ -80,6 +822,13 @@ class ProvisioningModelBuilder:
         ``totalCapacity / n`` compute capacity so that the failure of ``n - 1``
         datacenters leaves ``S/n`` servers, the paper's stricter availability
         condition.
+    backend:
+        ``"vectorized"`` (default) emits blocked constraints through a
+        :class:`ProvisioningCompiler`; ``"scalar"`` uses the original
+        per-epoch object-API loops.  Both compile to the same LP.
+    compiler:
+        Optional shared :class:`ProvisioningCompiler` whose per-site skeleton
+        cache should be reused (the heuristic passes one per search).
     """
 
     def __init__(
@@ -87,42 +836,79 @@ class ProvisioningModelBuilder:
         problem: SitingProblem,
         siting: Mapping[str, str],
         enforce_spread: bool = True,
+        backend: Optional[str] = None,
+        compiler: Optional[ProvisioningCompiler] = None,
     ) -> None:
         if not siting:
             raise ValueError("the siting decision must place at least one datacenter")
         for name, size_class in siting.items():
             if size_class not in ("small", "large"):
                 raise ValueError(f"unknown size class {size_class!r} for {name!r}")
+        backend = backend or DEFAULT_BACKEND
+        if backend not in ("vectorized", "scalar"):
+            raise ValueError(f"unknown provisioning builder backend {backend!r}")
         self.problem = problem
         self.siting = dict(siting)
         self.enforce_spread = enforce_spread
-        self.cost_model = CostModel(problem.params)
-        self.model = Model(name="provisioning", sense="min")
-        self.sites: List[_SiteVariables] = []
-        self._objective_terms: List[LinearExpression | float] = []
-        self._build()
+        self.backend = backend
+        if compiler is not None and compiler.problem is not problem:
+            raise ValueError("the shared compiler was built for a different problem")
+        self.compiler = compiler or ProvisioningCompiler(problem)
+        self.cost_model = self.compiler.cost_model
+        self.sites: List[_SiteLayout] = []
+        self._model: Optional[Model] = None
+        self._row_form: Optional[RowFormLP] = None
+        if backend == "vectorized":
+            if highs_backend.AVAILABLE:
+                # Fast path: templated row-form assembly straight to HiGHS; the
+                # Model object is only materialised if someone asks for it.
+                fast = self.compiler.compile_row_form(siting, enforce_spread)
+                if fast is not None:
+                    self._row_form, self.sites = fast
+            if self._row_form is None:
+                self._model, self.sites = self.compiler.compile(siting, enforce_spread)
+        else:
+            self._model = Model(name="provisioning", sense="min")
+            self._objective_terms: List[LinearExpression | float] = []
+            self._build_scalar()
 
-    # -- model construction -------------------------------------------------------------
-    def _build(self) -> None:
+    @property
+    def model(self) -> Model:
+        """The provisioning LP as a :class:`Model` (built on demand)."""
+        if self._model is None:
+            self._model, layouts = self.compiler.compile(self.siting, self.enforce_spread)
+            if not self.sites:
+                self.sites = layouts
+        return self._model
+
+    # -- scalar model construction (reference implementation) ----------------------
+    def _build_scalar(self) -> None:
         problem = self.problem
         params = problem.params
         epochs = problem.epochs
         num_epochs = epochs.num_epochs
         weights = epochs.epoch_weights_hours()
-        profiles = problem.profile_map()
+        profiles = self.compiler._profiles
 
+        scalar_sites: List[_SiteVariables] = []
         for name, size_class in self.siting.items():
             profile = profiles.get(name)
             if profile is None:
                 raise KeyError(f"siting refers to unknown location {name!r}")
-            self.sites.append(self._add_site(profile, size_class, num_epochs))
+            base = self.model.num_variables
+            scalar_sites.append(self._add_site(profile, size_class, num_epochs))
+            self.sites.append(
+                _SiteLayout(
+                    profile=profile, size_class=size_class, base=base, num_epochs=num_epochs
+                )
+            )
 
         # Constraint 2: the network must provide the requested compute power in
         # every epoch.
-        for t in range(num_epochs):
-            total_compute = LinearExpression.sum(site.compute[t] for site in self.sites)
+        for epoch in range(num_epochs):
+            total_compute = LinearExpression.sum(site.compute[epoch] for site in scalar_sites)
             self.model.add_constraint(
-                total_compute >= params.total_capacity_kw, name=f"total_capacity[{t}]"
+                total_compute >= params.total_capacity_kw, name=f"total_capacity[{epoch}]"
             )
 
         # Constraint 3: minimum share of green energy, enforced either over the
@@ -130,35 +916,35 @@ class ProvisioningModelBuilder:
         # stricter variant studied in the technical report).
         if params.min_green_fraction > 0:
             if problem.green_enforcement is GreenEnforcement.PER_EPOCH:
-                for t in range(num_epochs):
+                for epoch in range(num_epochs):
                     green_terms = []
                     demand_terms = []
-                    for site in self.sites:
+                    for site in scalar_sites:
                         used_green = (
-                            site.green_direct[t]
-                            + site.battery_discharge[t]
-                            + site.net_discharge[t]
+                            site.green_direct[epoch]
+                            + site.battery_discharge[epoch]
+                            + site.net_discharge[epoch]
                         )
                         green_terms.append(used_green)
-                        demand_terms.append(self._power_demand(site, t))
+                        demand_terms.append(self._power_demand(site, epoch))
                     self.model.add_constraint(
                         LinearExpression.sum(green_terms)
                         - params.min_green_fraction * LinearExpression.sum(demand_terms)
                         >= 0.0,
-                        name=f"min_green_fraction[{t}]",
+                        name=f"min_green_fraction[{epoch}]",
                     )
             else:
                 green_terms = []
                 demand_terms = []
-                for site in self.sites:
-                    for t in range(num_epochs):
+                for site in scalar_sites:
+                    for epoch in range(num_epochs):
                         used_green = (
-                            site.green_direct[t]
-                            + site.battery_discharge[t]
-                            + site.net_discharge[t]
+                            site.green_direct[epoch]
+                            + site.battery_discharge[epoch]
+                            + site.net_discharge[epoch]
                         )
-                        green_terms.append(weights[t] * used_green)
-                        demand_terms.append(weights[t] * self._power_demand(site, t))
+                        green_terms.append(weights[epoch] * used_green)
+                        demand_terms.append(weights[epoch] * self._power_demand(site, epoch))
                 total_green = LinearExpression.sum(green_terms)
                 total_demand = LinearExpression.sum(demand_terms)
                 self.model.add_constraint(
@@ -167,9 +953,9 @@ class ProvisioningModelBuilder:
                 )
 
         # Availability spread: every sited DC keeps at least S/n servers.
-        if self.enforce_spread and len(self.sites) > 0:
-            floor = params.total_capacity_kw / len(self.sites)
-            for site in self.sites:
+        if self.enforce_spread and len(scalar_sites) > 0:
+            floor = params.total_capacity_kw / len(scalar_sites)
+            for site in scalar_sites:
                 self.model.add_constraint(
                     site.capacity >= floor, name=f"capacity_spread[{site.profile.name}]"
                 )
@@ -326,9 +1112,21 @@ class ProvisioningModelBuilder:
         return pue * demand
 
     # -- solving ------------------------------------------------------------------------------
-    def solve(self, options: Optional[SolverOptions] = None) -> ProvisioningResult:
-        """Solve the LP and convert the optimum into a :class:`NetworkPlan`."""
-        result = self.model.solve(options)
+    def solve(
+        self, options: Optional[SolverOptions] = None, context: Optional[object] = None
+    ) -> ProvisioningResult:
+        """Solve the LP; the resulting :class:`NetworkPlan` extracts lazily."""
+        options = options or SolverOptions()
+        if (
+            self._row_form is not None
+            and options.backend in ("auto", "highs-direct")
+            and highs_backend.AVAILABLE
+        ):
+            result = highs_backend.solve_row_form(self._row_form, options, context)
+            dims = (self._row_form.shape[1], self._row_form.shape[0])
+        else:
+            result = self.model.solve(options, context=context)
+            dims = (self.model.num_variables, self.model.num_constraints)
         if not result.is_optimal:
             return ProvisioningResult(
                 feasible=False,
@@ -336,77 +1134,84 @@ class ProvisioningModelBuilder:
                 plan=None,
                 message=f"{result.status.value}: {result.message}",
             )
-        plan = self._extract_plan(result)
+        # The extractor closes over small snapshots (layouts, cost model,
+        # solution vector) rather than the builder itself, so memoized results
+        # do not pin the compiled model arrays for the search's lifetime.
+        problem, cost_model, sites = self.problem, self.cost_model, self.sites
         return ProvisioningResult(
             feasible=True,
-            monthly_cost=plan.total_monthly_cost,
-            plan=plan,
+            monthly_cost=result.objective,
+            plan=None,
             message=result.message,
+            extractor=lambda: _extract_network_plan(problem, cost_model, sites, dims, result),
         )
 
-    def _extract_plan(self, result) -> NetworkPlan:
-        datacenters = []
-        for site in self.sites:
-            datacenters.append(self._extract_datacenter(site, result))
-        plan = NetworkPlan(
-            datacenters=datacenters,
-            params=self.problem.params,
-            storage=self.problem.storage.value,
-            sources=self.problem.sources.value,
-            solver_info={
-                "objective": result.objective,
-                "num_variables": self.model.num_variables,
-                "num_constraints": self.model.num_constraints,
-            },
-        )
-        return plan
 
-    def _extract_datacenter(self, site: _SiteVariables, result) -> DatacenterPlan:
-        value = result.value
-        profile = site.profile
-        capacity_kw = value(site.capacity)
-        solar_kw = value(site.solar)
-        wind_kw = value(site.wind)
-        battery_kwh = value(site.battery)
-        series = {
-            "compute_power_kw": np.array([value(v) for v in site.compute]),
-            "migrate_power_kw": np.array([value(v) for v in site.migrate]),
-            "brown_power_kw": np.array([value(v) for v in site.brown]),
-            "green_direct_kw": np.array([value(v) for v in site.green_direct]),
-            "battery_charge_kw": np.array([value(v) for v in site.battery_charge]),
-            "battery_discharge_kw": np.array([value(v) for v in site.battery_discharge]),
-            "net_charge_kw": np.array([value(v) for v in site.net_charge]),
-            "net_discharge_kw": np.array([value(v) for v in site.net_discharge]),
-        }
-        cost_model = self.cost_model
-        monthly_costs = {
-            "land_dc": cost_model.land_monthly(profile, capacity_kw, 0.0, 0.0),
-            "land_solar": cost_model.land_monthly(profile, 0.0, solar_kw, 0.0),
-            "land_wind": cost_model.land_monthly(profile, 0.0, 0.0, wind_kw),
-            "building_dc": cost_model.building_dc_monthly(profile, capacity_kw, site.size_class),
-            "building_solar": cost_model.building_solar_monthly(solar_kw),
-            "building_wind": cost_model.building_wind_monthly(wind_kw),
-            "it_equipment": cost_model.it_equipment_monthly(capacity_kw),
-            "battery": cost_model.battery_monthly(battery_kwh),
-            "connection": cost_model.capex_independent_monthly(profile),
-            "network_bandwidth": cost_model.network_bandwidth_monthly(capacity_kw),
-            "brown_energy": cost_model.brown_energy_monthly(
-                profile,
-                series["brown_power_kw"],
-                series["net_discharge_kw"],
-                series["net_charge_kw"],
-            ),
-        }
-        return DatacenterPlan(
-            profile=profile,
-            size_class=site.size_class,
-            capacity_kw=capacity_kw,
-            solar_kw=solar_kw,
-            wind_kw=wind_kw,
-            battery_kwh=battery_kwh,
-            monthly_costs=monthly_costs,
-            **series,
-        )
+def _extract_network_plan(
+    problem: SitingProblem,
+    cost_model: CostModel,
+    sites: List[_SiteLayout],
+    dims: Tuple[int, int],
+    result,
+) -> NetworkPlan:
+    datacenters = [_extract_datacenter_plan(cost_model, site, result) for site in sites]
+    return NetworkPlan(
+        datacenters=datacenters,
+        params=problem.params,
+        storage=problem.storage.value,
+        sources=problem.sources.value,
+        solver_info={
+            "objective": result.objective,
+            "num_variables": dims[0],
+            "num_constraints": dims[1],
+        },
+    )
+
+
+def _extract_datacenter_plan(cost_model: CostModel, site: _SiteLayout, result) -> DatacenterPlan:
+    profile = site.profile
+    scalars = result.value_array(
+        np.array([site.capacity, site.solar, site.wind, site.battery])
+    )
+    capacity_kw, solar_kw, wind_kw, battery_kwh = (float(v) for v in scalars)
+    series = {
+        "compute_power_kw": result.value_array(site.compute),
+        "migrate_power_kw": result.value_array(site.migrate),
+        "brown_power_kw": result.value_array(site.brown),
+        "green_direct_kw": result.value_array(site.green_direct),
+        "battery_charge_kw": result.value_array(site.battery_charge),
+        "battery_discharge_kw": result.value_array(site.battery_discharge),
+        "net_charge_kw": result.value_array(site.net_charge),
+        "net_discharge_kw": result.value_array(site.net_discharge),
+    }
+    monthly_costs = {
+        "land_dc": cost_model.land_monthly(profile, capacity_kw, 0.0, 0.0),
+        "land_solar": cost_model.land_monthly(profile, 0.0, solar_kw, 0.0),
+        "land_wind": cost_model.land_monthly(profile, 0.0, 0.0, wind_kw),
+        "building_dc": cost_model.building_dc_monthly(profile, capacity_kw, site.size_class),
+        "building_solar": cost_model.building_solar_monthly(solar_kw),
+        "building_wind": cost_model.building_wind_monthly(wind_kw),
+        "it_equipment": cost_model.it_equipment_monthly(capacity_kw),
+        "battery": cost_model.battery_monthly(battery_kwh),
+        "connection": cost_model.capex_independent_monthly(profile),
+        "network_bandwidth": cost_model.network_bandwidth_monthly(capacity_kw),
+        "brown_energy": cost_model.brown_energy_monthly(
+            profile,
+            series["brown_power_kw"],
+            series["net_discharge_kw"],
+            series["net_charge_kw"],
+        ),
+    }
+    return DatacenterPlan(
+        profile=profile,
+        size_class=site.size_class,
+        capacity_kw=capacity_kw,
+        solar_kw=solar_kw,
+        wind_kw=wind_kw,
+        battery_kwh=battery_kwh,
+        monthly_costs=monthly_costs,
+        **series,
+    )
 
 
 def solve_provisioning(
@@ -414,10 +1219,20 @@ def solve_provisioning(
     siting: Mapping[str, str],
     options: Optional[SolverOptions] = None,
     enforce_spread: bool = True,
+    backend: Optional[str] = None,
+    compiler: Optional[ProvisioningCompiler] = None,
+    solver_context: Optional[object] = None,
 ) -> ProvisioningResult:
-    """Convenience wrapper: build and solve the fixed-siting LP in one call."""
-    builder = ProvisioningModelBuilder(problem, siting, enforce_spread=enforce_spread)
-    return builder.solve(options)
+    """Convenience wrapper: build and solve the fixed-siting LP in one call.
+
+    ``compiler`` shares a per-site skeleton cache across calls on the same
+    problem; ``solver_context`` enables HiGHS basis reuse across structurally
+    identical solves (see :class:`~repro.lpsolver.HighsSolveContext`).
+    """
+    builder = ProvisioningModelBuilder(
+        problem, siting, enforce_spread=enforce_spread, backend=backend, compiler=compiler
+    )
+    return builder.solve(options, context=solver_context)
 
 
 def cheapest_size_classes(problem: SitingProblem, names: List[str]) -> Dict[str, str]:

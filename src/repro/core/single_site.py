@@ -5,30 +5,98 @@ datacenter at each of the 1373 locations under three configurations — brown
 (no renewables), 50 % solar and 50 % wind — producing the CDF of Fig. 6 and
 the per-location attributes of Table II.  The same machinery doubles as the
 location-filtering score of the heuristic solver (Section II-C).
+
+The pricing LPs of a sweep are structurally identical (same epoch grid, same
+scenario switches, one site), so sweeps accept a shared
+:class:`~repro.lpsolver.HighsSolveContext` whose basis carry-over roughly
+halves the per-location solve time, and :meth:`SingleSiteAnalyzer.cost_distribution`
+can fan chunks out over a thread pool (``workers=...``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.parameters import FrameworkParameters
 from repro.core.problem import EnergySources, SitingProblem, StorageMode
-from repro.core.provisioning import solve_provisioning
+from repro.core.provisioning import ProvisioningResult, solve_provisioning
 from repro.core.solution import NetworkPlan
 from repro.energy.profiles import LocationProfile
 from repro.lpsolver import SolverOptions
+from repro.lpsolver.highs_backend import AVAILABLE as _HIGHS_DIRECT_AVAILABLE
+from repro.lpsolver.highs_backend import HighsSolveContext
+
+
+def scoring_parameters(
+    params: FrameworkParameters, capacity_kw: float, min_green_fraction: float
+) -> FrameworkParameters:
+    """The single-datacenter pricing configuration (shared with the filter).
+
+    Availability is halved so a single datacenter is admissible — the score
+    of one location must not be forced infeasible by the network-level
+    availability constraint.
+    """
+    return params.with_updates(
+        total_capacity_kw=capacity_kw,
+        min_green_fraction=min_green_fraction,
+        min_availability=params.datacenter_availability / 2.0,
+    )
+
+
+def scoring_sources(min_green_fraction: float, sources: EnergySources) -> EnergySources:
+    """No renewables are built (or allowed) when no green share is required."""
+    return EnergySources.NONE if min_green_fraction == 0.0 else sources
+
+
+def single_site_size_class(
+    capacity_kw: float, profile: LocationProfile, params: FrameworkParameters
+) -> str:
+    """Construction size class of one datacenter carrying ``capacity_kw``."""
+    total_power = capacity_kw * profile.max_pue
+    return "small" if total_power <= params.small_dc_threshold_kw else "large"
+
+
+def priced_in_chunks(items, price_chunk, num_chunks: int, workers: int) -> list:
+    """Price ``items`` in contiguous chunks, optionally on a thread pool.
+
+    ``price_chunk`` maps a list of items to a list of results (creating its
+    own warm-start solver context per chunk); the per-chunk results are
+    concatenated in chunk order, which preserves the original item order by
+    construction.  The chunk split depends only on ``num_chunks`` — never on
+    ``workers`` — so warm-start sequences (and therefore scores, bit for bit)
+    are identical no matter how many threads execute them.
+    """
+    if not items:
+        return []
+    num_chunks = max(1, min(num_chunks, len(items)))
+    chunk_size = -(-len(items) // num_chunks)
+    chunks = [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
+    if workers <= 1 or len(chunks) == 1:
+        return [result for chunk in chunks for result in price_chunk(chunk)]
+    with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as executor:
+        return [result for chunk_results in executor.map(price_chunk, chunks) for result in chunk_results]
 
 
 @dataclass
 class SingleSiteCost:
-    """Cost and attributes of a single datacenter at one location."""
+    """Cost and attributes of a single datacenter at one location.
+
+    ``plan`` defers to the underlying provisioning result, so sweeps that
+    only rank costs (the heuristic's location filter, the Fig. 6 CDF) never
+    pay plan-extraction costs.
+    """
 
     profile: LocationProfile
     configuration: str
     monthly_cost: float
-    plan: Optional[NetworkPlan]
     feasible: bool
+    result: Optional[ProvisioningResult] = field(default=None, repr=False)
+
+    @property
+    def plan(self) -> Optional[NetworkPlan]:
+        return self.result.plan if self.result is not None else None
 
     @property
     def name(self) -> str:
@@ -68,34 +136,36 @@ class SingleSiteAnalyzer:
         min_green_fraction: float = 0.0,
         sources: EnergySources = EnergySources.SOLAR_AND_WIND,
         storage: StorageMode = StorageMode.NET_METERING,
+        solver_context: Optional[HighsSolveContext] = None,
     ) -> SingleSiteCost:
-        """Cost of one datacenter of ``capacity_kw`` at ``profile``'s location."""
+        """Cost of one datacenter of ``capacity_kw`` at ``profile``'s location.
+
+        ``solver_context`` warm-starts HiGHS from the previous pricing LP's
+        basis; pass one context per sequential sweep (contexts are not
+        thread-safe).
+        """
         if capacity_kw <= 0:
             raise ValueError("the datacenter capacity must be positive")
-        if min_green_fraction == 0.0:
-            sources_used = EnergySources.NONE
-        else:
-            sources_used = sources
-        params = self.params.with_updates(
-            total_capacity_kw=capacity_kw,
-            min_green_fraction=min_green_fraction,
-            min_availability=self.params.datacenter_availability / 2.0,
-        )
+        sources_used = scoring_sources(min_green_fraction, sources)
+        params = scoring_parameters(self.params, capacity_kw, min_green_fraction)
         problem = SitingProblem(
             profiles=[profile], params=params, sources=sources_used, storage=storage
         )
-        total_power = capacity_kw * profile.max_pue
-        size_class = "small" if total_power <= params.small_dc_threshold_kw else "large"
+        size_class = single_site_size_class(capacity_kw, profile, params)
         result = solve_provisioning(
-            problem, {profile.name: size_class}, options=self.solver_options, enforce_spread=False
+            problem,
+            {profile.name: size_class},
+            options=self.solver_options,
+            enforce_spread=False,
+            solver_context=solver_context,
         )
         configuration = self._configuration_label(min_green_fraction, sources_used)
         return SingleSiteCost(
             profile=profile,
             configuration=configuration,
             monthly_cost=result.monthly_cost,
-            plan=result.plan,
             feasible=result.feasible,
+            result=result,
         )
 
     def cost_distribution(
@@ -105,12 +175,26 @@ class SingleSiteAnalyzer:
         min_green_fraction: float = 0.0,
         sources: EnergySources = EnergySources.SOLAR_AND_WIND,
         storage: StorageMode = StorageMode.NET_METERING,
+        workers: Optional[int] = None,
     ) -> List[SingleSiteCost]:
-        """Single-site costs for many locations (the Fig. 6 distribution)."""
-        return [
-            self.cost_at(profile, capacity_kw, min_green_fraction, sources, storage)
-            for profile in profiles
-        ]
+        """Single-site costs for many locations (the Fig. 6 distribution).
+
+        ``workers`` > 1 prices location chunks on a thread pool; each chunk
+        reuses its own warm-started HiGHS context.  Results keep the order of
+        ``profiles`` either way.
+        """
+        def price_chunk(chunk: Sequence[LocationProfile]) -> List[SingleSiteCost]:
+            context = HighsSolveContext() if _HIGHS_DIRECT_AVAILABLE else None
+            return [
+                self.cost_at(
+                    profile, capacity_kw, min_green_fraction, sources, storage,
+                    solver_context=context,
+                )
+                for profile in chunk
+            ]
+
+        workers = max(1, workers or 1)
+        return priced_in_chunks(list(profiles), price_chunk, num_chunks=workers, workers=workers)
 
     @staticmethod
     def _configuration_label(min_green_fraction: float, sources: EnergySources) -> str:

@@ -12,7 +12,7 @@ cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -46,6 +46,9 @@ def calibrate_series(
     if float(values.max()) <= 0.0:
         # Nothing to scale: fall back to a flat series at the target level.
         return np.full_like(values, target_mean)
+    if abs(float(values.mean()) - target_mean) <= 1e-6:
+        # Already calibrated (e.g. a series rebuilt from calibrated data).
+        return values
 
     def mean_at(scale: float) -> float:
         return float(np.clip(values * scale, 0.0, upper).mean())
@@ -53,20 +56,24 @@ def calibrate_series(
     # The clipped mean is non-decreasing in the scale factor, so a simple
     # bisection finds the factor that hits the target (when it is reachable).
     low, high = 0.0, 1.0
+    high_mean = mean_at(high)
     growth = 0
-    while mean_at(high) < target_mean and growth < 60:
+    while high_mean < target_mean and growth < 60:
         high *= 4.0
+        high_mean = mean_at(high)
         growth += 1
-    if mean_at(high) < target_mean:
+    if high_mean < target_mean:
         # Target unreachable (too few non-zero entries): return the best effort.
         return np.clip(values * high, 0.0, upper)
     for _ in range(iterations):
         middle = 0.5 * (low + high)
-        if mean_at(middle) < target_mean:
+        middle_mean = mean_at(middle)
+        if middle_mean < target_mean:
             low = middle
         else:
             high = middle
-        if abs(mean_at(high) - target_mean) <= 1e-6:
+            high_mean = middle_mean
+        if abs(high_mean - target_mean) <= 1e-6:
             break
     return np.clip(values * high, 0.0, upper)
 

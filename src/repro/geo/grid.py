@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+import zlib
+
 import numpy as np
 
 from repro.geo.coordinates import GeoPoint
@@ -71,7 +73,9 @@ class GridEnergyPricing:
             if region.contains(point):
                 base = region.price_per_kwh
                 break
-        rng = np.random.default_rng(abs(hash((self.seed, name))) % (2**32))
+        # zlib.crc32 is stable across processes, unlike built-in str hashing
+        # (randomised by PYTHONHASHSEED), so catalogues are reproducible.
+        rng = np.random.default_rng(zlib.crc32(f"{self.seed}:{name}".encode()))
         jitter = float(rng.uniform(0.85, 1.25))
         return float(max(0.015, base * jitter))
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import zlib
+
 import numpy as np
 
 from repro.geo.coordinates import GeoPoint
@@ -69,5 +71,7 @@ class LandPriceModel:
         return float(max(5.0, price))
 
     def _jitter(self, name: str) -> float:
-        rng = np.random.default_rng(abs(hash((self.seed, name))) % (2**32))
+        # zlib.crc32 is stable across processes, unlike built-in str hashing
+        # (randomised by PYTHONHASHSEED), so catalogues are reproducible.
+        rng = np.random.default_rng(zlib.crc32(f"{self.seed}:{name}".encode()))
         return float(rng.lognormal(mean=0.0, sigma=0.5))

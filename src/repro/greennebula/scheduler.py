@@ -23,7 +23,7 @@ import numpy as np
 from repro.greennebula.datacenter import GreenDatacenter
 from repro.greennebula.migration import MigrationPlanner, MigrationRequest
 from repro.greennebula.prediction import GreenEnergyPredictor
-from repro.lpsolver import LinearExpression, Model, SolverOptions
+from repro.lpsolver import ConstraintSense, LinearExpression, Model, SolverOptions
 
 
 @dataclass
@@ -76,55 +76,93 @@ class GreenNebulaScheduler:
         total_load_kw: float,
         current_load_kw: Mapping[str, float],
         green_forecast_kw: Mapping[str, np.ndarray],
-    ) -> tuple[Model, Dict[str, List], Dict[str, List]]:
-        """Build the window LP; returns (model, compute vars, migrate vars)."""
+    ) -> tuple[Model, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """Build the window LP; returns (model, compute indices, migrate indices).
+
+        Each per-datacenter constraint family (migration coupling, capacity,
+        brown balance) is emitted as one vectorized triplet block over the
+        whole horizon; the variable handles are returned as index arrays for
+        fancy-indexed extraction from the solve result.
+        """
         horizon = self.horizon_hours
         model = Model(name="greennebula-window", sense="min")
-        compute: Dict[str, List] = {}
-        migrate: Dict[str, List] = {}
-        brown: Dict[str, List] = {}
-        objective_terms: List = []
+        compute: Dict[str, np.ndarray] = {}
+        migrate: Dict[str, np.ndarray] = {}
+        t = np.arange(horizon, dtype=np.int64)
+        ones = np.ones(horizon)
+        objective_cols: List[np.ndarray] = []
+        objective_vals: List[np.ndarray] = []
 
         for dc in self.datacenters:
             name = dc.name
             forecast = np.asarray(green_forecast_kw[name], dtype=float)
             if forecast.shape[0] < horizon:
                 raise ValueError(f"forecast for {name} shorter than the scheduling horizon")
-            compute[name] = [
-                model.add_variable(f"compute[{name},{t}]", upper=dc.it_capacity_kw)
-                for t in range(horizon)
-            ]
-            migrate[name] = [model.add_variable(f"migrate[{name},{t}]") for t in range(horizon)]
-            brown[name] = [model.add_variable(f"brown[{name},{t}]") for t in range(horizon)]
-            for t in range(horizon):
-                pue = dc.pue(hour_of_year + t)
-                previous_load = (
-                    float(current_load_kw.get(name, dc.vm_power_kw))
-                    if t == 0
-                    else compute[name][t - 1]
-                )
-                # Load that leaves this DC still consumes energy here this hour.
-                model.add_constraint(
-                    migrate[name][t] >= previous_load - compute[name][t],
-                    name=f"migration[{name},{t}]",
-                )
-                model.add_constraint(
-                    compute[name][t] + migrate[name][t] <= dc.it_capacity_kw,
-                    name=f"capacity[{name},{t}]",
-                )
-                demand = (compute[name][t] + migrate[name][t]) * pue
-                model.add_constraint(
-                    brown[name][t] >= demand - float(forecast[t]),
-                    name=f"brown[{name},{t}]",
-                )
-                objective_terms.append(brown[name][t])
-                objective_terms.append(self.migration_penalty_kwh * migrate[name][t])
+            compute[name] = model.add_variable_array(
+                [f"compute[{name},{step}]" for step in range(horizon)],
+                upper=dc.it_capacity_kw,
+            )
+            migrate[name] = model.add_variable_array(
+                [f"migrate[{name},{step}]" for step in range(horizon)]
+            )
+            brown = model.add_variable_array(
+                [f"brown[{name},{step}]" for step in range(horizon)]
+            )
+            pue = np.array([dc.pue(hour_of_year + step) for step in range(horizon)])
+            previous_load = float(current_load_kw.get(name, dc.vm_power_kw))
 
-        for t in range(horizon):
-            total = LinearExpression.sum(compute[name][t] for name in compute)
-            model.add_constraint(total >= total_load_kw, name=f"total_load[{t}]")
+            # Load that leaves this DC still consumes energy here this hour:
+            # migrate[t] + compute[t] - compute[t-1] >= 0, with the t=0 row
+            # anchored to the currently measured load.
+            migration_rhs = np.zeros(horizon)
+            migration_rhs[0] = previous_load
+            model.add_linear_block(
+                np.concatenate([t, t, t[1:]]),
+                np.concatenate([migrate[name], compute[name], compute[name][:-1]]),
+                np.concatenate([ones, ones, -ones[1:]]),
+                ConstraintSense.GREATER_EQUAL,
+                migration_rhs,
+                name=f"migration[{name}]",
+            )
+            model.add_linear_block(
+                np.concatenate([t, t]),
+                np.concatenate([compute[name], migrate[name]]),
+                np.concatenate([ones, ones]),
+                ConstraintSense.LESS_EQUAL,
+                np.full(horizon, dc.it_capacity_kw),
+                name=f"capacity[{name}]",
+            )
+            # brown[t] >= pue[t] * (compute[t] + migrate[t]) - forecast[t]
+            model.add_linear_block(
+                np.concatenate([t, t, t]),
+                np.concatenate([brown, compute[name], migrate[name]]),
+                np.concatenate([ones, -pue, -pue]),
+                ConstraintSense.GREATER_EQUAL,
+                -forecast[:horizon],
+                name=f"brown[{name}]",
+            )
+            objective_cols.extend([brown, migrate[name]])
+            objective_vals.extend([ones, np.full(horizon, self.migration_penalty_kwh)])
 
-        model.set_objective(LinearExpression.sum(objective_terms))
+        model.add_linear_block(
+            np.concatenate([t] * len(self.datacenters)),
+            np.concatenate([compute[dc.name] for dc in self.datacenters]),
+            np.ones(horizon * len(self.datacenters)),
+            ConstraintSense.GREATER_EQUAL,
+            np.full(horizon, total_load_kw),
+            name="total_load",
+        )
+
+        model.set_objective(
+            LinearExpression(
+                dict(
+                    zip(
+                        np.concatenate(objective_cols).tolist(),
+                        np.concatenate(objective_vals).tolist(),
+                    )
+                )
+            )
+        )
         return model, compute, migrate
 
     def schedule(self, hour_of_year: float) -> ScheduleDecision:
@@ -141,14 +179,11 @@ class GreenNebulaScheduler:
             predicted_brown = float("nan")
             window = {name: np.full(self.horizon_hours, current_load[name]) for name in current_load}
         else:
-            targets = {
-                name: max(0.0, result.value(variables[0])) for name, variables in compute.items()
-            }
             window = {
-                name: np.array([result.value(v) for v in variables])
-                for name, variables in compute.items()
+                name: result.value_array(indices) for name, indices in compute.items()
             }
-            predicted_brown = self._predicted_brown_kwh(result, hour_of_year, compute, forecasts)
+            targets = {name: max(0.0, float(series[0])) for name, series in window.items()}
+            predicted_brown = self._predicted_brown_kwh(window, hour_of_year, forecasts)
         migrations = self.planner.plan(self.datacenters, targets)
         elapsed = _time.perf_counter() - started
         return ScheduleDecision(
@@ -163,17 +198,14 @@ class GreenNebulaScheduler:
     # -- helpers ------------------------------------------------------------------------------
     def _predicted_brown_kwh(
         self,
-        result,
+        window: Mapping[str, np.ndarray],
         hour_of_year: float,
-        compute: Dict[str, List],
         forecasts: Mapping[str, np.ndarray],
     ) -> float:
         total = 0.0
         for dc in self.datacenters:
-            variables = compute[dc.name]
-            forecast = forecasts[dc.name]
-            for t, variable in enumerate(variables):
-                pue = dc.pue(hour_of_year + t)
-                demand = result.value(variable) * pue
-                total += max(0.0, demand - float(forecast[t]))
+            series = window[dc.name]
+            forecast = np.asarray(forecasts[dc.name], dtype=float)[: len(series)]
+            pue = np.array([dc.pue(hour_of_year + t) for t in range(len(series))])
+            total += float(np.sum(np.maximum(0.0, series * pue - forecast)))
         return total

@@ -4,10 +4,24 @@ The siting/provisioning framework of the paper is expressed as a MILP
 (Fig. 1) and, after the heuristic fixes the siting decision, as a sequence
 of LPs.  The original authors used an off-the-shelf commercial solver; this
 subpackage provides the substrate we use instead: a small, typed modelling
-language (variables, linear expressions, constraints, objective) that is
-compiled to sparse matrices and solved with SciPy's HiGHS backends
-(``scipy.optimize.linprog`` for pure LPs, ``scipy.optimize.milp`` when any
-variable is integer or boolean).
+language (variables, linear expressions, constraints, objective) compiled
+directly to :mod:`scipy.sparse` matrices.
+
+Two constraint-building styles compose freely:
+
+* the readable object API (``x + 2 * y >= 4``) for small models, and
+* the vectorized block API — :meth:`Model.add_variable_array` plus
+  :meth:`Model.add_linear_block` with COO triplet arrays — which ingests a
+  whole per-epoch constraint family in one call and is what keeps the
+  provisioning hot path out of Python-level dict arithmetic.
+
+Continuous LPs are solved by the direct HiGHS backend
+(:mod:`repro.lpsolver.highs_backend`), which feeds the compiled
+:class:`RowFormLP` straight into SciPy's bundled HiGHS bindings and supports
+basis warm-starting across structurally identical solves via
+:class:`HighsSolveContext`.  ``SolverOptions(backend="linprog")`` forces the
+``scipy.optimize.linprog`` wrapper (used for differential testing), and
+models with integer variables go to ``scipy.optimize.milp``.
 
 Typical usage::
 
@@ -21,8 +35,22 @@ Typical usage::
     result = model.solve()
     assert result.is_optimal
     print(result.value(x), result.value(y), result.objective)
+
+Batched usage (one constraint family, many rows)::
+
+    import numpy as np
+    from repro.lpsolver import ConstraintSense, Model
+
+    model = Model("batched", sense="min")
+    idx = model.add_variable_array([f"x[{t}]" for t in range(96)])
+    model.add_linear_block(
+        rows=np.arange(96), cols=idx, vals=np.ones(96),
+        sense=ConstraintSense.GREATER_EQUAL, rhs=np.full(96, 2.0),
+        name="floor",
+    )
 """
 
+from repro.lpsolver.blocks import LinearConstraintBlock
 from repro.lpsolver.expressions import (
     Constraint,
     ConstraintSense,
@@ -30,16 +58,21 @@ from repro.lpsolver.expressions import (
     Variable,
     VariableKind,
 )
-from repro.lpsolver.model import Model, ModelError
+from repro.lpsolver.highs_backend import HighsSolveContext
+from repro.lpsolver.model import CompiledModel, Model, ModelError, RowFormLP
 from repro.lpsolver.result import SolveResult, SolveStatus
 from repro.lpsolver.solvers import SolverOptions, solve_model
 
 __all__ = [
+    "CompiledModel",
     "Constraint",
     "ConstraintSense",
+    "HighsSolveContext",
+    "LinearConstraintBlock",
     "LinearExpression",
     "Model",
     "ModelError",
+    "RowFormLP",
     "SolveResult",
     "SolveStatus",
     "SolverOptions",

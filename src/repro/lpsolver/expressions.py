@@ -145,6 +145,9 @@ class LinearExpression:
 
     # -- arithmetic ------------------------------------------------------------
     def __add__(self, other: ExpressionLike) -> "LinearExpression":
+        if (type(other) is float or type(other) is int) and other == other:
+            # Fast path: adding a plain (non-NaN) number only shifts the constant.
+            return LinearExpression(self.coefficients, self.constant + other)
         result = self.copy()
         result._iadd(LinearExpression.from_value(other), 1.0)
         return result
@@ -153,6 +156,8 @@ class LinearExpression:
         return self.__add__(other)
 
     def __sub__(self, other: ExpressionLike) -> "LinearExpression":
+        if (type(other) is float or type(other) is int) and other == other:
+            return LinearExpression(self.coefficients, self.constant - other)
         result = self.copy()
         result._iadd(LinearExpression.from_value(other), -1.0)
         return result

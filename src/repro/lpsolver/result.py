@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
+
+import numpy as np
 
 from repro.lpsolver.expressions import LinearExpression, Variable
 
@@ -19,7 +20,6 @@ class SolveStatus(enum.Enum):
     ERROR = "error"
 
 
-@dataclass
 class SolveResult:
     """The outcome of solving a :class:`~repro.lpsolver.model.Model`.
 
@@ -30,21 +30,50 @@ class SolveResult:
     objective:
         Objective value (``nan`` when not optimal).
     values:
-        Mapping from variable index to optimal value.
+        Mapping from variable index to optimal value.  Materialised lazily
+        from ``x`` on first access — the solve hot paths only ever read the
+        array form.
     message:
         Backend diagnostic message.
     solver:
-        Which backend produced the result (``"linprog"`` or ``"milp"``).
+        Which backend produced the result (``"highs-direct"``, ``"linprog"``
+        or ``"milp"``).
     iterations:
         Iteration count reported by the backend, if any.
+    x:
+        Optimal point as a dense array indexed by variable index (``None``
+        when not optimal).  Preferred over ``values`` on hot paths because it
+        supports vectorized fancy-indexed extraction.
     """
 
-    status: SolveStatus
-    objective: float
-    values: Dict[int, float] = field(default_factory=dict)
-    message: str = ""
-    solver: str = ""
-    iterations: int = 0
+    __slots__ = ("status", "objective", "message", "solver", "iterations", "x", "_values")
+
+    def __init__(
+        self,
+        status: SolveStatus,
+        objective: float,
+        values: Optional[Dict[int, float]] = None,
+        message: str = "",
+        solver: str = "",
+        iterations: int = 0,
+        x: Optional[np.ndarray] = None,
+    ) -> None:
+        self.status = status
+        self.objective = objective
+        self.message = message
+        self.solver = solver
+        self.iterations = iterations
+        self.x = x
+        self._values = values
+
+    @property
+    def values(self) -> Dict[int, float]:
+        if self._values is None:
+            if self.x is None:
+                self._values = {}
+            else:
+                self._values = {index: float(value) for index, value in enumerate(self.x)}
+        return self._values
 
     @property
     def is_optimal(self) -> bool:
@@ -53,10 +82,20 @@ class SolveResult:
     def value(self, item: Variable | LinearExpression) -> float:
         """Value of a variable or linear expression at the optimum."""
         if isinstance(item, Variable):
+            if self.x is not None and item.index < len(self.x):
+                return float(self.x[item.index])
             return self.values.get(item.index, 0.0)
         if isinstance(item, LinearExpression):
             return item.evaluate(self.values)
         raise TypeError(f"cannot evaluate {item!r} against a solve result")
+
+    def value_array(self, indices: np.ndarray) -> np.ndarray:
+        """Values of a batch of variables given their index array."""
+        if self.x is not None:
+            return np.asarray(self.x[indices], dtype=float)
+        return np.array([self.values.get(int(i), 0.0) for i in np.ravel(indices)]).reshape(
+            np.shape(indices)
+        )
 
     def values_by_name(self, variables: Mapping[str, Variable]) -> Dict[str, float]:
         """Return ``{variable name: value}`` for a name->variable mapping."""

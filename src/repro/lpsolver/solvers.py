@@ -1,4 +1,10 @@
-"""SciPy (HiGHS) backends for the LP/MILP modelling layer."""
+"""Solver backends for the LP/MILP modelling layer.
+
+Continuous models are routed to the direct HiGHS backend
+(:mod:`repro.lpsolver.highs_backend`) when available, falling back to
+``scipy.optimize.linprog``; models with integer variables go to
+``scipy.optimize.milp``.  Constraint matrices stay sparse end-to-end.
+"""
 
 from __future__ import annotations
 
@@ -6,20 +12,21 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
-from scipy import optimize, sparse
+from scipy import optimize
 
+from repro.lpsolver import highs_backend
 from repro.lpsolver.model import CompiledModel, Model
 from repro.lpsolver.result import SolveResult, SolveStatus
 
 
 @dataclass
 class SolverOptions:
-    """Knobs shared across the linprog/milp backends.
+    """Knobs shared across the HiGHS/linprog/milp backends.
 
     Attributes
     ----------
     time_limit:
-        Wall-clock limit in seconds for the MILP backend (``None`` = no limit).
+        Wall-clock limit in seconds (``None`` = no limit).
     mip_gap:
         Relative optimality gap accepted by the MILP backend.
     presolve:
@@ -28,12 +35,22 @@ class SolverOptions:
         Solve the LP relaxation even when the model declares integer variables.
         Used by the heuristic solver, which fixes the integer siting decisions
         itself and only needs the continuous provisioning sub-problem.
+    backend:
+        ``"auto"`` (direct HiGHS when available, else linprog),
+        ``"highs-direct"`` (require the direct backend) or ``"linprog"``
+        (force the scipy.optimize.linprog wrapper; useful for differential
+        testing of the two code paths).
     """
 
     time_limit: Optional[float] = None
     mip_gap: float = 1e-4
     presolve: bool = True
     force_continuous: bool = False
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("auto", "highs-direct", "linprog"):
+            raise ValueError(f"unknown solver backend {self.backend!r}")
 
 
 _LINPROG_STATUS = {
@@ -53,19 +70,26 @@ _MILP_STATUS = {
 }
 
 
-def solve_model(model: Model, options: Optional[SolverOptions] = None) -> SolveResult:
+def solve_model(
+    model: Model,
+    options: Optional[SolverOptions] = None,
+    context: Optional["highs_backend.HighsSolveContext"] = None,
+) -> SolveResult:
     """Solve ``model`` and return a :class:`SolveResult`.
 
-    Continuous models (or any model when ``force_continuous`` is set) are
-    routed to ``scipy.optimize.linprog``; models with integer variables go to
-    ``scipy.optimize.milp``.
+    ``context`` (a :class:`~repro.lpsolver.highs_backend.HighsSolveContext`)
+    enables basis reuse across structurally identical continuous solves; it is
+    ignored by the linprog/milp fallbacks.
     """
     options = options or SolverOptions()
-    compiled = model.to_matrices()
     use_milp = model.is_mixed_integer and not options.force_continuous
     if use_milp:
-        return _solve_milp(compiled, options)
-    return _solve_linprog(compiled, options)
+        return _solve_milp(model.to_matrices(), options)
+    if options.backend == "highs-direct" and not highs_backend.AVAILABLE:
+        raise RuntimeError("the direct HiGHS backend is unavailable in this SciPy build")
+    if options.backend in ("auto", "highs-direct") and highs_backend.AVAILABLE:
+        return highs_backend.solve_row_form(model.to_row_form(), options, context)
+    return _solve_linprog(model.to_matrices(), options)
 
 
 def _finalise(
@@ -79,22 +103,22 @@ def _finalise(
     if status is SolveStatus.OPTIMAL and x is not None:
         raw = float(np.dot(compiled.cost, x))
         objective = (-raw if compiled.maximise else raw) + compiled.objective_constant
-        values = {index: float(value) for index, value in enumerate(x)}
+        x = np.asarray(x, dtype=float)
     else:
         objective = float("nan")
-        values = {}
+        x = None
     return SolveResult(
         status=status,
         objective=objective,
-        values=values,
         message=message,
         solver=solver,
         iterations=iterations,
+        x=x,
     )
 
 
 def _solve_linprog(compiled: CompiledModel, options: SolverOptions) -> SolveResult:
-    bounds = list(zip(compiled.lower, compiled.upper))
+    bounds = np.column_stack([compiled.lower, compiled.upper])
     result = optimize.linprog(
         c=compiled.cost,
         A_ub=compiled.a_ub,
@@ -115,15 +139,11 @@ def _solve_milp(compiled: CompiledModel, options: SolverOptions) -> SolveResult:
     constraints = []
     if compiled.a_ub is not None:
         constraints.append(
-            optimize.LinearConstraint(
-                sparse.csr_matrix(compiled.a_ub), -np.inf, compiled.b_ub
-            )
+            optimize.LinearConstraint(compiled.a_ub, -np.inf, compiled.b_ub)
         )
     if compiled.a_eq is not None:
         constraints.append(
-            optimize.LinearConstraint(
-                sparse.csr_matrix(compiled.a_eq), compiled.b_eq, compiled.b_eq
-            )
+            optimize.LinearConstraint(compiled.a_eq, compiled.b_eq, compiled.b_eq)
         )
     milp_options = {"presolve": options.presolve, "mip_rel_gap": options.mip_gap}
     if options.time_limit is not None:

@@ -99,8 +99,9 @@ class TestCompilation:
         assert compiled.a_ub.shape == (2, 2)
         assert compiled.a_eq.shape == (1, 2)
         assert compiled.cost.shape == (2,)
-        # >= constraints are flipped into <= rows.
-        np.testing.assert_allclose(compiled.a_ub[1], [-1.0, 1.0])
+        # Matrices are assembled as scipy.sparse; >= constraints are flipped
+        # into <= rows.
+        np.testing.assert_allclose(compiled.a_ub.toarray()[1], [-1.0, 1.0])
         np.testing.assert_allclose(compiled.b_ub[1], [-1.0])
 
     def test_maximisation_negates_cost(self):
