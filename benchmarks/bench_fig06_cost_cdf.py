@@ -1,15 +1,34 @@
-"""Fig. 6 — CDF of the per-month cost of one 25 MW datacenter at each location."""
+"""Fig. 6 — CDF of the per-month cost of one 25 MW datacenter at each location.
+
+Ported to the declarative scenario runner: the three configurations (brown,
+50 % solar, 50 % wind) are the registered ``fig06`` sweep, and the per-location
+costs come out of the sweep records.
+"""
 
 import numpy as np
 
-from conftest import print_header
-from repro.analysis import figure6_cost_cdf
+from conftest import print_header, run_scenario
+
+CONFIG_LABELS = {"brown": "brown", "solar": "solar", "wind": "wind"}
 
 
-def test_fig06_single_site_cost_cdf(benchmark, tool):
-    data = benchmark.pedantic(
-        figure6_cost_cdf, args=(tool,), kwargs={"capacity_kw": 25_000.0}, rounds=1, iterations=1
+def cost_cdf_from_results(results) -> dict:
+    """Sorted feasible per-location costs of each Fig. 6 configuration."""
+    data = {}
+    for point in results:
+        label = CONFIG_LABELS[point.spec.canonical().sources]
+        costs = [
+            row["monthly_cost"] for row in point.record["locations"] if row["feasible"]
+        ]
+        data[label] = np.array(sorted(costs))
+    return data
+
+
+def test_fig06_single_site_cost_cdf(benchmark, runner):
+    results = benchmark.pedantic(
+        run_scenario, args=(runner, "fig06"), rounds=1, iterations=1
     )
+    data = cost_cdf_from_results(results)
 
     print_header("Figure 6: per-month cost of a single 25 MW datacenter (CDF over locations)")
     print(f"{'percentile':>10}  {'brown $M':>9}  {'wind $M':>9}  {'solar $M':>9}")

@@ -1,32 +1,24 @@
-"""Fig. 13 — cost of the 100 % green / no-storage network vs migration overhead."""
+"""Fig. 13 — cost of the 100 % green / no-storage network vs migration overhead.
 
-from conftest import BENCH_CAPACITY_KW, bench_settings, print_header
-from repro.analysis import figure13_migration_sweep, format_table, series_to_rows
-from repro.core import StorageMode
+Ported to the declarative scenario runner: the source-mix x migration-factor
+grid is the registered ``fig13`` sweep.
+"""
 
-MIGRATION_FACTORS = (0.0, 0.5, 1.0)
+from conftest import print_header, run_scenario
+from repro.analysis import format_table, series_to_rows
+from repro.scenarios import MIGRATION_FACTORS, source_label
 
 
-def test_fig13_migration_overhead_sweep(benchmark, tool):
-    settings = bench_settings()
+def test_fig13_migration_overhead_sweep(benchmark, runner):
     results = benchmark.pedantic(
-        figure13_migration_sweep,
-        args=(tool,),
-        kwargs={
-            "migration_factors": MIGRATION_FACTORS,
-            "total_capacity_kw": BENCH_CAPACITY_KW,
-            "green_fraction": 1.0,
-            "storage": StorageMode.NONE,
-            "settings": settings,
-        },
-        rounds=1,
-        iterations=1,
+        run_scenario, args=(runner, "fig13"), rounds=1, iterations=1
     )
 
-    costs = {
-        label: [per_factor[factor].monthly_cost / 1e6 for factor in MIGRATION_FACTORS]
-        for label, per_factor in results.items()
-    }
+    costs: dict = {}
+    for point in results:
+        label = source_label(point.overrides["sources"])
+        costs.setdefault(label, []).append(point.record["monthly_cost"] / 1e6)
+
     print_header(
         "Figure 13: cost of the 100 % green, no-storage network vs migration overhead "
         "(fraction of an epoch during which migrated load consumes energy twice), $M/month"

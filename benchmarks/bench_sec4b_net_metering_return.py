@@ -1,39 +1,26 @@
-"""Section IV-B — sensitivity of the total cost to the net-metering credit."""
+"""Section IV-B — sensitivity of the total cost to the net-metering credit.
 
-from conftest import BENCH_CAPACITY_KW, bench_settings, print_header
+Ported to the declarative scenario runner: the credit sweep is the registered
+``sec4b`` scenario (one axis over ``net_meter_credit``).
+"""
+
+from conftest import print_header, run_scenario
 from repro.analysis import format_table
-from repro.core import EnergySources, StorageMode
-
-CREDITS = (1.0, 0.5, 0.0)
 
 
-def run_credit_sweep(tool, settings):
-    results = {}
-    for credit in CREDITS:
-        results[credit] = tool.plan_network(
-            total_capacity_kw=BENCH_CAPACITY_KW,
-            min_green_fraction=1.0,
-            sources=EnergySources.SOLAR_AND_WIND,
-            storage=StorageMode.NET_METERING,
-            net_meter_credit=credit,
-            settings=settings,
-        )
-    return results
-
-
-def test_sec4b_net_metering_return(benchmark, tool):
+def test_sec4b_net_metering_return(benchmark, runner):
     results = benchmark.pedantic(
-        run_credit_sweep, args=(tool, bench_settings()), rounds=1, iterations=1
+        run_scenario, args=(runner, "sec4b"), rounds=1, iterations=1
     )
 
     print_header("Section IV-B: 100 % green network cost vs net-metering credit")
     rows = [
         {
-            "credit_pct": int(100 * credit),
-            "monthly_cost_musd": solution.monthly_cost / 1e6,
-            "num_datacenters": solution.plan.num_datacenters if solution.plan else 0,
+            "credit_pct": int(100 * point.overrides["net_meter_credit"]),
+            "monthly_cost_musd": point.record["monthly_cost_musd"],
+            "num_datacenters": point.record["num_datacenters"],
         }
-        for credit, solution in results.items()
+        for point in results
     ]
     print(format_table(rows))
     print(
@@ -42,7 +29,7 @@ def test_sec4b_net_metering_return(benchmark, tool):
         "regardless of the credit)"
     )
 
-    costs = [solution.monthly_cost for solution in results.values()]
-    assert all(solution.feasible for solution in results.values())
+    costs = [point.record["monthly_cost"] for point in results]
+    assert all(point.record["feasible"] for point in results)
     # Varying the credit from 100 % to 0 % changes the cost only marginally.
     assert max(costs) <= min(costs) * 1.15

@@ -1,44 +1,28 @@
-"""Section V-B — live-migration validation: state size and transfer time over the WAN."""
+"""Section V-B — live-migration validation: state size and transfer time over the WAN.
+
+Ported to the declarative scenario runner: the three-site, nine-VM deployment
+is the registered ``sec5b`` emulation scenario; the live
+:class:`~repro.greennebula.emulation.EmulatedCloud` rides along on the sweep
+point for trace inspection.
+"""
 
 import numpy as np
 
-from conftest import print_header
-from repro.greennebula import EmulatedCloud, EmulationConfig, WANLink
-from repro.greennebula.emulation import DatacenterSpec
-from repro.energy import EpochGrid, ProfileBuilder
-from repro.weather import build_world_catalog
+from conftest import print_header, run_scenario
+from repro.greennebula import WANLink
 
 
-def build_three_site_emulation():
-    catalog = build_world_catalog(num_locations=20, seed=2014)
-    builder = ProfileBuilder(catalog)
-    grid = EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=1)
-    fleet_kw = 9 * 0.03
-    names = ["Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"]
-    specs = [
-        DatacenterSpec(
-            name=name,
-            profile=builder.build(catalog.get(name), grid),
-            it_capacity_kw=fleet_kw * 1.3,
-            solar_kw=fleet_kw * 7.0,
-            wind_kw=fleet_kw * 0.3,
-        )
-        for name in names
-    ]
-    config = EmulationConfig(
-        num_vms=9, duration_hours=24, initial_datacenter="Harare, Zimbabwe", seed=7
+def test_sec5b_migration_validation(benchmark, runner):
+    results = benchmark.pedantic(
+        run_scenario, args=(runner, "sec5b"), rounds=1, iterations=1
     )
-    cloud = EmulatedCloud(specs, config)
-    summary = cloud.run()
-    return cloud, summary
-
-
-def test_sec5b_migration_validation(benchmark):
-    cloud, summary = benchmark.pedantic(build_three_site_emulation, rounds=1, iterations=1)
+    point = results[0]
+    cloud = point.solution
+    record = point.record
 
     migrations = cloud.trace.of_kind("migration")
-    state_sizes = np.array([record["state_mb"] for record in migrations])
-    durations = np.array([record["duration_hours"] for record in migrations])
+    state_sizes = np.array([entry["state_mb"] for entry in migrations])
+    durations = np.array([entry["duration_hours"] for entry in migrations])
 
     print_header("Section V-B: live VM migration over the emulated WAN")
     print(f"migrations during the day: {len(migrations)}")
@@ -63,4 +47,4 @@ def test_sec5b_migration_validation(benchmark):
     assert default_link.transfer_hours(float(np.median(state_sizes))) <= 1.5
     # No VM is lost and the service keeps all 9 VMs running.
     assert sum(dc.num_vms for dc in cloud.datacenters) == 9
-    assert summary.total_migrations == len(migrations)
+    assert record["total_migrations"] == len(migrations)

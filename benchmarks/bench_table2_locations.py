@@ -1,11 +1,30 @@
-"""Table II — attributes of good brown / solar / wind locations."""
+"""Table II — attributes of good brown / solar / wind locations.
 
-from conftest import print_header
-from repro.analysis import format_table, table2_good_locations
+Ported to the declarative scenario runner: each Table II row is one zipped
+point of the registered ``table2`` sweep (location + configuration), and the
+row attributes come out of the sweep records.
+"""
+
+from conftest import print_header, run_scenario
+from repro.analysis import format_table
+from repro.scenarios.registry import TABLE2_CONFIGURATIONS
 
 
-def test_table2_good_locations(benchmark, tool):
-    rows = benchmark(table2_good_locations, tool)
+def table2_rows(results) -> list:
+    rows = []
+    for point, (location, kind, _) in zip(results, TABLE2_CONFIGURATIONS):
+        row = dict(point.record["locations"][0])
+        assert row["location"] == location
+        row["dc_type"] = kind
+        rows.append(row)
+    return rows
+
+
+def test_table2_good_locations(benchmark, runner):
+    results = benchmark.pedantic(
+        run_scenario, args=(runner, "table2"), rounds=1, iterations=1
+    )
+    rows = table2_rows(results)
 
     print_header("Table II: good locations for brown / solar / wind datacenters (25 MW)")
     print(

@@ -1,10 +1,15 @@
 """Shared fixtures for the benchmark harness.
 
 Each benchmark module regenerates one table or figure of the paper and prints
-the corresponding rows/series (run pytest with ``-s`` to see them).  The
-expensive sweeps (Figs. 8-13) are computed once per session and shared between
-the cost and capacity figures, mirroring how the paper derives Figs. 11-12
-from the same solutions as Figs. 8 and 10.
+the corresponding rows/series (run pytest with ``-s`` to see them).  All of
+them run through one session-wide
+:class:`~repro.scenarios.runner.ExperimentRunner` executing the registered
+paper scenarios (:mod:`repro.scenarios.registry`): the runner shares the
+catalogue, the location profiles and the compiled LP skeletons across every
+sweep point, memoizes duplicated points (Figs. 8-12 share their brown
+baselines, Figs. 11/12 are the capacity view of the Figs. 8/10 sweeps, and
+Table III is a point of the Fig. 10 grid), and keeps the live solutions in
+memory for the modules that inspect the chosen plans.
 
 The benchmark configuration is intentionally smaller than the paper's full
 1373-location, hourly-resolution setup (a ~90-location catalogue, four
@@ -19,70 +24,79 @@ from typing import Dict
 
 import pytest
 
-from repro.analysis.figures import GREEN_FRACTIONS, figure8_cost_vs_green
-from repro.core import PlacementTool, SearchSettings, StorageMode
-from repro.energy import EpochGrid
-from repro.weather import build_world_catalog
+from repro.core import StorageMode
+from repro.scenarios import (
+    ExperimentRunner,
+    ResultSet,
+    bench_base,
+    build_sweep,
+    source_label,
+)
 
 #: Number of candidate locations used by the benchmark harness.
 BENCH_LOCATIONS = 90
 #: Compute power of the service under study (the paper's 50 MW base case).
 BENCH_CAPACITY_KW = 50_000.0
 
-
-def bench_settings() -> SearchSettings:
-    """Heuristic settings used across the benchmark harness."""
-    return SearchSettings(
-        keep_locations=10,
-        max_iterations=18,
-        patience=10,
-        num_chains=2,
-        seed=2014,
-        max_datacenters=5,
-    )
+_STORAGE_SCENARIOS = {
+    StorageMode.NET_METERING: "fig08",
+    StorageMode.BATTERIES: "fig09",
+    StorageMode.NONE: "fig10",
+}
 
 
 @pytest.fixture(scope="session")
-def catalog():
-    return build_world_catalog(num_locations=BENCH_LOCATIONS, seed=2014)
+def runner():
+    """The session-wide experiment runner (in-memory memo, no disk cache)."""
+    return ExperimentRunner()
 
 
 @pytest.fixture(scope="session")
-def tool(catalog):
-    return PlacementTool(
-        catalog=catalog,
-        epoch_grid=EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=3),
-    )
+def tool(runner):
+    """A placement tool on the runner's shared catalogue and profiles.
+
+    Kept for the input-data benchmarks (Figs. 3-5) that read profiles
+    directly rather than running an optimisation.
+    """
+    return runner.tool_for(bench_base())
 
 
-@pytest.fixture(scope="session")
-def settings():
-    return bench_settings()
+class PaperSweeps:
+    """Runner-backed view of the Figs. 8-12 sweeps.
 
+    ``sweep(storage)`` returns the same nested mapping the analysis layer
+    consumes — curve label -> green fraction -> live
+    :class:`~repro.core.heuristic.HeuristicSolution` — with every point
+    computed (at most once) by the shared experiment runner.
+    """
 
-class SweepCache:
-    """Lazily computed cost-vs-green sweeps, shared across benchmark modules."""
-
-    def __init__(self, tool: PlacementTool, settings: SearchSettings) -> None:
-        self._tool = tool
-        self._settings = settings
+    def __init__(self, runner: ExperimentRunner) -> None:
+        self._runner = runner
         self._results: Dict[StorageMode, dict] = {}
+
+    def result_set(self, storage: StorageMode) -> ResultSet:
+        return self._runner.run(build_sweep(_STORAGE_SCENARIOS[storage]))
 
     def sweep(self, storage: StorageMode) -> dict:
         if storage not in self._results:
-            self._results[storage] = figure8_cost_vs_green(
-                self._tool,
-                storage=storage,
-                green_fractions=GREEN_FRACTIONS,
-                total_capacity_kw=BENCH_CAPACITY_KW,
-                settings=self._settings,
-            )
+            grouped: dict = {}
+            for point in self.result_set(storage):
+                label = source_label(point.overrides["sources"])
+                grouped.setdefault(label, {})[
+                    point.overrides["min_green_fraction"]
+                ] = point.solution
+            self._results[storage] = grouped
         return self._results[storage]
 
 
 @pytest.fixture(scope="session")
-def sweeps(tool, settings):
-    return SweepCache(tool, settings)
+def sweeps(runner):
+    return PaperSweeps(runner)
+
+
+def run_scenario(runner: ExperimentRunner, name: str) -> ResultSet:
+    """Run a registered scenario through the shared runner."""
+    return runner.run(build_sweep(name))
 
 
 def print_header(title: str) -> None:

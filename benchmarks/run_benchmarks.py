@@ -1,22 +1,25 @@
-"""Perf-trajectory harness: run the solver benchmarks, write BENCH_solver.json.
+"""Perf-trajectory harness: run the solver benchmarks, append to BENCH_solver.json.
 
 Runs the Section III-D heuristic-solver scaling benchmark and the Section V-C
 scheduler-timing benchmark without pytest and records wall-clock per stage,
-LP counts and cache hit rates to ``BENCH_solver.json`` next to this file, so
-future PRs have a machine-readable perf trajectory to compare against.
+LP counts and cache hit rates to ``BENCH_solver.json`` next to this file.
+
+The record is a *trajectory*: each invocation appends one entry (git revision,
+date, per-stage timings) to the ``entries`` list instead of overwriting the
+file, so successive PRs accumulate a machine-readable perf history.  The
+committed file additionally carries the measured numbers of the seed
+implementation (``baseline_seed``) that every entry's speedup is computed
+against.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
-
-The committed ``BENCH_solver.json`` additionally carries the measured numbers
-of the seed implementation (``baseline_seed``) for the before/after record of
-the fast-siting-search PR.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
 import platform
@@ -42,6 +45,9 @@ BASELINE_SEED = {
     },
     "sec5c_scheduler_timing_ms": {"50MW": 11.0, "200MW": 11.0},
 }
+
+#: Keys a trajectory entry carries besides the benchmark results.
+_ENTRY_META_KEYS = ("revision", "date", "machine", "rounds", "harness_seconds")
 
 
 def bench_sec3d(rounds: int = 2) -> dict:
@@ -96,39 +102,65 @@ def git_revision() -> str:
         return "unknown"
 
 
+def load_trajectory(path: Path) -> dict:
+    """Existing trajectory, upgrading the pre-append single-record format."""
+    if not path.exists():
+        return {"baseline_seed": BASELINE_SEED, "entries": []}
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError:
+        return {"baseline_seed": BASELINE_SEED, "entries": []}
+    if "entries" in payload:
+        payload.setdefault("baseline_seed", BASELINE_SEED)
+        return payload
+    # Legacy layout: one flat record with the baseline inline — keep the old
+    # measurement as the trajectory's first entry.
+    entry = {key: value for key, value in payload.items() if key != "baseline_seed"}
+    return {"baseline_seed": payload.get("baseline_seed", BASELINE_SEED), "entries": [entry]}
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
         type=Path,
         default=BENCH_DIR / "BENCH_solver.json",
-        help="where to write the benchmark record (default: benchmarks/BENCH_solver.json)",
+        help="where to append the benchmark record (default: benchmarks/BENCH_solver.json)",
     )
     args = parser.parse_args()
 
     started = time.perf_counter()
-    payload = {
+    entry = {
         "revision": git_revision(),
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "machine": {
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpus": os.cpu_count(),
         },
         "rounds": "best of 2 per scale point",
-        "baseline_seed": BASELINE_SEED,
         "sec3d_heuristic_scaling": bench_sec3d(),
         "sec5c_scheduler_timing_ms": bench_sec5c(),
     }
-    payload["harness_seconds"] = round(time.perf_counter() - started, 2)
+    entry["harness_seconds"] = round(time.perf_counter() - started, 2)
 
     largest = str(max(CANDIDATE_COUNTS))
     seed = BASELINE_SEED["sec3d_heuristic_scaling"][largest]["elapsed_s"]
-    now = payload["sec3d_heuristic_scaling"][largest]["elapsed_s"]
-    payload["speedup_vs_seed_at_largest_scale"] = round(seed / now, 2)
+    now = entry["sec3d_heuristic_scaling"][largest]["elapsed_s"]
+    entry["speedup_vs_seed_at_largest_scale"] = round(seed / now, 2)
 
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.output} (speedup vs seed at {largest} candidates: "
-          f"{payload['speedup_vs_seed_at_largest_scale']:.1f}x)")
+    trajectory = load_trajectory(args.output)
+    trajectory["entries"].append(entry)
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    print(f"\nappended entry {len(trajectory['entries'])} ({entry['revision']}) to {args.output}")
+    print("trajectory at the largest scale "
+          f"({largest} candidates, seed {seed:.3f}s):")
+    for past in trajectory["entries"]:
+        point = past.get("sec3d_heuristic_scaling", {}).get(largest)
+        if point:
+            print(f"  {past.get('revision', '?'):>10}  {past.get('date', ''):<22}"
+                  f"{point['elapsed_s']:.3f}s  ({past.get('speedup_vs_seed_at_largest_scale', '?')}x)")
 
 
 if __name__ == "__main__":

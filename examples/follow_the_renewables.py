@@ -1,51 +1,45 @@
 #!/usr/bin/env python
 """Follow the renewables with GreenNebula (Section V / Fig. 15).
 
-This example builds a three-datacenter, solar-heavy deployment shaped like the
-paper's Table III network (Mexico City, Andersen/Guam, Harare), starts a fleet
-of nine batch VMs in Harare, and runs the GreenNebula emulation for 24 hours.
-Every hour the scheduler predicts green energy 48 hours ahead, re-partitions
-the workload, and live-migrates VMs towards the datacenters with green energy;
-GDFS carries only each VM's unreplicated disk blocks along with the migration.
+This example describes a three-datacenter, solar-heavy deployment shaped like
+the paper's Table III network (Mexico City, Andersen/Guam, Harare) as an
+``emulate``-workflow :class:`~repro.scenarios.spec.ScenarioSpec`, starts a
+fleet of nine batch VMs in Harare, and runs the GreenNebula emulation for 24
+hours (see the repository README for the scenario workflow).  Every hour the
+scheduler predicts green energy 48 hours ahead, re-partitions the workload,
+and live-migrates VMs towards the datacenters with green energy; GDFS carries
+only each VM's unreplicated disk blocks along with the migration.
 
 Run it with::
 
     python examples/follow_the_renewables.py
 """
 
-from repro.energy import EpochGrid, ProfileBuilder
-from repro.greennebula import EmulatedCloud, EmulationConfig
-from repro.greennebula.emulation import DatacenterSpec
-from repro.weather import build_world_catalog
-
-FLEET_VMS = 9
-FLEET_KW = FLEET_VMS * 0.03  # nine of the paper's 30 W VMs
+from repro.greennebula import EmulatedCloud
+from repro.scenarios import ScenarioSpec
 
 
 def build_cloud() -> EmulatedCloud:
-    catalog = build_world_catalog(num_locations=30, seed=42)
-    builder = ProfileBuilder(catalog)
-    grid = EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=1)
-    names = ["Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"]
-    # Table III provisions ~7x the IT power in solar at each site (scaled to the
-    # emulated fleet here) plus a little wind.
-    specs = [
-        DatacenterSpec(
-            name=name,
-            profile=builder.build(catalog.get(name), grid),
-            it_capacity_kw=FLEET_KW * 1.3,
-            solar_kw=FLEET_KW * 7.0,
-            wind_kw=FLEET_KW * 0.4,
-        )
-        for name in names
-    ]
-    config = EmulationConfig(
-        num_vms=FLEET_VMS,
-        duration_hours=24,
-        initial_datacenter="Harare, Zimbabwe",
-        seed=11,
+    # Table III provisions ~7x the IT power in solar at each site (scaled to
+    # the emulated fleet by the spec's factor knobs) plus a little wind.
+    spec = ScenarioSpec(
+        name="follow-the-renewables",
+        workflow="emulate",
+        num_locations=30,
+        catalog_seed=42,
+        hours_per_epoch=1,
+        emulation={
+            "sites": ("Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"),
+            "num_vms": 9,
+            "duration_hours": 24,
+            "initial_datacenter": "Harare, Zimbabwe",
+            "seed": 11,
+            "it_factor": 1.3,
+            "solar_factor": 7.0,
+            "wind_factor": 0.4,
+        },
     )
-    return EmulatedCloud(specs, config)
+    return EmulatedCloud.from_spec(spec)
 
 
 def main() -> None:

@@ -6,43 +6,48 @@ datacenters consumes energy at *both* sites for a full epoch.  The paper's
 Fig. 13 asks how much that assumption costs: if migrations were free (0 % of
 an epoch), the 100 % green, no-storage network would be up to ~12 % cheaper
 (19 % for wind-only, which migrates the most).  This example sweeps the
-migration factor and prints the resulting costs for the three plant mixes.
+migration factor and the plant mix as one declarative cartesian grid (see the
+repository README for the scenario workflow) and prints the resulting costs.
 
 Run it with::
 
     python examples/migration_sensitivity.py
 """
 
-from repro.analysis import figure13_migration_sweep, format_table, series_to_rows
-from repro.core import PlacementTool, SearchSettings, StorageMode
-from repro.energy import EpochGrid
-from repro.weather import build_world_catalog
+from repro.analysis import format_table, series_to_rows
+from repro.scenarios import ExperimentRunner, ParameterSweep, ScenarioSpec, source_label
 
 MIGRATION_FACTORS = (0.0, 0.5, 1.0)
 
 
 def main() -> None:
-    catalog = build_world_catalog(num_locations=60, seed=42)
-    tool = PlacementTool(
-        catalog=catalog,
-        epoch_grid=EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=3),
+    base = ScenarioSpec(
+        name="migration-sensitivity",
+        num_locations=60,
+        catalog_seed=42,
+        days_per_season=1,
+        hours_per_epoch=3,
+        total_capacity_kw=50_000.0,
+        min_green_fraction=1.0,
+        storage="none",
+        search={"keep_locations": 10, "max_iterations": 16, "num_chains": 1, "seed": 5},
     )
-    settings = SearchSettings(keep_locations=10, max_iterations=16, num_chains=1, seed=5)
+    sweep = ParameterSweep(
+        base=base,
+        axes={
+            "sources": ("wind", "solar", "solar+wind"),
+            "migration_factor": MIGRATION_FACTORS,
+        },
+    )
 
     print("Sweeping the migration-energy factor for a 100 % green, no-storage network...")
-    results = figure13_migration_sweep(
-        tool,
-        migration_factors=MIGRATION_FACTORS,
-        total_capacity_kw=50_000.0,
-        green_fraction=1.0,
-        storage=StorageMode.NONE,
-        settings=settings,
-    )
+    results = ExperimentRunner().run(sweep)
 
-    costs = {
-        label: [per_factor[factor].monthly_cost / 1e6 for factor in MIGRATION_FACTORS]
-        for label, per_factor in results.items()
-    }
+    costs: dict = {}
+    for point in results:
+        label = source_label(point.overrides["sources"])
+        costs.setdefault(label, []).append(point.record["monthly_cost"] / 1e6)
+
     rows = series_to_rows(costs, "migration % of an epoch", [int(100 * f) for f in MIGRATION_FACTORS])
     print()
     print("Cost of the 100 % green, no-storage network ($M/month):")

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: site and provision a small green HPC cloud service.
 
-This example walks through the library's main entry point, the
-:class:`~repro.core.tool.PlacementTool`:
+This example walks through the declarative experiment workflow (see the
+repository README for the full tour):
 
-1. build a (small) world catalogue of candidate locations,
-2. ask the tool for a 50 MW network with at least 50 % green energy,
+1. describe the experiment as a :class:`~repro.scenarios.spec.ScenarioSpec`
+   — catalogue size, epoch grid, demand, green requirement, search budget,
+2. run it (and the brown baseline, as a one-axis sweep) through the
+   :class:`~repro.scenarios.runner.ExperimentRunner`,
 3. inspect the resulting plan: locations, provisioning, cost breakdown and
    the achieved green fraction.
 
@@ -15,35 +17,37 @@ Run it with::
 """
 
 from repro.analysis import case_study_breakdown, format_table
-from repro.core import EnergySources, PlacementTool, SearchSettings, StorageMode
-from repro.energy import EpochGrid
-from repro.weather import build_world_catalog
+from repro.scenarios import ExperimentRunner, ParameterSweep, ScenarioSpec
 
 
 def main() -> None:
-    # A catalogue of 60 candidate locations (the paper uses 1373; a smaller set
-    # keeps the example fast).  The named "anchor" locations from the paper's
-    # tables are always included.
-    catalog = build_world_catalog(num_locations=60, seed=42)
-
-    # The placement tool bundles the catalogue, the Table I cost parameters and
-    # the epoch grid used to discretise a year of weather.
-    tool = PlacementTool(
-        catalog=catalog,
-        epoch_grid=EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=3),
-    )
-
-    # Short annealing schedule for the example; the defaults search longer.
-    settings = SearchSettings(keep_locations=10, max_iterations=20, num_chains=2, seed=7)
-
-    print("Siting a 50 MW HPC cloud service with >= 50 % green energy (net metering)...")
-    solution = tool.plan_network(
+    # Everything needed to reproduce the experiment lives in one serializable
+    # spec: a catalogue of 60 candidate locations (the paper uses 1373; a
+    # smaller set keeps the example fast — the named "anchor" locations from
+    # the paper's tables are always included), four representative days at
+    # 3-hour resolution, a 50 MW service and a short annealing schedule.
+    spec = ScenarioSpec(
+        name="quickstart",
+        num_locations=60,
+        catalog_seed=42,
+        days_per_season=1,
+        hours_per_epoch=3,
         total_capacity_kw=50_000.0,
         min_green_fraction=0.5,
-        sources=EnergySources.SOLAR_AND_WIND,
-        storage=StorageMode.NET_METERING,
-        settings=settings,
+        sources="solar+wind",
+        storage="net_metering",
+        search={"keep_locations": 10, "max_iterations": 20, "num_chains": 2, "seed": 7},
     )
+    print(f"scenario content hash: {spec.content_hash()[:16]}...  (try spec.to_json())")
+
+    # One sweep axis gives us the green network *and* the brown (0 % green)
+    # baseline; the runner shares the catalogue and profiles between the two.
+    sweep = ParameterSweep(base=spec, axes={"min_green_fraction": (0.5, 0.0)})
+
+    print("Siting a 50 MW HPC cloud service with >= 50 % green energy (net metering)...")
+    results = ExperimentRunner().run(sweep)
+    solution = results.find(min_green_fraction=0.5).solution
+    brown = results.find(min_green_fraction=0.0).solution
     if not solution.feasible:
         raise SystemExit(f"no feasible plan found: {solution.message}")
 
@@ -58,14 +62,6 @@ def main() -> None:
     print("Cost breakdown per datacenter ($M/month):")
     print(format_table(case_study_breakdown(plan)))
 
-    # For comparison: the cheapest possible "brown" (0 % green) network.
-    brown = tool.plan_network(
-        total_capacity_kw=50_000.0,
-        min_green_fraction=0.0,
-        sources=EnergySources.NONE,
-        storage=StorageMode.NET_METERING,
-        settings=settings,
-    )
     premium = plan.total_monthly_cost / brown.monthly_cost - 1.0
     print()
     print(f"cheapest brown network : ${brown.monthly_cost / 1e6:.2f}M/month")

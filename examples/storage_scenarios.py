@@ -6,7 +6,8 @@ stored determines the cost of a highly green service: net metering (banking
 energy in the grid) is essentially free storage, batteries are workable but
 expensive, and having no storage at all forces massive over-provisioning of
 the green plants.  This example reproduces that comparison for a 50 MW
-service at 50 % and 100 % green energy.
+service at 50 % and 100 % green energy as one declarative cartesian sweep
+(see the repository README for the scenario workflow).
 
 Run it with::
 
@@ -14,50 +15,47 @@ Run it with::
 """
 
 from repro.analysis import format_table
-from repro.core import EnergySources, PlacementTool, SearchSettings, StorageMode
-from repro.energy import EpochGrid
-from repro.weather import build_world_catalog
+from repro.scenarios import ExperimentRunner, ParameterSweep, ScenarioSpec
 
-SCENARIOS = [
-    ("net metering", StorageMode.NET_METERING),
-    ("batteries", StorageMode.BATTERIES),
-    ("no storage", StorageMode.NONE),
-]
-GREEN_TARGETS = (0.5, 1.0)
+STORAGE_LABELS = {"net_metering": "net metering", "batteries": "batteries", "none": "no storage"}
 
 
 def main() -> None:
-    catalog = build_world_catalog(num_locations=60, seed=42)
-    tool = PlacementTool(
-        catalog=catalog,
-        epoch_grid=EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=3),
+    base = ScenarioSpec(
+        name="storage-scenarios",
+        num_locations=60,
+        catalog_seed=42,
+        days_per_season=1,
+        hours_per_epoch=3,
+        total_capacity_kw=50_000.0,
+        sources="solar+wind",
+        search={"keep_locations": 10, "max_iterations": 16, "num_chains": 2, "seed": 3},
     )
-    settings = SearchSettings(keep_locations=10, max_iterations=16, num_chains=2, seed=3)
+    sweep = ParameterSweep(
+        base=base,
+        axes={
+            "min_green_fraction": (0.5, 1.0),
+            "storage": tuple(STORAGE_LABELS),
+        },
+    )
 
+    results = ExperimentRunner().run(sweep)
     rows = []
-    for green_target in GREEN_TARGETS:
-        for label, storage in SCENARIOS:
-            solution = tool.plan_network(
-                total_capacity_kw=50_000.0,
-                min_green_fraction=green_target,
-                sources=EnergySources.SOLAR_AND_WIND,
-                storage=storage,
-                settings=settings,
-            )
-            plan = solution.plan
-            rows.append(
-                {
-                    "green target %": int(100 * green_target),
-                    "storage": label,
-                    "cost $M/month": solution.monthly_cost / 1e6,
-                    "datacenters": plan.num_datacenters if plan else 0,
-                    "IT capacity MW": plan.total_capacity_kw / 1000 if plan else float("nan"),
-                    "solar MW": plan.total_solar_kw / 1000 if plan else float("nan"),
-                    "wind MW": plan.total_wind_kw / 1000 if plan else float("nan"),
-                    "battery MWh": plan.total_battery_kwh / 1000 if plan else float("nan"),
-                }
-            )
-            print(f"solved: {int(100 * green_target)}% green, {label}")
+    for point in results:
+        record = point.record
+        rows.append(
+            {
+                "green target %": int(100 * point.overrides["min_green_fraction"]),
+                "storage": STORAGE_LABELS[point.overrides["storage"]],
+                "cost $M/month": record["monthly_cost_musd"],
+                "datacenters": record["num_datacenters"],
+                "IT capacity MW": record["capacity_mw"],
+                "solar MW": record["solar_mw"],
+                "wind MW": record["wind_mw"],
+                "battery MWh": record["battery_mwh"],
+            }
+        )
+        print(f"solved: {rows[-1]['green target %']}% green, {rows[-1]['storage']}")
 
     print()
     print(format_table(rows))

@@ -28,6 +28,7 @@ __all__ = [
     "geo",
     "greennebula",
     "lpsolver",
+    "scenarios",
     "simulation",
     "weather",
 ]

@@ -1,6 +1,9 @@
 """Command-line interface for the placement tool and the GreenNebula emulation.
 
-Three subcommands mirror the library's main workflows:
+Four subcommands mirror the library's main workflows; all of them build a
+:class:`~repro.scenarios.spec.ScenarioSpec` from their arguments and run it
+through the :class:`~repro.scenarios.runner.ExperimentRunner`, so a CLI
+invocation and a registered scenario are the same thing underneath.
 
 ``plan``
     Site and provision a green datacenter network (Sections II-IV)::
@@ -17,40 +20,47 @@ Three subcommands mirror the library's main workflows:
 
         python -m repro.cli emulate --hours 24 --vms 9
 
+``sweep``
+    Reproduce a registered paper scenario (``--list`` shows them), or sweep a
+    spec file, with results cached on disk by content hash::
+
+        python -m repro.cli sweep --scenario fig06
+        python -m repro.cli sweep --spec my_scenario.json --set min_green_fraction=1.0
+
 All subcommands accept ``--locations`` (catalogue size) and ``--seed``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.analysis import case_study_breakdown, format_table
-from repro.core import (
-    EnergySources,
-    GreenEnforcement,
-    PlacementTool,
-    SearchSettings,
-    SingleSiteAnalyzer,
-    StorageMode,
+from repro.core import EnergySources, GreenEnforcement, StorageMode
+from repro.scenarios import (
+    ExperimentRunner,
+    ParameterSweep,
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
 )
-from repro.energy import EpochGrid, ProfileBuilder
-from repro.greennebula import EmulatedCloud, EmulationConfig
-from repro.greennebula.emulation import DatacenterSpec
-from repro.weather import build_world_catalog
 
 _SOURCES = {
-    "wind": EnergySources.WIND_ONLY,
-    "solar": EnergySources.SOLAR_ONLY,
-    "both": EnergySources.SOLAR_AND_WIND,
-    "none": EnergySources.NONE,
+    "wind": EnergySources.WIND_ONLY.value,
+    "solar": EnergySources.SOLAR_ONLY.value,
+    "both": EnergySources.SOLAR_AND_WIND.value,
+    "none": EnergySources.NONE.value,
 }
 _STORAGE = {
-    "net_metering": StorageMode.NET_METERING,
-    "batteries": StorageMode.BATTERIES,
-    "none": StorageMode.NONE,
+    "net_metering": StorageMode.NET_METERING.value,
+    "batteries": StorageMode.BATTERIES.value,
+    "none": StorageMode.NONE.value,
 }
+
+#: Default on-disk artifact cache of the ``sweep`` subcommand.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="installed solar as a multiple of the fleet IT power")
     emulate.add_argument("--wind-factor", type=float, default=0.4,
                          help="installed wind as a multiple of the fleet IT power")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a registered paper scenario or a scenario-spec sweep"
+    )
+    sweep.add_argument("--scenario", help="registered scenario name (see --list)")
+    sweep.add_argument("--spec", help="path to a ScenarioSpec JSON file")
+    sweep.add_argument("--list", action="store_true", help="list registered scenarios and exit")
+    sweep.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
+                       help="override a spec field (dotted paths reach search/emulation knobs)")
+    sweep.add_argument("--axis", action="append", default=[], metavar="FIELD=V1,V2,...",
+                       help="sweep a field over comma-separated values (cartesian with other axes)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="sweep points evaluated concurrently (results are identical)")
+    sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"artifact-cache directory (default: {DEFAULT_CACHE_DIR})")
+    sweep.add_argument("--no-cache", action="store_true", help="disable the artifact cache")
+    sweep.add_argument("--json", action="store_true", help="print the ResultSet as JSON")
     return parser
 
 
@@ -104,27 +131,7 @@ def _print(lines: Sequence[str], stream) -> None:
         print(line, file=stream)
 
 
-def run_plan(args: argparse.Namespace, stream) -> int:
-    catalog = build_world_catalog(num_locations=args.locations, seed=args.seed)
-    tool = PlacementTool(catalog=catalog)
-    settings = SearchSettings(
-        keep_locations=args.keep,
-        max_iterations=args.iterations,
-        num_chains=args.chains,
-        seed=args.seed,
-    )
-    solution = tool.plan_network(
-        total_capacity_kw=args.capacity_mw * 1000.0,
-        min_green_fraction=args.green,
-        sources=_SOURCES[args.sources],
-        storage=_STORAGE[args.storage],
-        migration_factor=args.migration_factor,
-        net_meter_credit=args.net_meter_credit,
-        settings=settings,
-        green_enforcement=(
-            GreenEnforcement.PER_EPOCH if args.strict_green else GreenEnforcement.ANNUAL
-        ),
-    )
+def _print_plan_solution(solution, stream) -> int:
     if not solution.feasible or solution.plan is None:
         _print([f"no feasible plan found: {solution.message}"], stream)
         return 1
@@ -144,25 +151,55 @@ def run_plan(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def run_plan(args: argparse.Namespace, stream) -> int:
+    spec = ScenarioSpec(
+        name="cli-plan",
+        num_locations=args.locations,
+        catalog_seed=args.seed,
+        total_capacity_kw=args.capacity_mw * 1000.0,
+        min_green_fraction=args.green,
+        sources=_SOURCES[args.sources],
+        storage=_STORAGE[args.storage],
+        migration_factor=args.migration_factor,
+        net_meter_credit=args.net_meter_credit,
+        green_enforcement=(
+            GreenEnforcement.PER_EPOCH.value if args.strict_green
+            else GreenEnforcement.ANNUAL.value
+        ),
+        search={
+            "keep_locations": args.keep,
+            "max_iterations": args.iterations,
+            "num_chains": args.chains,
+            "seed": args.seed,
+        },
+    )
+    point = ExperimentRunner().run_point(spec)
+    return _print_plan_solution(point.solution, stream)
+
+
 def run_single_site(args: argparse.Namespace, stream) -> int:
-    catalog = build_world_catalog(num_locations=args.locations, seed=args.seed)
-    try:
-        location = catalog.get(args.location)
-    except KeyError:
-        _print([f"unknown location {args.location!r}; known anchors include:"], stream)
-        anchors = [loc.name for loc in catalog.locations if loc.is_anchor]
-        _print([f"  {name}" for name in anchors], stream)
-        return 1
-    builder = ProfileBuilder(catalog)
-    profile = builder.build(location, EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=3))
-    analyzer = SingleSiteAnalyzer()
-    result = analyzer.cost_at(
-        profile,
-        capacity_kw=args.capacity_mw * 1000.0,
+    spec = ScenarioSpec(
+        name="cli-single-site",
+        workflow="single_site",
+        num_locations=args.locations,
+        catalog_seed=args.seed,
+        candidate_names=(args.location,),
+        total_capacity_kw=args.capacity_mw * 1000.0,
         min_green_fraction=args.green,
         sources=_SOURCES[args.sources],
         storage=_STORAGE[args.storage],
     )
+    runner = ExperimentRunner()
+    try:
+        point = runner.run_point(spec)
+    except KeyError:
+        _print([f"unknown location {args.location!r}; known anchors include:"], stream)
+        catalog = runner.tool_for(spec.with_updates(candidate_names=None)).catalog
+        anchors = [loc.name for loc in catalog.locations if loc.is_anchor]
+        _print([f"  {name}" for name in anchors], stream)
+        return 1
+    costs = point.solution
+    result = costs[0]
     if not result.feasible:
         _print([f"a {args.capacity_mw:.0f} MW datacenter is not feasible at {args.location}"], stream)
         return 1
@@ -171,45 +208,145 @@ def run_single_site(args: argparse.Namespace, stream) -> int:
 
 
 def run_emulate(args: argparse.Namespace, stream) -> int:
-    catalog = build_world_catalog(num_locations=max(args.locations, 30), seed=args.seed)
-    builder = ProfileBuilder(catalog)
-    grid = EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=1)
-    fleet_kw = args.vms * 0.03
+    spec = ScenarioSpec(
+        name="cli-emulate",
+        workflow="emulate",
+        num_locations=max(args.locations, 30),
+        catalog_seed=args.seed,
+        hours_per_epoch=1,
+        emulation={
+            "sites": tuple(args.sites),
+            "num_vms": args.vms,
+            "duration_hours": args.hours,
+            "seed": args.seed,
+            "solar_factor": args.solar_factor,
+            "wind_factor": args.wind_factor,
+        },
+    )
     try:
-        specs = [
-            DatacenterSpec(
-                name=name,
-                profile=builder.build(catalog.get(name), grid),
-                it_capacity_kw=fleet_kw * 1.3,
-                solar_kw=fleet_kw * args.solar_factor,
-                wind_kw=fleet_kw * args.wind_factor,
-            )
-            for name in args.sites
-        ]
+        point = ExperimentRunner().run_point(spec)
     except KeyError as error:
         _print([f"unknown emulation site: {error}"], stream)
         return 1
-    config = EmulationConfig(
-        num_vms=args.vms,
-        duration_hours=args.hours,
-        initial_datacenter=args.sites[-1],
-        seed=args.seed,
-    )
-    cloud = EmulatedCloud(specs, config)
-    summary = cloud.run()
+    record = point.record
     _print(
         [
-            f"emulated {args.hours} hours over {len(specs)} datacenters with {args.vms} VMs",
-            f"migrations          : {summary.total_migrations}",
-            f"migrated state      : {summary.migrated_state_mb:.0f} MB",
-            f"green fraction      : {100 * summary.green_fraction:.1f} %",
-            f"mean scheduling time: {1000 * summary.mean_schedule_time_s:.0f} ms",
+            f"emulated {args.hours} hours over {len(record['sites'])} datacenters "
+            f"with {args.vms} VMs",
+            f"migrations          : {record['total_migrations']}",
+            f"migrated state      : {record['migrated_state_mb']:.0f} MB",
+            f"green fraction      : {100 * record['green_fraction']:.1f} %",
+            f"mean scheduling time: {1000 * record['mean_schedule_time_s']:.0f} ms",
         ],
         stream,
     )
-    for dc in cloud.datacenters:
-        series = " ".join(f"{value:5.2f}" for value in cloud.load_series(dc.name))
-        _print([f"  {dc.name:<28} {series}"], stream)
+    for name in record["sites"]:
+        series = " ".join(f"{value:5.2f}" for value in record["load_series"][name])
+        _print([f"  {name:<28} {series}"], stream)
+    return 0
+
+
+def _parse_value(text: str) -> Any:
+    """Parse an override value: JSON when it looks like it, else a string."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_assignments(pairs: Sequence[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"expected FIELD=VALUE, got {pair!r}")
+        key, _, value = pair.partition("=")
+        overrides[key.strip()] = _parse_value(value.strip())
+    return overrides
+
+
+def _parse_axes(pairs: Sequence[str]) -> dict:
+    axes = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"expected FIELD=V1,V2,..., got {pair!r}")
+        key, _, values = pair.partition("=")
+        axes[key.strip()] = [_parse_value(value.strip()) for value in values.split(",")]
+    return axes
+
+
+def run_sweep(args: argparse.Namespace, stream) -> int:
+    if args.list:
+        rows = []
+        for name in scenario_names():
+            definition = get_scenario(name)
+            sweep = definition.build()
+            rows.append(
+                {
+                    "scenario": name,
+                    "workflow": sweep.base.workflow,
+                    "points": len(sweep),
+                    "description": definition.description,
+                }
+            )
+        _print([format_table(rows)], stream)
+        return 0
+    if bool(args.scenario) == bool(args.spec):
+        _print(["exactly one of --scenario or --spec is required (or --list)"], stream)
+        return 2
+
+    if args.scenario:
+        try:
+            sweep = get_scenario(args.scenario).build()
+        except KeyError as error:
+            _print([str(error.args[0])], stream)
+            return 1
+    else:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                base = ScenarioSpec.from_json(handle.read())
+        except (OSError, ValueError, KeyError) as error:
+            _print([f"cannot load spec {args.spec!r}: {error}"], stream)
+            return 1
+        sweep = ParameterSweep(base=base)
+
+    try:
+        overrides = _parse_assignments(args.set)
+        axes = _parse_axes(args.axis)
+        if overrides:
+            sweep = ParameterSweep(
+                base=sweep.base.with_updates(**overrides),
+                axes=sweep.axes,
+                mode=sweep.mode,
+                name=sweep.name,
+            )
+        if axes:
+            merged = dict(sweep.axes)
+            merged.update(axes)
+            sweep = ParameterSweep(base=sweep.base, axes=merged, mode=sweep.mode, name=sweep.name)
+        sweep.points()  # resolve every override now, so bad fields/values fail cleanly
+    except (ValueError, KeyError) as error:
+        _print([f"invalid scenario override: {error}"], stream)
+        return 2
+
+    runner = ExperimentRunner(
+        cache_dir=None if args.no_cache else args.cache_dir,
+        workers=args.workers,
+    )
+    results = runner.run(sweep)
+
+    if args.json:
+        _print([results.to_json()], stream)
+        return 0
+    title = sweep.name or "sweep"
+    _print(
+        [
+            f"scenario {title}: {len(results)} points "
+            f"({results.computed} computed, {results.cache_hits} from cache)",
+            "",
+            format_table(results.rows()),
+        ],
+        stream,
+    )
     return 0
 
 
@@ -223,6 +360,8 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
         return run_single_site(args, stream)
     if args.command == "emulate":
         return run_emulate(args, stream)
+    if args.command == "sweep":
+        return run_sweep(args, stream)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -148,11 +148,15 @@ class HeuristicSolver:
         problem: SitingProblem,
         settings: Optional[SearchSettings] = None,
         solver_options: Optional[SolverOptions] = None,
+        compiler: Optional[ProvisioningCompiler] = None,
     ) -> None:
         self.problem = problem
         self.settings = settings or SearchSettings()
         self.solver_options = solver_options or SolverOptions()
-        self._compiler = ProvisioningCompiler(problem)
+        # An externally shared compiler must have been built for an equivalent
+        # problem (same profiles, parameters and scenario switches); the
+        # ExperimentRunner keys its shared compilers by that problem signature.
+        self._compiler = compiler or ProvisioningCompiler(problem)
         self._cache: Dict[FrozenSet[Tuple[str, str]], Future] = {}
         self._cache_lock = threading.Lock()
         self._cache_hits = 0

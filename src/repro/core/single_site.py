@@ -129,6 +129,22 @@ class SingleSiteAnalyzer:
         self.params = params or FrameworkParameters()
         self.solver_options = solver_options or SolverOptions()
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        base_params: Optional[FrameworkParameters] = None,
+        solver_options: Optional[SolverOptions] = None,
+    ) -> "SingleSiteAnalyzer":
+        """An analyzer carrying a scenario spec's cost-parameter overrides.
+
+        The per-call arguments of :meth:`cost_at` / :meth:`cost_distribution`
+        (capacity, green fraction, sources, storage) come from the same spec;
+        the :class:`~repro.scenarios.runner.ExperimentRunner` fills them when
+        it executes a ``single_site`` workflow.
+        """
+        return cls(params=spec.build_params(base_params), solver_options=solver_options)
+
     def cost_at(
         self,
         profile: LocationProfile,

@@ -58,6 +58,45 @@ class PlacementTool:
         self.solver_options = solver_options or SolverOptions()
         self._profiles: Optional[List[LocationProfile]] = None
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        catalog: Optional[WorldCatalog] = None,
+        base_params: Optional[FrameworkParameters] = None,
+        solver_options: Optional[SolverOptions] = None,
+    ) -> "PlacementTool":
+        """A tool wired for a :class:`~repro.scenarios.spec.ScenarioSpec`.
+
+        The spec describes the catalogue, epoch grid, candidate restriction
+        and cost-parameter overrides; pass a prebuilt ``catalog`` (for example
+        the :class:`~repro.scenarios.runner.ExperimentRunner`'s shared one) to
+        skip rebuilding it.  Scenario switches (capacity, green fraction,
+        sources, storage...) are per-call arguments of :meth:`plan_network`,
+        which the runner fills from the same spec.
+        """
+        return cls(
+            catalog=catalog or spec.build_catalog(),
+            params=spec.build_params(base_params),
+            epoch_grid=spec.build_epoch_grid(),
+            candidate_names=spec.candidate_names,
+            solver_options=solver_options,
+        )
+
+    def plan_spec(self, spec, settings=None):
+        """Site and provision the network a plan-workflow spec describes."""
+        return self.plan_network(
+            total_capacity_kw=spec.total_capacity_kw,
+            min_green_fraction=spec.min_green_fraction,
+            sources=spec.sources_enum,
+            storage=spec.storage_enum,
+            migration_factor=spec.migration_factor,
+            net_meter_credit=spec.net_meter_credit,
+            settings=settings if settings is not None else spec.build_search_settings(),
+            min_availability=spec.min_availability,
+            green_enforcement=spec.green_enforcement_enum,
+        )
+
     # -- candidate profiles -----------------------------------------------------------
     @property
     def profiles(self) -> List[LocationProfile]:

@@ -135,6 +135,43 @@ class EmulatedCloud:
 
     # -- construction helpers ---------------------------------------------------------
     @classmethod
+    def from_spec(cls, spec) -> "EmulatedCloud":
+        """Build an emulation from an ``emulate``-workflow scenario spec.
+
+        The spec's catalogue fields select the world the datacenters live in
+        (profiles are built on an hourly grid by convention —
+        ``hours_per_epoch=1``), and its ``emulation`` knobs size the deployment
+        the way the paper's Section V experiments do: each site's IT power and
+        green plants are multiples of the emulated VM fleet's power.
+        """
+        from repro.energy.profiles import ProfileBuilder
+        from repro.simulation.workload import VMSpec
+
+        knobs = spec.emulation_knobs()
+        catalog = spec.build_catalog()
+        builder = ProfileBuilder(catalog)
+        grid = spec.build_epoch_grid()
+        fleet_kw = knobs["num_vms"] * VMSpec(name="probe").power_kw
+        specs = [
+            DatacenterSpec(
+                name=name,
+                profile=builder.build(catalog.get(name), grid),
+                it_capacity_kw=fleet_kw * knobs["it_factor"],
+                solar_kw=fleet_kw * knobs["solar_factor"],
+                wind_kw=fleet_kw * knobs["wind_factor"],
+                battery_kwh=fleet_kw * knobs["battery_kwh_factor"],
+            )
+            for name in knobs["sites"]
+        ]
+        config = EmulationConfig(
+            num_vms=knobs["num_vms"],
+            duration_hours=knobs["duration_hours"],
+            initial_datacenter=knobs["initial_datacenter"],
+            seed=knobs["seed"],
+        )
+        return cls(specs, config)
+
+    @classmethod
     def from_network_plan(
         cls,
         plan: NetworkPlan,
@@ -184,8 +221,12 @@ class EmulatedCloud:
     def run(self) -> EmulationSummary:
         """Run the emulation for the configured duration and return a summary."""
         config = self.config
-        self.engine.schedule_every(1.0, self._hourly_pass, name="hourly-pass", priority=0)
+        hourly = self.engine.schedule_every(1.0, self._hourly_pass, name="hourly-pass", priority=0)
         self.engine.run_until(config.start_hour + config.duration_hours - 1e-9)
+        # Retire the periodic pass so the engine's queue is empty at the
+        # horizon: the emulation can be extended (run() again after raising
+        # the clock) or inspected without a stale event pending.
+        hourly.cancel()
         return self.summary()
 
     def _hourly_pass(self, engine: SimulationEngine) -> None:

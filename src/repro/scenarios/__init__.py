@@ -1,0 +1,51 @@
+"""Declarative scenario subsystem.
+
+Every experiment in this repository — a paper figure, a table, an emulation
+run, a CLI invocation — is described by a serializable
+:class:`~repro.scenarios.spec.ScenarioSpec` and executed by the
+:class:`~repro.scenarios.runner.ExperimentRunner`, which shares catalogues,
+profiles and compiled LP skeletons across sweep points and memoizes finished
+points in an on-disk artifact cache keyed by the spec's content hash.
+Named paper scenarios live in :mod:`repro.scenarios.registry`.
+"""
+
+from repro.scenarios.results import PointResult, ResultSet
+from repro.scenarios.runner import ExperimentRunner, ParameterSweep, SweepPoint
+from repro.scenarios.spec import EMULATION_DEFAULTS, WORKFLOWS, ScenarioSpec
+from repro.scenarios.registry import (
+    BENCH_SEARCH,
+    GREEN_FRACTIONS,
+    MIGRATION_FACTORS,
+    SOURCE_LABELS,
+    SOURCE_VALUES,
+    ScenarioDefinition,
+    bench_base,
+    build_sweep,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    source_label,
+)
+
+__all__ = [
+    "BENCH_SEARCH",
+    "EMULATION_DEFAULTS",
+    "ExperimentRunner",
+    "GREEN_FRACTIONS",
+    "MIGRATION_FACTORS",
+    "ParameterSweep",
+    "PointResult",
+    "ResultSet",
+    "SOURCE_LABELS",
+    "SOURCE_VALUES",
+    "ScenarioDefinition",
+    "ScenarioSpec",
+    "SweepPoint",
+    "WORKFLOWS",
+    "bench_base",
+    "build_sweep",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "source_label",
+]

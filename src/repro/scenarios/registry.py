@@ -1,0 +1,269 @@
+"""Registry of the paper's named scenarios.
+
+Every figure and table of the evaluation is registered here as a
+:class:`~repro.scenarios.runner.ParameterSweep` over a
+:class:`~repro.scenarios.spec.ScenarioSpec`, under the name the paper uses
+(``fig06``, ``table2``, ``sec4b``, ...).  ``python -m repro.cli sweep
+--scenario fig06`` reproduces a figure end-to-end, and the benchmark harness
+under ``benchmarks/`` runs the same sweeps through one shared
+:class:`~repro.scenarios.runner.ExperimentRunner`.
+
+The registered configurations are the benchmark-scale ones (a ~90-location
+catalogue, four representative days at 3-hour resolution, short annealing
+schedules), not the paper's full 1373-location, hourly setup — the *shape* of
+every result is what is reproduced.  Scaling a scenario up is a config diff::
+
+    get_scenario("fig08").build().base.with_updates(num_locations=1373)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.scenarios.runner import ParameterSweep
+from repro.scenarios.spec import ScenarioSpec
+
+#: Green-energy percentages on the x-axis of Figs. 8-12.
+GREEN_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Migration-factor x-axis of the Fig. 13 sensitivity study.
+MIGRATION_FACTORS = (0.0, 0.5, 1.0)
+
+#: The three source-mix curves of Figs. 8-13, in plotting order.
+SOURCE_VALUES = ("wind", "solar", "solar+wind")
+
+#: Curve labels used by the analysis layer for each ``sources`` value.
+SOURCE_LABELS = {"wind": "wind", "solar": "solar", "solar+wind": "wind_and_or_solar"}
+
+#: Heuristic settings shared by the benchmark-scale scenarios.
+BENCH_SEARCH = {
+    "keep_locations": 10,
+    "max_iterations": 18,
+    "patience": 10,
+    "num_chains": 2,
+    "seed": 2014,
+    "max_datacenters": 5,
+}
+
+#: The locations Table II highlights, with the configuration they illustrate.
+TABLE2_CONFIGURATIONS = (
+    ("Kiev, Ukraine", "brown", 0.0),
+    ("Harare, Zimbabwe", "solar", 0.5),
+    ("Nairobi, Kenya", "solar", 0.5),
+    ("Mount Washington, NH, USA", "wind", 0.5),
+    ("Burke Lakefront, OH, USA", "wind", 0.5),
+)
+
+
+def source_label(sources_value: str) -> str:
+    """Analysis-layer curve label for a spec ``sources`` value."""
+    return SOURCE_LABELS.get(sources_value, sources_value)
+
+
+def bench_base(**overrides) -> ScenarioSpec:
+    """The benchmark-harness base scenario (50 MW service, 90 locations)."""
+    spec = ScenarioSpec(
+        num_locations=90,
+        catalog_seed=2014,
+        days_per_season=1,
+        hours_per_epoch=3,
+        total_capacity_kw=50_000.0,
+        search=dict(BENCH_SEARCH),
+    )
+    return spec.with_updates(**overrides) if overrides else spec
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """A named, registered scenario."""
+
+    name: str
+    description: str
+    build: Callable[[], ParameterSweep]
+
+
+_REGISTRY: Dict[str, ScenarioDefinition] = {}
+
+
+def register_scenario(name: str, description: str, build: Callable[[], ParameterSweep]) -> None:
+    """Register (or replace) a named scenario."""
+    _REGISTRY[name] = ScenarioDefinition(name=name, description=description, build=build)
+
+
+def get_scenario(name: str) -> ScenarioDefinition:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; registered scenarios: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build_sweep(name: str) -> ParameterSweep:
+    """The parameter sweep of a registered scenario."""
+    return get_scenario(name).build()
+
+
+# -- figure and table scenarios ------------------------------------------------
+
+
+def _fig06() -> ParameterSweep:
+    base = bench_base(
+        name="fig06",
+        workflow="single_site",
+        total_capacity_kw=25_000.0,
+        storage="net_metering",
+    )
+    return ParameterSweep(
+        base=base,
+        axes={
+            "min_green_fraction": (0.0, 0.5, 0.5),
+            "sources": ("brown", "solar", "wind"),
+        },
+        mode="zip",
+        name="fig06",
+    )
+
+
+def _cost_vs_green(name: str, storage: str) -> ParameterSweep:
+    base = bench_base(name=name, storage=storage)
+    return ParameterSweep(
+        base=base,
+        axes={"sources": SOURCE_VALUES, "min_green_fraction": GREEN_FRACTIONS},
+        mode="cartesian",
+        name=name,
+    )
+
+
+def _fig07() -> ParameterSweep:
+    base = bench_base(name="fig07", storage="net_metering")
+    return ParameterSweep(
+        base=base, axes={"min_green_fraction": (0.5, 0.0)}, name="fig07"
+    )
+
+
+def _fig13() -> ParameterSweep:
+    base = bench_base(name="fig13", storage="none", min_green_fraction=1.0)
+    return ParameterSweep(
+        base=base,
+        axes={"sources": SOURCE_VALUES, "migration_factor": MIGRATION_FACTORS},
+        mode="cartesian",
+        name="fig13",
+    )
+
+
+def _sec4b() -> ParameterSweep:
+    base = bench_base(name="sec4b", storage="net_metering", min_green_fraction=1.0)
+    return ParameterSweep(
+        base=base, axes={"net_meter_credit": (1.0, 0.5, 0.0)}, name="sec4b"
+    )
+
+
+def _table2() -> ParameterSweep:
+    names, kinds, fractions, sources = [], [], [], []
+    for location, kind, fraction in TABLE2_CONFIGURATIONS:
+        names.append((location,))
+        kinds.append(kind)
+        fractions.append(fraction)
+        sources.append("brown" if kind == "brown" else kind)
+    base = bench_base(
+        name="table2",
+        workflow="single_site",
+        total_capacity_kw=25_000.0,
+        storage="net_metering",
+    )
+    return ParameterSweep(
+        base=base,
+        axes={
+            "candidate_names": tuple(names),
+            "min_green_fraction": tuple(fractions),
+            "sources": tuple(sources),
+        },
+        mode="zip",
+        name="table2",
+    )
+
+
+def _table3() -> ParameterSweep:
+    base = bench_base(name="table3", storage="none", min_green_fraction=1.0)
+    return ParameterSweep(base=base, name="table3")
+
+
+def _fig15() -> ParameterSweep:
+    base = ScenarioSpec(
+        name="fig15",
+        workflow="emulate",
+        num_locations=30,
+        catalog_seed=2014,
+        days_per_season=1,
+        hours_per_epoch=1,
+        emulation={"seed": 2014},
+    )
+    return ParameterSweep(base=base, name="fig15")
+
+
+def _sec5b() -> ParameterSweep:
+    base = ScenarioSpec(
+        name="sec5b",
+        workflow="emulate",
+        num_locations=20,
+        catalog_seed=2014,
+        days_per_season=1,
+        hours_per_epoch=1,
+        emulation={"seed": 7, "wind_factor": 0.3, "initial_datacenter": "Harare, Zimbabwe"},
+    )
+    return ParameterSweep(base=base, name="sec5b")
+
+
+def _sec5c() -> ParameterSweep:
+    base = ScenarioSpec(
+        name="sec5c",
+        workflow="emulate",
+        num_locations=20,
+        catalog_seed=2014,
+        days_per_season=1,
+        hours_per_epoch=1,
+        emulation={"seed": 2014},
+    )
+    return ParameterSweep(base=base, axes={"emulation.num_vms": (9, 18)}, name="sec5c")
+
+
+def _smoke() -> ParameterSweep:
+    base = ScenarioSpec(
+        name="smoke",
+        num_locations=16,
+        catalog_seed=3,
+        days_per_season=1,
+        hours_per_epoch=6,
+        total_capacity_kw=20_000.0,
+        search={
+            "keep_locations": 5,
+            "max_iterations": 4,
+            "patience": 4,
+            "num_chains": 1,
+            "seed": 3,
+            "max_datacenters": 3,
+        },
+    )
+    return ParameterSweep(base=base, axes={"min_green_fraction": (0.0, 0.5)}, name="smoke")
+
+
+register_scenario("fig06", "CDF of single 25 MW datacenter costs: brown vs 50 % solar vs 50 % wind", _fig06)
+register_scenario("fig07", "50 MW / 50 % green case study and its brown baseline", _fig07)
+register_scenario("fig08", "cost vs green percentage, net metering", lambda: _cost_vs_green("fig08", "net_metering"))
+register_scenario("fig09", "cost vs green percentage, batteries", lambda: _cost_vs_green("fig09", "batteries"))
+register_scenario("fig10", "cost vs green percentage, no storage", lambda: _cost_vs_green("fig10", "none"))
+register_scenario("fig11", "provisioned capacity vs green percentage, net metering (Fig. 8 sweep)", lambda: _cost_vs_green("fig11", "net_metering"))
+register_scenario("fig12", "provisioned capacity vs green percentage, no storage (Fig. 10 sweep)", lambda: _cost_vs_green("fig12", "none"))
+register_scenario("fig13", "100 % green / no-storage cost vs migration overhead", _fig13)
+register_scenario("fig15", "GreenNebula follow-the-renewables emulation over one day", _fig15)
+register_scenario("sec4b", "100 % green network cost vs net-metering credit", _sec4b)
+register_scenario("sec5b", "live-migration validation: state sizes and WAN transfer times", _sec5b)
+register_scenario("sec5c", "scheduler timing across emulated fleet sizes", _sec5c)
+register_scenario("table2", "attributes of good brown / solar / wind locations", _table2)
+register_scenario("table3", "the 100 % green / no-storage network", _table3)
+register_scenario("smoke", "tiny end-to-end siting sweep for CI smoke runs", _smoke)

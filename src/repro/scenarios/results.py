@@ -1,0 +1,144 @@
+"""Tidy result containers for scenario sweeps.
+
+A sweep produces one :class:`PointResult` per sweep point: the resolved
+:class:`~repro.scenarios.spec.ScenarioSpec`, the axis overrides that produced
+it, and a plain-dictionary ``record`` of everything the workflow measured.
+Records are JSON-serializable by construction — they are what the runner's
+artifact cache stores on disk — while the in-memory ``solution`` attribute
+additionally keeps the live object (a
+:class:`~repro.core.heuristic.HeuristicSolution`, a list of
+:class:`~repro.core.single_site.SingleSiteCost`, or an
+:class:`~repro.greennebula.emulation.EmulatedCloud`) for callers that need
+more than the record, such as the benchmark harness.
+
+:class:`ResultSet` is the tidy per-point table: ``rows()`` feeds
+:func:`repro.analysis.reporting.format_table` directly, and ``series()``
+pivots a record field over an override axis for figure-style output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.scenarios.spec import ScenarioSpec
+
+
+@dataclass
+class PointResult:
+    """Outcome of one sweep point."""
+
+    spec: ScenarioSpec
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    record: Dict[str, Any] = field(default_factory=dict)
+    from_cache: bool = False
+    #: Live workflow object; ``None`` when the point was served from the
+    #: on-disk artifact cache (records carry everything serializable).
+    solution: Optional[Any] = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "overrides": dict(self.overrides),
+            "record": self.record,
+            "from_cache": self.from_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PointResult":
+        return cls(
+            spec=ScenarioSpec.from_dict(payload["spec"]),
+            overrides=dict(payload.get("overrides", {})),
+            record=dict(payload.get("record", {})),
+            from_cache=bool(payload.get("from_cache", False)),
+        )
+
+
+class ResultSet:
+    """Ordered collection of sweep-point results."""
+
+    def __init__(self, points: Optional[Sequence[PointResult]] = None) -> None:
+        self.points: List[PointResult] = list(points or [])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[PointResult]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> PointResult:
+        return self.points[index]
+
+    # -- bookkeeping ----------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Points served from the on-disk artifact cache."""
+        return sum(1 for point in self.points if point.from_cache)
+
+    @property
+    def computed(self) -> int:
+        return len(self.points) - self.cache_hits
+
+    # -- lookup ---------------------------------------------------------------
+    def find(self, **overrides: Any) -> PointResult:
+        """The first point whose overrides include all the given values."""
+        for point in self.points:
+            if all(point.overrides.get(key) == value for key, value in overrides.items()):
+                return point
+        raise KeyError(f"no sweep point with overrides {overrides!r}")
+
+    def filter(self, predicate: Callable[[PointResult], bool]) -> "ResultSet":
+        return ResultSet([point for point in self.points if predicate(point)])
+
+    # -- tidy output ----------------------------------------------------------
+    def rows(self, record_fields: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        """One flat dictionary per point: overrides plus scalar record fields.
+
+        Nested record entries (lists, dictionaries) are omitted unless named
+        explicitly in ``record_fields``; the rows are ready for
+        :func:`repro.analysis.reporting.format_table`.
+        """
+        rows: List[Dict[str, Any]] = []
+        for point in self.points:
+            row: Dict[str, Any] = dict(point.overrides)
+            if record_fields is None:
+                for key, value in point.record.items():
+                    if isinstance(value, (int, float, str, bool)) or value is None:
+                        row[key] = value
+            else:
+                for key in record_fields:
+                    row[key] = point.record.get(key)
+            rows.append(row)
+        return rows
+
+    def series(self, x: str, y: str) -> Dict[Any, Any]:
+        """Map an override axis to a record field, in sweep order."""
+        result: Dict[Any, Any] = {}
+        for point in self.points:
+            if x in point.overrides:
+                result[point.overrides[x]] = point.record.get(y)
+        return result
+
+    def values(self, y: str) -> List[Any]:
+        """The given record field of every point, in sweep order."""
+        return [point.record.get(y) for point in self.points]
+
+    def solutions(self) -> List[Any]:
+        """Live workflow objects (``None`` for cache-served points)."""
+        return [point.solution for point in self.points]
+
+    # -- serialization --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"points": [point.to_dict() for point in self.points]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResultSet":
+        return cls([PointResult.from_dict(entry) for entry in payload.get("points", [])])
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        return cls.from_dict(json.loads(text))

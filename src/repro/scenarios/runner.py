@@ -1,0 +1,440 @@
+"""Parameter sweeps and the experiment runner.
+
+:class:`ParameterSweep` expands a base :class:`~repro.scenarios.spec.ScenarioSpec`
+over named axes (cartesian product or zipped), producing one resolved spec per
+sweep point.  :class:`ExperimentRunner` executes the points and returns a
+:class:`~repro.scenarios.results.ResultSet`, sharing every cache that makes a
+sweep cheaper than independent runs:
+
+* one world catalogue / profile set per (catalogue, grid, candidates) key —
+  profile synthesis dominates small runs and is identical across points;
+* one :class:`~repro.core.provisioning.ProvisioningCompiler` per *problem
+  signature* (the spec fields that define the fixed-siting LP), so sweep
+  points that differ only in search settings reuse the compiled per-site
+  skeletons and CSC templates introduced by the fast-siting-search work;
+* an in-memory point memo keyed by content hash — canonicalisation collapses
+  equivalent points (every 0 %-green curve of Figs. 8-12 prices the same
+  brown network), so duplicates are evaluated exactly once per process; and
+* an optional on-disk artifact cache keyed by the same content hash, so
+  re-running an unchanged scenario is a file read.
+
+Execution is deterministic for a fixed spec: every point owns its seeded
+heuristic search, points never share mutable solver state, and the result
+order is the sweep order no matter how many workers run the points.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import os
+import tempfile
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.heuristic import HeuristicSolver
+from repro.core.parameters import FrameworkParameters
+from repro.core.provisioning import ProvisioningCompiler
+from repro.core.single_site import SingleSiteAnalyzer
+from repro.core.tool import PlacementTool
+from repro.lpsolver import SolverOptions
+from repro.scenarios.results import PointResult, ResultSet
+from repro.scenarios.spec import ScenarioSpec
+
+
+@dataclass
+class SweepPoint:
+    """One resolved point of a sweep: the axis overrides and the final spec."""
+
+    overrides: Dict[str, Any]
+    spec: ScenarioSpec
+
+
+@dataclass
+class ParameterSweep:
+    """A grid of scenarios derived from one base spec.
+
+    ``axes`` maps field names (dotted paths reach into the ``search`` /
+    ``emulation`` / ``param_overrides`` dictionaries) to the values each axis
+    takes.  ``mode="cartesian"`` sweeps the full product in axis-declaration
+    order (first axis outermost); ``mode="zip"`` pairs the axes element-wise,
+    which expresses irregular grids such as Fig. 6's three configurations.
+    """
+
+    base: ScenarioSpec
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    mode: str = "cartesian"
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cartesian", "zip"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}; expected 'cartesian' or 'zip'")
+        for axis, values in self.axes.items():
+            if len(list(values)) == 0:
+                raise ValueError(f"sweep axis {axis!r} has no values")
+        if self.mode == "zip" and self.axes:
+            lengths = {axis: len(list(values)) for axis, values in self.axes.items()}
+            if len(set(lengths.values())) > 1:
+                raise ValueError(f"zip-mode axes must have equal lengths, got {lengths}")
+        if not self.name:
+            self.name = self.base.name
+
+    def points(self) -> List[SweepPoint]:
+        """The sweep points, in deterministic sweep order."""
+        if not self.axes:
+            return [SweepPoint(overrides={}, spec=self.base)]
+        names = list(self.axes)
+        columns = [list(self.axes[name]) for name in names]
+        if self.mode == "zip":
+            combos = list(zip(*columns))
+        else:
+            combos = list(itertools.product(*columns))
+        points: List[SweepPoint] = []
+        for combo in combos:
+            overrides = dict(zip(names, combo))
+            points.append(SweepPoint(overrides=overrides, spec=self.base.with_updates(**overrides)))
+        return points
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+
+class ExperimentRunner:
+    """Executes scenario specs and sweeps, with shared caches.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk artifact cache; ``None`` disables it.
+        Cached points are keyed by the spec content hash, so editing any
+        semantic field of a scenario invalidates exactly that point.
+    workers:
+        Sweep points evaluated concurrently.  Results (and all numbers in
+        them) are independent of this knob; it only changes wall-clock time.
+    base_params:
+        Baseline framework parameters that spec ``param_overrides`` apply to
+        (Table I defaults when omitted).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+        workers: int = 1,
+        base_params: Optional[FrameworkParameters] = None,
+        solver_options: Optional[SolverOptions] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("the runner needs at least one worker")
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.workers = workers
+        self.base_params = base_params or FrameworkParameters()
+        self.solver_options = solver_options or SolverOptions()
+        self._catalogs: Dict[Tuple, object] = {}
+        self._profiles: Dict[Tuple, list] = {}
+        self._problems: Dict[str, Tuple[object, ProvisioningCompiler]] = {}
+        self._memo: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+
+    # -- public API -----------------------------------------------------------
+    def run(self, experiment: Union[ScenarioSpec, ParameterSweep]) -> ResultSet:
+        """Run a spec (as a one-point sweep) or a full sweep."""
+        sweep = (
+            experiment
+            if isinstance(experiment, ParameterSweep)
+            else ParameterSweep(base=experiment)
+        )
+        points = sweep.points()
+        futures: List[Tuple[SweepPoint, Future]] = []
+        to_submit: List[Tuple[str, ScenarioSpec]] = []
+        with self._lock:
+            for point in points:
+                key = point.spec.content_hash()
+                future = self._memo.get(key)
+                if future is None:
+                    future = Future()
+                    self._memo[key] = future
+                    to_submit.append((key, point.spec))
+                futures.append((point, future))
+
+        if to_submit:
+            if self.workers > 1 and len(to_submit) > 1:
+                with ThreadPoolExecutor(max_workers=min(self.workers, len(to_submit))) as pool:
+                    list(pool.map(lambda item: self._fill(*item), to_submit))
+            else:
+                for item in to_submit:
+                    self._fill(*item)
+
+        results: List[PointResult] = []
+        for point, future in futures:
+            base = future.result()
+            results.append(
+                PointResult(
+                    spec=point.spec,
+                    overrides=point.overrides,
+                    # Deep-copied: deduped points (and later runs) must not
+                    # alias one mutable record — annotating a row in place
+                    # would silently edit the memo and the other points.
+                    record=copy.deepcopy(base.record),
+                    from_cache=base.from_cache,
+                    solution=base.solution,
+                )
+            )
+        return ResultSet(results)
+
+    def run_point(self, spec: ScenarioSpec) -> PointResult:
+        """Run a single scenario and return its point result."""
+        return self.run(spec)[0]
+
+    # -- point evaluation -----------------------------------------------------
+    def _fill(self, key: str, spec: ScenarioSpec) -> None:
+        future = self._memo[key]
+        try:
+            future.set_result(self._evaluate(key, spec))
+        except BaseException as error:
+            # Propagate to this run's waiters, but do not memoize the failure:
+            # a later run of an equivalent point should recompute, not re-raise
+            # a stale (possibly transient) error.
+            with self._lock:
+                if self._memo.get(key) is future:
+                    del self._memo[key]
+            future.set_exception(error)
+
+    def _evaluate(self, key: str, spec: ScenarioSpec) -> PointResult:
+        cached = self._load_artifact(key)
+        if cached is not None:
+            return cached
+        spec = spec.canonical()
+        if spec.workflow == "plan":
+            record, solution = self._run_plan(spec)
+        elif spec.workflow == "single_site":
+            record, solution = self._run_single_site(spec)
+        elif spec.workflow == "emulate":
+            record, solution = self._run_emulate(spec)
+        else:  # pragma: no cover - __post_init__ rejects unknown workflows
+            raise ValueError(f"unknown workflow {spec.workflow!r}")
+        result = PointResult(spec=spec, record=record, solution=solution)
+        self._store_artifact(key, result)
+        return result
+
+    # -- workflows ------------------------------------------------------------
+    def _run_plan(self, spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
+        tool = self.tool_for(spec)
+        problem, compiler = self._problem_for(spec, tool)
+        solver = HeuristicSolver(
+            problem,
+            settings=spec.build_search_settings(),
+            solver_options=tool.solver_options,
+            compiler=compiler,
+        )
+        solution = solver.solve()
+        record: Dict[str, Any] = {
+            "workflow": "plan",
+            "feasible": bool(solution.feasible),
+            "monthly_cost": float(solution.monthly_cost),
+            "monthly_cost_musd": float(solution.monthly_cost) / 1e6,
+            "evaluations": int(solution.evaluations),
+            "solver_cache_hits": int(solution.cache_hits),
+            "message": solution.message,
+        }
+        plan = solution.plan
+        if plan is not None:
+            record.update(
+                {
+                    "num_datacenters": plan.num_datacenters,
+                    "capacity_mw": plan.total_capacity_kw / 1000.0,
+                    "solar_mw": plan.total_solar_kw / 1000.0,
+                    "wind_mw": plan.total_wind_kw / 1000.0,
+                    "battery_mwh": plan.total_battery_kwh / 1000.0,
+                    "green_fraction": float(plan.green_fraction),
+                    "availability": float(plan.availability),
+                    "datacenters": [
+                        {
+                            "name": dc.name,
+                            "size_class": dc.size_class,
+                            "capacity_kw": float(dc.capacity_kw),
+                            "solar_kw": float(dc.solar_kw),
+                            "wind_kw": float(dc.wind_kw),
+                            "battery_kwh": float(dc.battery_kwh),
+                            "monthly_cost": float(dc.total_monthly_cost),
+                        }
+                        for dc in sorted(plan.datacenters, key=lambda d: d.name)
+                    ],
+                }
+            )
+        else:
+            record.update(
+                {
+                    "num_datacenters": 0,
+                    "capacity_mw": float("nan"),
+                    "solar_mw": float("nan"),
+                    "wind_mw": float("nan"),
+                    "battery_mwh": float("nan"),
+                    "green_fraction": float("nan"),
+                    "availability": float("nan"),
+                    "datacenters": [],
+                }
+            )
+        return record, solution
+
+    def _run_single_site(self, spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
+        tool = self.tool_for(spec)
+        analyzer = SingleSiteAnalyzer.from_spec(
+            spec, base_params=self.base_params, solver_options=tool.solver_options
+        )
+        costs = analyzer.cost_distribution(
+            tool.profiles,
+            capacity_kw=spec.total_capacity_kw,
+            min_green_fraction=spec.min_green_fraction,
+            sources=spec.sources_enum,
+            storage=spec.storage_enum,
+        )
+        feasible_costs = sorted(c.monthly_cost for c in costs if c.feasible)
+        record: Dict[str, Any] = {
+            "workflow": "single_site",
+            "capacity_kw": spec.total_capacity_kw,
+            "num_locations": len(costs),
+            "num_feasible": len(feasible_costs),
+            "min_monthly_cost": feasible_costs[0] if feasible_costs else float("nan"),
+            "median_monthly_cost": (
+                float(np.median(feasible_costs)) if feasible_costs else float("nan")
+            ),
+            "locations": [
+                dict(cost.table_row(), feasible=bool(cost.feasible),
+                     monthly_cost=float(cost.monthly_cost))
+                for cost in costs
+            ],
+        }
+        return record, costs
+
+    def _run_emulate(self, spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
+        from repro.greennebula.emulation import EmulatedCloud
+
+        cloud = EmulatedCloud.from_spec(spec)
+        summary = cloud.run()
+        record: Dict[str, Any] = {
+            "workflow": "emulate",
+            "sites": [dc.name for dc in cloud.datacenters],
+            "num_vms": cloud.config.num_vms,
+            "total_hours": summary.total_hours,
+            "total_migrations": summary.total_migrations,
+            "migrated_state_mb": float(summary.migrated_state_mb),
+            "total_green_used_kwh": float(summary.total_green_used_kwh),
+            "total_brown_kwh": float(summary.total_brown_kwh),
+            "mean_schedule_time_s": float(summary.mean_schedule_time_s),
+            "green_fraction": float(summary.green_fraction),
+            "load_series": {
+                dc.name: [float(value) for value in cloud.load_series(dc.name)]
+                for dc in cloud.datacenters
+            },
+        }
+        return record, cloud
+
+    # -- shared construction caches -------------------------------------------
+    def _catalog_for(self, spec: ScenarioSpec):
+        key = (spec.num_locations, spec.catalog_seed, spec.include_anchors)
+        with self._lock:
+            catalog = self._catalogs.get(key)
+        if catalog is None:
+            catalog = spec.build_catalog()
+            with self._lock:
+                catalog = self._catalogs.setdefault(key, catalog)
+        return catalog
+
+    def _profiles_for(self, spec: ScenarioSpec, tool: PlacementTool) -> list:
+        key = (
+            spec.num_locations,
+            spec.catalog_seed,
+            spec.include_anchors,
+            spec.days_per_season,
+            spec.hours_per_epoch,
+            spec.candidate_names,
+        )
+        with self._lock:
+            profiles = self._profiles.get(key)
+        if profiles is None:
+            profiles = tool.profile_builder.build_all(
+                tool.epoch_grid, names=tool.candidate_names
+            )
+            with self._lock:
+                profiles = self._profiles.setdefault(key, profiles)
+        return profiles
+
+    def tool_for(self, spec: ScenarioSpec) -> PlacementTool:
+        """A placement tool for the spec, with the catalogue and profiles shared."""
+        tool = PlacementTool.from_spec(
+            spec,
+            catalog=self._catalog_for(spec),
+            base_params=self.base_params,
+            solver_options=self.solver_options,
+        )
+        tool._profiles = self._profiles_for(spec, tool)
+        return tool
+
+    def _problem_for(self, spec: ScenarioSpec, tool: PlacementTool):
+        """One siting problem + provisioning compiler per problem signature.
+
+        Points that define the same fixed-siting LP (everything except the
+        search settings and the workflow) share the problem object and its
+        compiled per-site skeletons; both are read-only during solving and
+        the compiler is thread-safe, so concurrent points may share them.
+        """
+        signature = spec.problem_signature()
+        with self._lock:
+            entry = self._problems.get(signature)
+        if entry is None:
+            problem = tool.build_problem(
+                total_capacity_kw=spec.total_capacity_kw,
+                min_green_fraction=spec.min_green_fraction,
+                sources=spec.sources_enum,
+                storage=spec.storage_enum,
+                migration_factor=spec.migration_factor,
+                net_meter_credit=spec.net_meter_credit,
+                min_availability=spec.min_availability,
+                green_enforcement=spec.green_enforcement_enum,
+            )
+            entry = (problem, ProvisioningCompiler(problem))
+            with self._lock:
+                entry = self._problems.setdefault(signature, entry)
+        return entry
+
+    # -- on-disk artifact cache -----------------------------------------------
+    def _artifact_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"point-{key}.json")
+
+    def _load_artifact(self, key: str) -> Optional[PointResult]:
+        path = self._artifact_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema_version") != 1:
+            return None
+        result = PointResult.from_dict(payload["point"])
+        result.from_cache = True
+        return result
+
+    def _store_artifact(self, key: str, result: PointResult) -> None:
+        path = self._artifact_path(key)
+        if path is None:
+            return
+        payload = {"schema_version": 1, "point": result.to_dict()}
+        os.makedirs(self.cache_dir, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise

@@ -1,0 +1,284 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` captures *everything* needed to reproduce one run of
+the paper's machinery — the catalogue (size, seed, anchors, candidate
+restriction), the epoch grid, the demand, the scenario switches (sources,
+storage, green enforcement), the cost-parameter overrides, the heuristic
+search settings and the emulation knobs — as one serializable dataclass.
+
+Specs round-trip through plain dictionaries / JSON (``to_dict`` /
+``from_dict``) and carry a stable content hash, which is what keys the
+:class:`~repro.scenarios.runner.ExperimentRunner`'s artifact cache: two specs
+with the same semantic content always hash identically, across processes and
+machines.
+
+Every figure and table of the paper is a parameter sweep over one of these
+specs (see :mod:`repro.scenarios.registry`); new scenarios are a config diff,
+not a new script.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.parameters import FrameworkParameters
+from repro.core.problem import EnergySources, GreenEnforcement, StorageMode
+from repro.energy.profiles import EpochGrid
+
+#: Workflows a spec can drive (which ``from_spec`` entry point consumes it).
+WORKFLOWS = ("plan", "single_site", "emulate")
+
+#: Bump when the semantics of a recorded artifact change, to invalidate
+#: on-disk caches written by older code.
+SPEC_SCHEMA_VERSION = 1
+
+_SOURCES_VALUES = tuple(member.value for member in EnergySources)
+_STORAGE_VALUES = tuple(member.value for member in StorageMode)
+_ENFORCEMENT_VALUES = tuple(member.value for member in GreenEnforcement)
+
+#: Default knobs of the ``emulate`` workflow (the paper's three-site,
+#: nine-VM, solar-heavy Section V deployment).
+EMULATION_DEFAULTS: Dict[str, Any] = {
+    "sites": ("Mexico City, Mexico", "Andersen, Guam", "Harare, Zimbabwe"),
+    "num_vms": 9,
+    "duration_hours": 24,
+    "seed": 0,
+    "initial_datacenter": None,  # last site when None
+    "it_factor": 1.3,            # installed IT power as a multiple of the fleet power
+    "solar_factor": 7.0,         # installed solar as a multiple of the fleet power
+    "wind_factor": 0.4,          # installed wind as a multiple of the fleet power
+    "battery_kwh_factor": 0.0,   # battery capacity as a multiple of the fleet power
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One reproducible experimental scenario.
+
+    Enum-valued switches are stored as their string values (``"solar+wind"``,
+    ``"net_metering"``, ``"annual"``) so a spec serializes without custom
+    encoders; the ``*_enum`` properties return the typed members.
+    """
+
+    # -- identity (not part of the content hash) ------------------------------
+    name: str = ""
+    description: str = ""
+
+    # -- workflow -------------------------------------------------------------
+    workflow: str = "plan"
+
+    # -- catalogue ------------------------------------------------------------
+    num_locations: int = 90
+    catalog_seed: int = 2014
+    include_anchors: bool = True
+    candidate_names: Optional[Tuple[str, ...]] = None
+
+    # -- epoch grid -----------------------------------------------------------
+    days_per_season: int = 1
+    hours_per_epoch: int = 3
+
+    # -- demand and scenario switches ----------------------------------------
+    total_capacity_kw: float = 50_000.0
+    min_green_fraction: float = 0.5
+    sources: str = EnergySources.SOLAR_AND_WIND.value
+    storage: str = StorageMode.NET_METERING.value
+    green_enforcement: str = GreenEnforcement.ANNUAL.value
+    migration_factor: float = 1.0
+    net_meter_credit: float = 1.0
+    min_availability: Optional[float] = None
+
+    # -- cost-parameter overrides (Table I fields by name) --------------------
+    param_overrides: Dict[str, float] = field(default_factory=dict)
+
+    # -- heuristic search settings (SearchSettings kwargs) --------------------
+    search: Dict[str, Any] = field(default_factory=dict)
+
+    # -- emulation knobs (EMULATION_DEFAULTS keys) ----------------------------
+    emulation: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workflow not in WORKFLOWS:
+            raise ValueError(f"unknown workflow {self.workflow!r}; expected one of {WORKFLOWS}")
+        if self.sources not in _SOURCES_VALUES:
+            raise ValueError(f"unknown sources {self.sources!r}; expected one of {_SOURCES_VALUES}")
+        if self.storage not in _STORAGE_VALUES:
+            raise ValueError(f"unknown storage {self.storage!r}; expected one of {_STORAGE_VALUES}")
+        if self.green_enforcement not in _ENFORCEMENT_VALUES:
+            raise ValueError(
+                f"unknown green enforcement {self.green_enforcement!r}; "
+                f"expected one of {_ENFORCEMENT_VALUES}"
+            )
+        if self.num_locations < 1:
+            raise ValueError("the catalogue needs at least one location")
+        if self.total_capacity_kw <= 0:
+            raise ValueError("total capacity must be positive")
+        if not 0.0 <= self.min_green_fraction <= 1.0:
+            raise ValueError("the minimum green fraction must lie in [0, 1]")
+        unknown_emulation = set(self.emulation) - set(EMULATION_DEFAULTS)
+        if unknown_emulation:
+            raise ValueError(f"unknown emulation knobs: {sorted(unknown_emulation)}")
+        if self.candidate_names is not None:
+            object.__setattr__(self, "candidate_names", tuple(self.candidate_names))
+        if "sites" in self.emulation:
+            emulation = dict(self.emulation)
+            emulation["sites"] = tuple(emulation["sites"])
+            object.__setattr__(self, "emulation", emulation)
+
+    # -- typed accessors ------------------------------------------------------
+    @property
+    def sources_enum(self) -> EnergySources:
+        return EnergySources(self.sources)
+
+    @property
+    def storage_enum(self) -> StorageMode:
+        return StorageMode(self.storage)
+
+    @property
+    def green_enforcement_enum(self) -> GreenEnforcement:
+        return GreenEnforcement(self.green_enforcement)
+
+    def emulation_knobs(self) -> Dict[str, Any]:
+        """Emulation knobs with the paper's defaults filled in."""
+        knobs = dict(EMULATION_DEFAULTS)
+        knobs.update(self.emulation)
+        knobs["sites"] = tuple(knobs["sites"])
+        if knobs["initial_datacenter"] is None:
+            knobs["initial_datacenter"] = knobs["sites"][-1]
+        return knobs
+
+    # -- updates --------------------------------------------------------------
+    def with_updates(self, **changes: Any) -> "ScenarioSpec":
+        """A copy of the spec with the given fields replaced.
+
+        Keys may be dotted (``"search.seed"``, ``"emulation.num_vms"``) to
+        update one entry of a dictionary-valued field; this is the override
+        syntax :class:`~repro.scenarios.runner.ParameterSweep` axes use.
+        """
+        flat: Dict[str, Any] = {}
+        nested: Dict[str, Dict[str, Any]] = {}
+        for key, value in changes.items():
+            if "." in key:
+                parent, child = key.split(".", 1)
+                nested.setdefault(parent, {})[child] = value
+            else:
+                flat[key] = value
+        spec_fields = {f.name for f in fields(self)}
+        for parent, updates in nested.items():
+            if parent not in ("param_overrides", "search", "emulation"):
+                raise KeyError(f"cannot apply dotted override to field {parent!r}")
+            merged = dict(getattr(self, parent))
+            merged.update(updates)
+            flat[parent] = merged
+        unknown = set(flat) - spec_fields
+        if unknown:
+            raise KeyError(f"unknown scenario fields: {sorted(unknown)}")
+        return replace(self, **flat)
+
+    def canonical(self) -> "ScenarioSpec":
+        """The spec with semantically-equivalent settings normalised.
+
+        A zero green requirement makes the allowed sources irrelevant (the
+        tool and the single-site analyzer both force ``EnergySources.NONE``),
+        so all such specs collapse onto the ``"brown"`` form — the runner's
+        caches then evaluate the shared brown baseline of Figs. 8-12 once
+        instead of once per source curve.
+        """
+        spec = self
+        if spec.workflow in ("plan", "single_site") and spec.min_green_fraction == 0.0:
+            if spec.sources != EnergySources.NONE.value:
+                spec = replace(spec, sources=EnergySources.NONE.value)
+        return spec
+
+    # -- serialization --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary form (JSON-ready; tuples become lists)."""
+        payload = asdict(self)
+        if payload["candidate_names"] is not None:
+            payload["candidate_names"] = list(payload["candidate_names"])
+        if "sites" in payload["emulation"]:
+            payload["emulation"] = dict(payload["emulation"])
+            payload["emulation"]["sites"] = list(payload["emulation"]["sites"])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        spec_fields = {f.name for f in fields(cls)}
+        unknown = set(payload) - spec_fields
+        if unknown:
+            raise KeyError(f"unknown scenario fields: {sorted(unknown)}")
+        data = dict(payload)
+        if data.get("candidate_names") is not None:
+            data["candidate_names"] = tuple(data["candidate_names"])
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- content hashing ------------------------------------------------------
+    def hash_payload(self) -> Dict[str, Any]:
+        """The dictionary the content hash is computed over.
+
+        The identity fields (``name``, ``description``) are excluded so that
+        relabelling a scenario does not invalidate cached artifacts, and the
+        spec is canonicalised first so equivalent scenarios share a hash.
+        """
+        payload = self.canonical().to_dict()
+        payload.pop("name")
+        payload.pop("description")
+        payload["schema_version"] = SPEC_SCHEMA_VERSION
+        return payload
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the spec's semantic content."""
+        canonical_json = json.dumps(self.hash_payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical_json.encode("utf-8")).hexdigest()
+
+    def problem_signature(self) -> str:
+        """Hash of the fields that define the optimisation *problem*.
+
+        Search settings, emulation knobs and the workflow do not change the
+        fixed-siting LPs, so sweep points that differ only in those share a
+        signature — and therefore a compiled-skeleton cache in the runner.
+        """
+        payload = self.hash_payload()
+        for irrelevant in ("workflow", "search", "emulation"):
+            payload.pop(irrelevant, None)
+        canonical_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical_json.encode("utf-8")).hexdigest()
+
+    # -- builders -------------------------------------------------------------
+    def build_catalog(self):
+        """The world catalogue this spec runs against."""
+        from repro.weather.locations import build_world_catalog
+
+        return build_world_catalog(
+            num_locations=self.num_locations,
+            seed=self.catalog_seed,
+            include_anchors=self.include_anchors,
+        )
+
+    def build_epoch_grid(self) -> EpochGrid:
+        return EpochGrid.from_seasons(
+            days_per_season=self.days_per_season, hours_per_epoch=self.hours_per_epoch
+        )
+
+    def build_params(
+        self, base: Optional[FrameworkParameters] = None
+    ) -> FrameworkParameters:
+        """Framework parameters with the spec's overrides applied."""
+        params = base or FrameworkParameters()
+        if self.param_overrides:
+            params = params.with_updates(**self.param_overrides)
+        return params
+
+    def build_search_settings(self):
+        from repro.core.heuristic import SearchSettings
+
+        return SearchSettings(**self.search)

@@ -7,7 +7,7 @@ quantities plotted in Fig. 15, and an HPC batch workload model (VM-shaped
 jobs of the kind the paper runs inside VirtualBox).
 """
 
-from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.engine import PeriodicHandle, SimulationEngine, SimulationError
 from repro.simulation.events import Event
 from repro.simulation.trace import TraceRecorder
 from repro.simulation.workload import HPCWorkloadGenerator, VMSpec
@@ -16,6 +16,7 @@ from repro.simulation import engine, events, trace, workload
 
 __all__ = [
     "Event",
+    "PeriodicHandle",
     "HPCWorkloadGenerator",
     "SimulationEngine",
     "SimulationError",

@@ -12,6 +12,32 @@ class SimulationError(RuntimeError):
     """Raised for scheduling mistakes (events in the past, negative delays...)."""
 
 
+class PeriodicHandle:
+    """Cancellation handle of a :meth:`SimulationEngine.schedule_every` series.
+
+    Cancelling stops the series permanently: the currently pending occurrence
+    is cancelled and no further occurrences are scheduled.  Cancelling is
+    idempotent and safe from within the periodic action itself, which is how
+    finite-horizon emulations retire their hourly pass.
+    """
+
+    __slots__ = ("_pending", "_cancelled")
+
+    def __init__(self) -> None:
+        self._pending: Optional[Event] = None
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+
 class SimulationEngine:
     """Event-queue simulator with a floating-point clock in hours.
 
@@ -65,16 +91,27 @@ class SimulationEngine:
         name: str = "",
         priority: int = 0,
         start_offset: float = 0.0,
-    ) -> None:
-        """Schedule ``action`` to run every ``interval`` hours, indefinitely."""
+    ) -> PeriodicHandle:
+        """Schedule ``action`` to run every ``interval`` hours.
+
+        Returns a :class:`PeriodicHandle`; the series runs until the handle is
+        cancelled (or forever, for callers that discard it).
+        """
         if interval <= 0:
             raise SimulationError("the interval of a periodic event must be positive")
+        handle = PeriodicHandle()
 
         def periodic(engine: "SimulationEngine") -> None:
+            if handle.cancelled:
+                return
             action(engine)
-            engine.schedule_after(interval, periodic, name=name, priority=priority)
+            if not handle.cancelled:
+                handle._pending = engine.schedule_after(
+                    interval, periodic, name=name, priority=priority
+                )
 
-        self.schedule_after(start_offset, periodic, name=name, priority=priority)
+        handle._pending = self.schedule_after(start_offset, periodic, name=name, priority=priority)
+        return handle
 
     # -- execution ------------------------------------------------------------------
     def step(self) -> Optional[Event]:

@@ -5,6 +5,7 @@ import pytest
 from repro.simulation import (
     Event,
     HPCWorkloadGenerator,
+    PeriodicHandle,
     SimulationEngine,
     SimulationError,
     TraceRecorder,
@@ -79,6 +80,52 @@ class TestSimulationEngine:
         engine = SimulationEngine()
         with pytest.raises(SimulationError):
             engine.schedule_every(0.0, lambda e: None)
+
+    def test_schedule_every_returns_cancellable_handle(self):
+        engine = SimulationEngine()
+        ticks = []
+        handle = engine.schedule_every(1.0, lambda e: ticks.append(e.now), start_offset=1.0)
+        assert isinstance(handle, PeriodicHandle)
+        assert not handle.cancelled
+        engine.run_until(3.0)
+        handle.cancel()
+        assert handle.cancelled
+        engine.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        # Nothing is left behind: the pending occurrence was cancelled too.
+        assert engine.pending_events == 0
+
+    def test_cancel_is_idempotent(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_every(1.0, lambda e: None, start_offset=1.0)
+        handle.cancel()
+        handle.cancel()
+        assert engine.run_until(5.0) == 0
+
+    def test_cancel_from_within_the_action_stops_the_series(self):
+        engine = SimulationEngine()
+        ticks = []
+        handle = None
+
+        def action(e):
+            ticks.append(e.now)
+            if len(ticks) == 2:
+                handle.cancel()
+
+        handle = engine.schedule_every(1.0, action, start_offset=1.0)
+        engine.run()
+        assert ticks == [1.0, 2.0]
+
+    def test_two_periodic_series_cancel_independently(self):
+        engine = SimulationEngine()
+        fast, slow = [], []
+        fast_handle = engine.schedule_every(1.0, lambda e: fast.append(e.now), start_offset=1.0)
+        engine.schedule_every(2.0, lambda e: slow.append(e.now), start_offset=2.0)
+        engine.run_until(2.0)
+        fast_handle.cancel()
+        engine.run_until(6.0)
+        assert fast == [1.0, 2.0]
+        assert slow == [2.0, 4.0, 6.0]
 
     def test_events_can_schedule_events(self):
         engine = SimulationEngine()
