@@ -3,8 +3,15 @@
 The paper reports ~20 minutes for 50-100 candidate locations and an
 exponential blow-up towards the full 1373-location set, which is why the
 filtering step exists.  This benchmark measures our heuristic end-to-end for
-growing candidate sets and also ablates the epoch-grid resolution (a design
+growing candidate sets — including the paper's full 1373-location scale in
+``EXTENDED_COUNTS`` — and also ablates the epoch-grid resolution (a design
 choice called out in DESIGN.md).
+
+Since PR 3 the benchmark configuration runs the search through the adaptive
+epoch-grid scheme (``coarse_epoch_factor``): the filter and annealing chains
+price every LP on a 4x coarser grid, and the winning siting is re-solved on
+selectively refined grids until the objective converges — the final cost is
+still reported against (and converges to) the fine 3-hour grid.
 """
 
 import time
@@ -19,8 +26,20 @@ from repro.weather import build_world_catalog
 
 CANDIDATE_COUNTS = (12, 30, 60)
 
+#: The extended scaling curve toward the paper's full candidate set; run once
+#: per harness invocation (no best-of rounds — the big points are stable).
+EXTENDED_COUNTS = (240, 600, 1373)
 
-def run_heuristic(num_candidates: int, hours_per_epoch: int = 3) -> dict:
+#: Coarsening factor of the adaptive epoch-grid scheme used by the benchmark
+#: configuration (the fine grid stays the 3-hour one the costs are quoted on).
+COARSE_EPOCH_FACTOR = 4
+
+
+def run_heuristic(
+    num_candidates: int,
+    hours_per_epoch: int = 3,
+    coarse_epoch_factor: int = COARSE_EPOCH_FACTOR,
+) -> dict:
     catalog = build_world_catalog(num_locations=num_candidates, seed=2014)
     builder = ProfileBuilder(catalog)
     grid = EpochGrid.from_seasons(days_per_season=1, hours_per_epoch=hours_per_epoch)
@@ -32,7 +51,12 @@ def run_heuristic(num_candidates: int, hours_per_epoch: int = 3) -> dict:
         storage=StorageMode.NET_METERING,
     )
     settings = SearchSettings(
-        keep_locations=10, max_iterations=15, patience=8, num_chains=1, seed=1
+        keep_locations=10,
+        max_iterations=15,
+        patience=8,
+        num_chains=1,
+        seed=1,
+        coarse_epoch_factor=coarse_epoch_factor,
     )
     started = time.perf_counter()
     solution = HeuristicSolver(problem, settings).solve()
@@ -44,8 +68,10 @@ def run_heuristic(num_candidates: int, hours_per_epoch: int = 3) -> dict:
         "evaluations": solution.evaluations,
         "cache_hits": solution.cache_hits,
         "cache_hit_rate": solution.cache_hits / requests if requests else 0.0,
+        "cross_chain_hits": solution.stats.get("memo_cross_chain_hits", 0.0),
         "filter_seconds": solution.stats.get("filter_seconds", float("nan")),
         "search_seconds": solution.stats.get("search_seconds", float("nan")),
+        "refine_rounds": solution.stats.get("refine_rounds", 0.0),
         "cost_musd": solution.monthly_cost / 1e6,
         "feasible": solution.feasible,
     }
@@ -67,10 +93,30 @@ def test_sec3d_heuristic_scaling(benchmark, num_candidates):
     assert result["feasible"]
 
 
+@pytest.mark.parametrize("num_candidates", EXTENDED_COUNTS)
+@pytest.mark.slow
+def test_sec3d_heuristic_scaling_extended(benchmark, num_candidates):
+    """The scaling curve extended toward the paper's 1373 candidates."""
+    result = benchmark.pedantic(run_heuristic, args=(num_candidates,), rounds=1, iterations=1)
+
+    print_header(f"Section III-D extended: {num_candidates} candidate locations")
+    print(f"wall-clock: {result['elapsed_s']:.2f} s "
+          f"(filter {result['filter_seconds']:.2f} s, search {result['search_seconds']:.2f} s), "
+          f"LP evaluations: {result['evaluations']}, best cost: ${result['cost_musd']:.1f}M/month")
+    assert result["feasible"]
+
+
 def test_sec3d_epoch_resolution_ablation(benchmark):
-    """Ablation: 3-hour vs 1-hour epochs on the same 30-location instance."""
-    coarse = benchmark.pedantic(run_heuristic, args=(30, 3), rounds=1, iterations=1)
-    fine = run_heuristic(30, 1)
+    """Ablation: 3-hour vs 1-hour epochs on the same 30-location instance.
+
+    Both arms run the *plain* fine-grid search (``coarse_epoch_factor=1``) so
+    the comparison stays a pure grid-resolution ablation, independent of the
+    adaptive scheme the benchmark configuration uses.
+    """
+    coarse = benchmark.pedantic(
+        run_heuristic, args=(30, 3, 1), rounds=1, iterations=1
+    )
+    fine = run_heuristic(30, 1, 1)
 
     print_header("Ablation: epoch-grid resolution (30 candidate locations)")
     print(f"3-hour epochs: {coarse['elapsed_s']:.1f} s, cost ${coarse['cost_musd']:.1f}M/month")

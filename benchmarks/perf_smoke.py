@@ -1,0 +1,50 @@
+"""Perf smoke check: the 60-location Section III-D point must stay cheap.
+
+Wall-clock on shared CI runners is too noisy to gate on, so this pins the
+*count* of provisioning LPs the heuristic solves end-to-end (filter pricing
+is excluded; the counter is the siting-evaluation memo's miss count), which
+is deterministic for a fixed seed.  A regression here means the siting memo,
+the adaptive epoch-grid scheme or the search schedule silently got worse.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_sec3d_solver_scaling import run_heuristic  # noqa: E402
+
+#: Ceiling on sec3d 60-location LP evaluations (currently 11: 9 siting
+#: evaluations on the coarse grid plus 2 adaptive refinement rounds).
+LPS_SOLVED_CEILING = 16
+
+
+def main() -> int:
+    result = run_heuristic(60)
+    lps = result["evaluations"]
+    print(
+        f"sec3d 60 candidates: {lps} LPs solved (ceiling {LPS_SOLVED_CEILING}), "
+        f"{result['elapsed_s']:.3f}s, cost ${result['cost_musd']:.2f}M/month, "
+        f"feasible={result['feasible']}"
+    )
+    if not result["feasible"]:
+        print("FAIL: the 60-location benchmark instance became infeasible")
+        return 1
+    if lps > LPS_SOLVED_CEILING:
+        print(
+            f"FAIL: lps_solved {lps} exceeds the pinned ceiling {LPS_SOLVED_CEILING} — "
+            "the search is solving more LPs than the recorded trajectory"
+        )
+        return 1
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

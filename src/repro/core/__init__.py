@@ -23,10 +23,12 @@ from repro.core.costs import CostModel, FinancingModel
 from repro.core.parameters import FrameworkParameters
 from repro.core.problem import EnergySources, GreenEnforcement, SitingProblem, StorageMode
 from repro.core.provisioning import (
+    IncrementalSitingEvaluator,
     ProvisioningCompiler,
     ProvisioningResult,
     solve_provisioning,
 )
+from repro.core.adaptive_grid import AdaptiveGridRefiner, coarsen_problem
 from repro.core.formulation import build_full_milp, solve_full_milp
 from repro.core.heuristic import HeuristicSolver, SearchSettings
 from repro.core.single_site import SingleSiteAnalyzer, SingleSiteCost
@@ -34,6 +36,7 @@ from repro.core.solution import DatacenterPlan, NetworkPlan
 from repro.core.tool import PlacementTool
 
 __all__ = [
+    "AdaptiveGridRefiner",
     "CostModel",
     "DatacenterPlan",
     "EnergySources",
@@ -41,6 +44,7 @@ __all__ = [
     "FrameworkParameters",
     "GreenEnforcement",
     "HeuristicSolver",
+    "IncrementalSitingEvaluator",
     "NetworkPlan",
     "PlacementTool",
     "ProvisioningCompiler",
@@ -52,6 +56,7 @@ __all__ = [
     "StorageMode",
     "Tier",
     "build_full_milp",
+    "coarsen_problem",
     "datacenters_needed",
     "network_availability",
     "solve_full_milp",

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.costs import CostModel
 from repro.core.problem import SitingProblem, StorageMode
 from repro.core.provisioning import ProvisioningResult, solve_provisioning
@@ -55,7 +57,8 @@ def build_full_milp(problem: SitingProblem) -> tuple[Model, List[_MilpSite]]:
     epochs = problem.epochs
     num_epochs = epochs.num_epochs
     weights = epochs.epoch_weights_hours()
-    epoch_hours = epochs.epoch_hours
+    # Scalar on uniform grids, per-epoch array on adaptively refined ones.
+    epoch_hours = np.broadcast_to(np.asarray(epochs.epoch_hours, dtype=float), (num_epochs,))
     cost_model = CostModel(params)
     use_batteries = problem.storage is StorageMode.BATTERIES
     use_net_metering = problem.storage is StorageMode.NET_METERING
@@ -168,8 +171,8 @@ def build_full_milp(problem: SitingProblem) -> tuple[Model, List[_MilpSite]]:
                 model.add_constraint(
                     battery_level[t]
                     == battery_level[previous]
-                    + params.battery_efficiency * battery_charge[t] * epoch_hours
-                    - battery_discharge[t] * epoch_hours,
+                    + params.battery_efficiency * battery_charge[t] * epoch_hours[t]
+                    - battery_discharge[t] * epoch_hours[t],
                     name=f"battery_dynamics[{name},{t}]",
                 )
                 model.add_constraint(
@@ -179,8 +182,8 @@ def build_full_milp(problem: SitingProblem) -> tuple[Model, List[_MilpSite]]:
                 model.add_constraint(
                     net_level[t]
                     == net_level[previous]
-                    + net_charge[t] * epoch_hours
-                    - net_discharge[t] * epoch_hours,
+                    + net_charge[t] * epoch_hours[t]
+                    - net_discharge[t] * epoch_hours[t],
                     name=f"net_dynamics[{name},{t}]",
                 )
 

@@ -42,10 +42,11 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.problem import GreenEnforcement, SitingProblem
 from repro.core.provisioning import (
+    IncrementalSitingEvaluator,
     ProvisioningCompiler,
     ProvisioningResult,
     solve_provisioning,
@@ -100,6 +101,21 @@ class SearchSettings:
     #: Worker cap for the filter pricing pass and the parallel chains
     #: (``None`` = number of CPUs).
     max_workers: Optional[int] = None
+    #: Evaluate sequential-search moves on a persistent mutable HiGHS model
+    #: (column/row deltas + projected-basis warm starts) instead of
+    #: rebuilding the LP per move.  ``None`` (default) auto-enables whenever
+    #: the direct backend supports the problem; False forces rebuilds.
+    incremental_lp: Optional[bool] = None
+    #: Adaptive epoch grid: > 1 runs the filter and annealing search on a
+    #: grid whose epochs are this factor coarser, then re-solves the best
+    #: siting on selectively refined grids (only the epochs where the plan
+    #: is storage- or migration-bound return to full resolution) until the
+    #: objective converges.  1 disables the scheme.
+    coarse_epoch_factor: int = 1
+    #: Relative objective tolerance of the refinement loop.
+    refine_tolerance: float = 0.002
+    #: Cap on refinement rounds (each round solves one provisioning LP).
+    refine_max_rounds: int = 6
 
     def __post_init__(self) -> None:
         if self.keep_locations < 1:
@@ -110,6 +126,12 @@ class SearchSettings:
             raise ValueError("the cooling factor must lie in (0, 1]")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if self.coarse_epoch_factor < 1:
+            raise ValueError("coarse_epoch_factor must be at least 1")
+        if self.refine_tolerance < 0:
+            raise ValueError("refine_tolerance cannot be negative")
+        if self.refine_max_rounds < 1:
+            raise ValueError("the refinement loop needs at least one round")
         unknown = set(self.move_weights) - set(MOVES)
         if unknown:
             raise ValueError(f"unknown neighbour moves: {sorted(unknown)}")
@@ -157,9 +179,13 @@ class HeuristicSolver:
         # problem (same profiles, parameters and scenario switches); the
         # ExperimentRunner keys its shared compilers by that problem signature.
         self._compiler = compiler or ProvisioningCompiler(problem)
-        self._cache: Dict[FrozenSet[Tuple[str, str]], Future] = {}
+        # The memo key is the canonical sorted (location, class) tuple, so
+        # any move order that reaches the same siting hits the same entry.
+        self._cache: Dict[Tuple[Tuple[str, str], ...], Future] = {}
+        self._cache_owner: Dict[Tuple[Tuple[str, str], ...], Optional[int]] = {}
         self._cache_lock = threading.Lock()
         self._cache_hits = 0
+        self._cross_chain_hits = 0
         self._evaluations = 0
         # Basis warm-start contexts for the annealing loop, keyed by siting
         # shape (site count, small-class count).  Only used while the chains
@@ -167,6 +193,9 @@ class HeuristicSolver:
         # the parallel search's results independent of chain scheduling.
         self._sa_contexts: Dict[Tuple[int, int], HighsSolveContext] = {}
         self._sa_warm_starts = False
+        # Persistent mutable-model evaluator for the sequential search; moves
+        # become column/row deltas with projected-basis warm starts.
+        self._sa_incremental: Optional[IncrementalSitingEvaluator] = None
 
     # -- worker accounting ---------------------------------------------------------
     def _workers(self, upper: int) -> int:
@@ -178,6 +207,11 @@ class HeuristicSolver:
     def cache_hits(self) -> int:
         """Provisioning evaluations answered from the siting memo."""
         return self._cache_hits
+
+    @property
+    def cross_chain_hits(self) -> int:
+        """Memo hits on entries that a *different* chain computed."""
+        return self._cross_chain_hits
 
     # -- step 1: filtering ---------------------------------------------------------
     def filter_locations(self) -> List[str]:
@@ -264,13 +298,18 @@ class HeuristicSolver:
         return selected
 
     # -- step 2: fixed-siting evaluation ----------------------------------------------
-    def evaluate(self, siting: Dict[str, str]) -> ProvisioningResult:
+    def evaluate(
+        self, siting: Dict[str, str], chain: Optional[int] = None
+    ) -> ProvisioningResult:
         """Solve (and memoize) the provisioning LP for a siting decision.
 
-        The memo is a table of futures: the first caller of a siting computes
-        it, concurrent callers of the same siting block on the same future.
+        The memo is a table of futures keyed by the canonical sorted
+        ``(location, class)`` tuple — different move orders reaching the same
+        siting hit the same entry.  The first caller of a siting computes it,
+        concurrent callers of the same siting block on the same future.
         Results are therefore independent of chain scheduling, which is what
-        keeps the parallel search deterministic.
+        keeps the parallel search deterministic.  ``chain`` attributes memo
+        hits: a hit on an entry another chain computed counts as cross-chain.
         """
         if len(siting) < self.problem.min_datacenters:
             return ProvisioningResult(
@@ -282,31 +321,48 @@ class HeuristicSolver:
                     f"{self.problem.min_datacenters}"
                 ),
             )
-        key = frozenset(siting.items())
+        key = tuple(sorted(siting.items()))
         with self._cache_lock:
             future = self._cache.get(key)
             owner = future is None
             if owner:
                 future = Future()
                 self._cache[key] = future
+                self._cache_owner[key] = chain
                 self._evaluations += 1
             else:
                 self._cache_hits += 1
+                owner_chain = self._cache_owner.get(key)
+                # Only chain-to-chain sharing counts: the initial siting is
+                # evaluated outside any chain (chain=None) and must not
+                # inflate the cross-chain stat of single-chain runs.
+                if chain is not None and owner_chain is not None and owner_chain != chain:
+                    self._cross_chain_hits += 1
         if owner:
-            context = None
-            if self._sa_warm_starts and _HIGHS_DIRECT_AVAILABLE:
-                shape = (len(siting), sum(1 for c in siting.values() if c == "small"))
-                context = self._sa_contexts.get(shape)
-                if context is None:
-                    context = self._sa_contexts.setdefault(shape, HighsSolveContext())
             try:
-                result = solve_provisioning(
-                    self.problem,
-                    siting,
-                    options=self.solver_options,
-                    compiler=self._compiler,
-                    solver_context=context,
-                )
+                if self._sa_incremental is not None:
+                    # Sequential search: the persistent mutable model follows
+                    # the chain's moves as column/row deltas.
+                    result = self._sa_incremental.evaluate(siting)
+                else:
+                    context = None
+                    if self._sa_warm_starts and _HIGHS_DIRECT_AVAILABLE:
+                        shape = (
+                            len(siting),
+                            sum(1 for c in siting.values() if c == "small"),
+                        )
+                        context = self._sa_contexts.get(shape)
+                        if context is None:
+                            context = self._sa_contexts.setdefault(
+                                shape, HighsSolveContext()
+                            )
+                    result = solve_provisioning(
+                        self.problem,
+                        siting,
+                        options=self.solver_options,
+                        compiler=self._compiler,
+                        solver_context=context,
+                    )
             except BaseException as error:  # propagate to all waiters
                 future.set_exception(error)
                 raise
@@ -319,6 +375,10 @@ class HeuristicSolver:
         """Run the full heuristic and return the best plan found."""
         settings = self.settings
         problem = self.problem
+        if settings.coarse_epoch_factor > 1:
+            adaptive = self._solve_adaptive()
+            if adaptive is not None:
+                return adaptive
         filter_started = time.perf_counter()
         candidates = self.filter_locations()
         filter_seconds = time.perf_counter() - filter_started
@@ -339,13 +399,25 @@ class HeuristicSolver:
             )
 
         search_started = time.perf_counter()
-        best_siting = self._initial_siting(candidates)
-        best_result = self.evaluate(best_siting)
-        history: List[Tuple[int, float]] = [(0, best_result.monthly_cost)]
-
         chain_workers = self._workers(settings.num_chains)
         parallel = bool(settings.parallel_chains) and settings.num_chains > 1
         self._sa_warm_starts = not parallel
+        use_incremental = (
+            settings.incremental_lp if settings.incremental_lp is not None else True
+        )
+        if (
+            parallel  # the evaluator is single-threaded; parallel chains solve cold
+            or not use_incremental
+            or not IncrementalSitingEvaluator.supported(problem, self.solver_options)
+        ):
+            self._sa_incremental = None
+        elif self._sa_incremental is None:
+            self._sa_incremental = IncrementalSitingEvaluator(
+                self._compiler, options=self.solver_options
+            )
+        best_siting = self._initial_siting(candidates)
+        best_result = self.evaluate(best_siting)
+        history: List[Tuple[int, float]] = [(0, best_result.monthly_cost)]
 
         if parallel:
             # All chains explore independently from the shared initial best and
@@ -381,6 +453,7 @@ class HeuristicSolver:
                     best_siting, best_result = outcome.best_siting, outcome.best_result
         search_seconds = time.perf_counter() - search_started
 
+        requests = self._evaluations + self._cache_hits
         return HeuristicSolution(
             plan=best_result.plan,
             monthly_cost=best_result.monthly_cost,
@@ -395,7 +468,86 @@ class HeuristicSolver:
                 "search_seconds": search_seconds,
                 "parallel_chains": float(parallel),
                 "chain_workers": float(min(chain_workers, settings.num_chains)),
+                "incremental_lp": float(self._sa_incremental is not None),
+                "memo_hit_rate": self._cache_hits / requests if requests else 0.0,
+                "memo_cross_chain_hits": float(self._cross_chain_hits),
             },
+        )
+
+    def _solve_adaptive(self) -> Optional[HeuristicSolution]:
+        """Coarse-grid search plus targeted epoch refinement of the winner.
+
+        The filter and the annealing chains run against a problem whose epoch
+        grid is ``coarse_epoch_factor`` times coarser (every provisioning LP
+        shrinks by that factor); the best siting found is then re-solved on
+        adaptively refined grids — only the epochs where the plan is storage-
+        or migration-bound return to full resolution — until the objective
+        converges within ``refine_tolerance``.  Returns ``None`` when the
+        problem's grid cannot be coarsened (the caller falls back to the
+        plain fine-grid search).
+        """
+        from repro.core.adaptive_grid import (
+            AdaptiveGridRefiner,
+            can_coarsen,
+            coarsen_problem,
+        )
+        from dataclasses import replace
+
+        settings = self.settings
+        factor = settings.coarse_epoch_factor
+        if not can_coarsen(self.problem.epochs, factor):
+            return None
+        coarse_problem = coarsen_problem(self.problem, factor)
+        sub = HeuristicSolver(
+            coarse_problem,
+            replace(settings, coarse_epoch_factor=1),
+            self.solver_options,
+        )
+        coarse = sub.solve()
+        # Accumulate (a solver can be solved more than once) so the public
+        # counters stay consistent with the returned solution's stats.
+        self._evaluations += sub._evaluations
+        self._cache_hits += sub._cache_hits
+        self._cross_chain_hits += sub._cross_chain_hits
+        coarse.stats["coarse_epoch_factor"] = float(factor)
+        coarse.stats["coarse_epochs"] = float(coarse_problem.num_epochs)
+        coarse.stats["fine_epochs"] = float(self.problem.num_epochs)
+        if not coarse.feasible or coarse.plan is None:
+            return coarse
+        refine_started = time.perf_counter()
+        siting = {dc.name: dc.size_class for dc in coarse.plan.datacenters}
+        refiner = AdaptiveGridRefiner(
+            self.problem,
+            factor=factor,
+            tolerance=settings.refine_tolerance,
+            max_rounds=settings.refine_max_rounds,
+            options=self.solver_options,
+        )
+        final, report = refiner.refine(siting)
+        self._evaluations += report.rounds  # the refinement LPs count too
+        if not final.feasible:  # pragma: no cover - refinement keeps feasibility
+            final = solve_provisioning(
+                self.problem, siting, options=self.solver_options, compiler=self._compiler
+            )
+        stats = dict(coarse.stats)
+        stats.update(
+            {
+                "refine_seconds": time.perf_counter() - refine_started,
+                "refine_rounds": float(report.rounds),
+                "refine_converged": float(report.converged),
+                "refine_final_epochs": float(report.num_epochs_trace[-1]),
+            }
+        )
+        return HeuristicSolution(
+            plan=final.plan,
+            monthly_cost=final.monthly_cost,
+            feasible=final.feasible,
+            evaluations=coarse.evaluations + report.rounds,
+            filtered_locations=coarse.filtered_locations,
+            history=coarse.history,
+            message=final.message,
+            cache_hits=coarse.cache_hits,
+            stats=stats,
         )
 
     def _run_chain(
@@ -420,7 +572,7 @@ class HeuristicSolver:
             neighbour = self._neighbour(current_siting, candidates, rng, move_weights)
             if neighbour is None:
                 continue
-            result = self.evaluate(neighbour)
+            result = self.evaluate(neighbour, chain=chain)
             if not result.feasible:
                 continue
             if self._accept(current_result, result, temperature, rng):

@@ -176,6 +176,64 @@ class _SiteSkeleton:
 
 
 @dataclass
+class _SkeletonTemplate:
+    """Location-independent structure of a site skeleton (one per class).
+
+    All candidate locations of a problem share every index array, sense mask
+    and right-hand side of their skeletons — only a handful of value slots
+    (PUE and production series, the brown-plant cap, objective prices) differ.
+    The template keeps a donor skeleton plus the slot positions inside its
+    ``tri_vals``/``green_vals`` concatenations, so deriving the skeleton of a
+    new location is a couple of array copies and slice writes instead of a
+    full rebuild — the dominant cost of pricing large candidate sets.
+    """
+
+    donor: "_SiteSkeleton"
+    block_offsets: List[int]
+    block_labels: List[str]
+    #: label -> (start offset into tri_vals); slot layout is fixed per block.
+    slots: Dict[str, int]
+    brown_cols: np.ndarray
+
+
+@dataclass
+class _IncrementalSiteData:
+    """Per-site delta arrays for the incremental (mutable-model) solve path.
+
+    The incremental layout keeps every site block *uniform across size
+    classes*: the ``small_dc`` row is always present (it is the first block
+    row) and is relaxed to a free row for "large" sites, so a size-class flip
+    is a pure value edit (objective coefficients + one row's bounds) and
+    add/remove moves always splice ranges of identical shape.  ``row_*``
+    carry the block rows row-wise over site-local columns (for ``addRows``);
+    ``coupling_*`` carry this site's entries in the cross-site coupling rows
+    column-wise (for ``addCols``; the coupling rows sit at fixed global
+    indices ``0..T+G`` so these never need remapping).
+    """
+
+    name: str
+    num_vars: int
+    lower: np.ndarray
+    upper: np.ndarray
+    row_lower: np.ndarray
+    row_upper: np.ndarray
+    row_starts: np.ndarray
+    row_cols: np.ndarray
+    row_vals: np.ndarray
+    small_dc_upper: float
+    coupling_starts: np.ndarray
+    coupling_rows: np.ndarray
+    coupling_vals: np.ndarray
+    cost_cols: np.ndarray
+    cost_vals: Dict[str, np.ndarray]
+    fixed: Dict[str, float]
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.row_lower.shape[0])
+
+
+@dataclass
 class _ModelTemplate:
     """Cached CSC sparsity pattern of one siting *shape*.
 
@@ -262,6 +320,11 @@ class ProvisioningCompiler:
         # Per-shape CSC pattern cache; False marks shapes that cannot be
         # templated (degenerate grids with duplicate COO coordinates).
         self._templates: Dict[Tuple, object] = {}
+        # Per-site delta arrays for the incremental solve path.
+        self._incremental: Dict[str, _IncrementalSiteData] = {}
+        # Location-independent skeleton structure per size class; once built,
+        # new locations' skeletons are derived by slot rewrites.
+        self._skeleton_templates: Dict[str, _SkeletonTemplate] = {}
         self._lock = threading.Lock()
 
     # -- per-site skeleton -------------------------------------------------------
@@ -269,13 +332,120 @@ class ProvisioningCompiler:
         key = (name, size_class)
         with self._lock:
             skeleton = self._skeletons.get(key)
+            template = self._skeleton_templates.get(size_class)
         if skeleton is None:
-            skeleton = self._build_site_skeleton(name, size_class)
+            if template is not None:
+                # Fast path: every location shares the structure; only the
+                # profile-dependent value slots are rewritten.
+                skeleton = self._derive_site_skeleton(template, name, size_class)
+            else:
+                skeleton, template = self._build_site_skeleton(name, size_class)
+                with self._lock:
+                    self._skeleton_templates.setdefault(size_class, template)
             with self._lock:
-                self._skeletons.setdefault(key, skeleton)
+                skeleton = self._skeletons.setdefault(key, skeleton)
         return skeleton
 
-    def _build_site_skeleton(self, name: str, size_class: str) -> _SiteSkeleton:
+    def _derive_site_skeleton(
+        self, template: _SkeletonTemplate, name: str, size_class: str
+    ) -> _SiteSkeleton:
+        """Skeleton of a new location derived from the class's template.
+
+        Mirrors :meth:`_build_site_skeleton` exactly (the differential tests
+        pin this): only the PUE/production value slots, the brown-plant cap
+        bound, the objective prices and the green-coupling demand slots
+        depend on the profile.
+        """
+        problem = self.problem
+        params = problem.params
+        profile = self._profiles.get(name)
+        if profile is None:
+            raise KeyError(f"siting refers to unknown location {name!r}")
+        donor = template.donor
+        T = donor.num_epochs
+        weights = problem.epochs.epoch_weights_hours()
+        pue = profile.pue
+        mf_pue = params.migration_factor * pue
+
+        tri_vals = donor.tri_vals.copy()
+        slots = template.slots
+        if "small_dc" in slots:
+            tri_vals[slots["small_dc"]] = profile.max_pue
+        o = slots["power_balance"]
+        tri_vals[o + 4 * T : o + 5 * T] = -pue
+        tri_vals[o + 5 * T : o + 6 * T] = -mf_pue
+        o = slots["green_delivery_cap"]
+        tri_vals[o : o + T] = pue
+        tri_vals[o + T : o + 2 * T] = mf_pue
+        o = slots["green_allocation"]
+        tri_vals[o : o + T] = profile.solar_alpha
+        tri_vals[o + T : o + 2 * T] = profile.wind_beta
+
+        upper = donor.upper.copy()
+        brown_cap = params.brown_plant_cap_fraction * profile.near_plant_capacity_kw
+        upper[template.brown_cols] = max(0.0, brown_cap)
+
+        coefficients = self.cost_model.linear_coefficients(profile, size_class)
+        obj_vals = [
+            np.array(
+                [
+                    coefficients["capacity_kw"],
+                    coefficients["solar_kw"],
+                    coefficients["wind_kw"],
+                    coefficients["battery_kwh"],
+                ]
+            ),
+            coefficients["brown_kwh_year"] * weights,
+        ]
+        if problem.storage is StorageMode.NET_METERING:
+            obj_vals.append(coefficients["net_discharge_kwh_year"] * weights)
+            obj_vals.append(coefficients["net_charge_kwh_year"] * weights)
+
+        if params.min_green_fraction > 0:
+            frac = params.min_green_fraction
+            green_vals = donor.green_vals.copy()
+            if problem.green_enforcement is GreenEnforcement.PER_EPOCH:
+                green_vals[3 * T : 4 * T] = -(pue * frac)
+                green_vals[4 * T : 5 * T] = -(mf_pue * frac)
+            else:
+                green_vals[3 * T : 4 * T] = -((pue * weights) * frac)
+                green_vals[4 * T : 5 * T] = -((mf_pue * weights) * frac)
+        else:
+            green_vals = donor.green_vals
+
+        # Block value arrays are views into tri_vals (which concatenates them
+        # in block order); index arrays and right-hand sides are shared.
+        blocks = []
+        for (rows, cols, vals, sense, rhs, _), offset, label in zip(
+            donor.blocks, template.block_offsets, template.block_labels
+        ):
+            blocks.append(
+                (rows, cols, tri_vals[offset : offset + len(vals)], sense, rhs,
+                 f"{label}[{name}]")
+            )
+        return _SiteSkeleton(
+            location_name=name,
+            num_epochs=T,
+            lower=donor.lower,
+            upper=upper,
+            blocks=blocks,
+            objective_cols=donor.objective_cols,
+            objective_vals=np.concatenate(obj_vals),
+            fixed_cost=coefficients["fixed"],
+            tri_rows=donor.tri_rows,
+            tri_cols=donor.tri_cols,
+            tri_vals=tri_vals,
+            rhs=donor.rhs,
+            le_mask=donor.le_mask,
+            ge_mask=donor.ge_mask,
+            green_rows=donor.green_rows,
+            green_cols=donor.green_cols,
+            green_vals=green_vals,
+        )
+
+    def _build_site_skeleton(
+        self, name: str, size_class: str
+    ) -> Tuple[_SiteSkeleton, _SkeletonTemplate]:
         problem = self.problem
         params = problem.params
         profile = self._profiles.get(name)
@@ -284,7 +454,8 @@ class ProvisioningCompiler:
         epochs = problem.epochs
         T = epochs.num_epochs
         weights = epochs.epoch_weights_hours()
-        hours = epochs.epoch_hours
+        # Scalar on uniform grids, per-epoch array on adaptively refined ones.
+        hours = np.broadcast_to(np.asarray(epochs.epoch_hours, dtype=float), (T,))
         t = np.arange(T, dtype=np.int64)
         prev = (t - 1) % T
         ones = np.ones(T)
@@ -321,18 +492,26 @@ class ProvisioningCompiler:
         mf_pue = params.migration_factor * pue
 
         blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray, ConstraintSense, np.ndarray, str]] = []
+        block_offsets: List[int] = []
+        block_labels: List[str] = []
+        vals_offset = 0
 
         def block(row_lists, col_lists, val_lists, sense, rhs, label):
+            nonlocal vals_offset
+            vals = np.concatenate(val_lists)
             blocks.append(
                 (
                     np.concatenate(row_lists),
                     np.concatenate(col_lists),
-                    np.concatenate(val_lists),
+                    vals,
                     sense,
                     np.asarray(rhs, dtype=float),
                     f"{label}[{name}]",
                 )
             )
+            block_offsets.append(vals_offset)
+            block_labels.append(label)
+            vals_offset += len(vals)
 
         # Size-class consistency: the construction price per kW assumed in the
         # objective is only valid within the class's power range.
@@ -424,7 +603,7 @@ class ProvisioningCompiler:
                     fam["battery_charge"],
                     fam["battery_discharge"],
                 ],
-                [ones, -ones, np.full(T, -eff_hours), np.full(T, hours)],
+                [ones, -ones, -eff_hours, hours],
                 ConstraintSense.EQUAL,
                 np.zeros(T),
                 "battery_dynamics",
@@ -447,7 +626,7 @@ class ProvisioningCompiler:
                     fam["net_charge"],
                     fam["net_discharge"],
                 ],
-                [ones, -ones, np.full(T, -hours), np.full(T, hours)],
+                [ones, -ones, -hours, hours],
                 ConstraintSense.EQUAL,
                 np.zeros(T),
                 "net_dynamics",
@@ -525,7 +704,7 @@ class ProvisioningCompiler:
             green_cols = np.empty(0, dtype=np.int64)
             green_vals = np.empty(0)
 
-        return _SiteSkeleton(
+        skeleton = _SiteSkeleton(
             location_name=name,
             num_epochs=T,
             lower=lower,
@@ -543,6 +722,86 @@ class ProvisioningCompiler:
             green_rows=green_rows,
             green_cols=green_cols,
             green_vals=green_vals,
+        )
+        template = _SkeletonTemplate(
+            donor=skeleton,
+            block_offsets=block_offsets,
+            block_labels=block_labels,
+            slots={
+                label: offset
+                for label, offset in zip(block_labels, block_offsets)
+                if label in ("small_dc", "power_balance", "green_delivery_cap", "green_allocation")
+            },
+            brown_cols=fam["brown"],
+        )
+        return skeleton, template
+
+    # -- per-site incremental delta arrays ----------------------------------------
+    def incremental_site_data(self, name: str) -> _IncrementalSiteData:
+        """Delta arrays for splicing one site in/out of a mutable model."""
+        with self._lock:
+            data = self._incremental.get(name)
+        if data is None:
+            data = self._build_incremental_site_data(name)
+            with self._lock:
+                data = self._incremental.setdefault(name, data)
+        return data
+
+    def _build_incremental_site_data(self, name: str) -> _IncrementalSiteData:
+        # The "small" skeleton carries the full structure (its small_dc row is
+        # the one the "large" class relaxes); the class only changes objective
+        # coefficients and the fixed cost.
+        small = self.site_skeleton(name, "small")
+        large = self.site_skeleton(name, "large")
+        params = self.problem.params
+        T = small.num_epochs
+        n_vars = len(small.lower)
+        if not small.blocks or not small.blocks[0][5].startswith("small_dc"):
+            raise RuntimeError("incremental layout expects the small_dc row first")
+
+        row_lower = np.where(small.le_mask, -np.inf, small.rhs)
+        row_upper = np.where(small.ge_mask, np.inf, small.rhs)
+        order = np.argsort(small.tri_rows, kind="stable")
+        row_starts = np.zeros(small.num_rows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(small.tri_rows, minlength=small.num_rows), out=row_starts[1:])
+
+        # This site's entries in the coupling rows: compute columns feed the
+        # total-capacity rows [0, T); the green contribution lands on the
+        # min-green row(s) at [T, T+G).
+        t = np.arange(T, dtype=np.int64)
+        coup_cols = [4 + t]
+        coup_rows = [t]
+        coup_vals = [np.ones(T)]
+        if params.min_green_fraction > 0:
+            coup_cols.append(small.green_cols)
+            coup_rows.append(T + small.green_rows)
+            coup_vals.append(small.green_vals)
+        cols = np.concatenate(coup_cols)
+        rows = np.concatenate(coup_rows)
+        vals = np.concatenate(coup_vals)
+        col_order = np.argsort(cols, kind="stable")
+        coupling_starts = np.zeros(n_vars + 1, dtype=np.int64)
+        np.cumsum(np.bincount(cols, minlength=n_vars), out=coupling_starts[1:])
+
+        if not np.array_equal(small.objective_cols, large.objective_cols):
+            raise RuntimeError("objective support must not depend on the size class")
+        return _IncrementalSiteData(
+            name=name,
+            num_vars=n_vars,
+            lower=small.lower,
+            upper=small.upper,
+            row_lower=row_lower,
+            row_upper=row_upper,
+            row_starts=row_starts,
+            row_cols=small.tri_cols[order],
+            row_vals=small.tri_vals[order],
+            small_dc_upper=float(row_upper[0]),
+            coupling_starts=coupling_starts,
+            coupling_rows=rows[col_order],
+            coupling_vals=vals[col_order],
+            cost_cols=small.objective_cols,
+            cost_vals={"small": small.objective_vals, "large": large.objective_vals},
+            fixed={"small": small.fixed_cost, "large": large.fixed_cost},
         )
 
     # -- whole-model assembly -----------------------------------------------------
@@ -969,7 +1228,9 @@ class ProvisioningModelBuilder:
         params = problem.params
         epochs = problem.epochs
         weights = epochs.epoch_weights_hours()
-        epoch_hours = epochs.epoch_hours
+        epoch_hours = np.broadcast_to(
+            np.asarray(epochs.epoch_hours, dtype=float), (num_epochs,)
+        )
         model = self.model
         name = profile.name
 
@@ -1067,8 +1328,8 @@ class ProvisioningModelBuilder:
                 model.add_constraint(
                     battery_level[t]
                     == battery_level[previous]
-                    + params.battery_efficiency * battery_charge[t] * epoch_hours
-                    - battery_discharge[t] * epoch_hours,
+                    + params.battery_efficiency * battery_charge[t] * epoch_hours[t]
+                    - battery_discharge[t] * epoch_hours[t],
                     name=f"battery_dynamics[{name},{t}]",
                 )
                 model.add_constraint(
@@ -1079,8 +1340,8 @@ class ProvisioningModelBuilder:
                 model.add_constraint(
                     net_level[t]
                     == net_level[previous]
-                    + net_charge[t] * epoch_hours
-                    - net_discharge[t] * epoch_hours,
+                    + net_charge[t] * epoch_hours[t]
+                    - net_discharge[t] * epoch_hours[t],
                     name=f"net_dynamics[{name},{t}]",
                 )
 
@@ -1144,6 +1405,263 @@ class ProvisioningModelBuilder:
             plan=None,
             message=result.message,
             extractor=lambda: _extract_network_plan(problem, cost_model, sites, dims, result),
+        )
+
+
+class IncrementalSitingEvaluator:
+    """Evaluates siting decisions as deltas on one persistent HiGHS model.
+
+    The annealing search's neighbour moves change one or two sites at a time,
+    but the rebuild path re-passes the whole LP and cold-solves it for every
+    move.  This evaluator instead keeps a
+    :class:`~repro.lpsolver.highs_backend.MutableHighsModel` loaded with the
+    *current* siting's LP and expresses each requested siting as a structural
+    delta against it:
+
+    * **remove** deletes the site's column and row ranges (HiGHS drops the
+      columns' coupling-row entries with them),
+    * **add** appends the site's columns (with their coupling-row entries)
+      and block rows,
+    * **resize** flips objective coefficients and the ``small_dc`` row bounds
+      in place, and
+    * the availability-spread floors are value edits whenever the site count
+      changes.
+
+    Row layout: coupling rows first (``total_capacity`` at ``[0, T)``, the
+    min-green row(s) at ``[T, T+G)``), then one uniform block per site — the
+    skeleton rows with ``small_dc`` always present (relaxed to a free row for
+    "large" sites) plus the spread row when enforced.  Columns are the
+    per-site variable blocks in site order.  The previous optimal basis is
+    projected across every delta, so the dual simplex warm-starts across
+    moves; objective values are identical to a cold solve (the LP optimum is
+    unique in value), which the differential tests pin against the rebuild
+    path.  Instances are not thread-safe: one evaluator per annealing chain.
+    """
+
+    def __init__(
+        self,
+        compiler: ProvisioningCompiler,
+        enforce_spread: bool = True,
+        options: Optional[SolverOptions] = None,
+    ) -> None:
+        if not highs_backend.AVAILABLE:  # pragma: no cover - guarded by callers
+            raise RuntimeError("the direct HiGHS backend is not available in this SciPy")
+        problem = compiler.problem
+        if problem.num_epochs < 2:
+            raise ValueError("the incremental evaluator needs at least two epochs")
+        self.compiler = compiler
+        self.problem = problem
+        self.enforce_spread = enforce_spread
+        self.options = options or SolverOptions()
+        params = problem.params
+        self._T = problem.num_epochs
+        if params.min_green_fraction > 0:
+            per_epoch = problem.green_enforcement is GreenEnforcement.PER_EPOCH
+            self._G = self._T if per_epoch else 1
+        else:
+            self._G = 0
+        self._coupling = self._T + self._G
+        self._model = highs_backend.MutableHighsModel()
+        self._sites: List[Tuple[str, str]] = []
+        self._fixed = 0.0
+        self._loaded = False
+        #: Per-site block row count (uniform across sites and classes);
+        #: resolved from the first site's data.
+        self._block_rows = 0
+        self._num_vars = 0
+        #: Last optimal basis per siting *shape* (site count, small count).
+        #: Site blocks are structurally identical, so a same-shape basis
+        #: transfers across location mixes far better than padding newly
+        #: spliced columns nonbasic — structural moves restore the shape's
+        #: stored (native) basis, pure value edits keep the carried basis.
+        self._shape_bases: Dict[Tuple[int, int], object] = {}
+        self.solves = 0
+
+    @staticmethod
+    def supported(problem: SitingProblem, options: SolverOptions) -> bool:
+        """Whether the incremental path can serve this problem's evaluations."""
+        return (
+            highs_backend.AVAILABLE
+            and problem.num_epochs >= 2
+            and options.backend in ("auto", "highs-direct")
+        )
+
+    # -- model mutation -----------------------------------------------------------
+    def _append_site(self, name: str, size_class: str) -> None:
+        data = self.compiler.incremental_site_data(name)
+        if self._block_rows == 0:
+            self._block_rows = data.num_rows + 1  # + spread row
+            self._num_vars = data.num_vars
+        base = self._model.num_cols
+        cost = np.zeros(data.num_vars)
+        cost[data.cost_cols] = data.cost_vals[size_class]
+        self._model.add_cols(
+            cost,
+            data.lower,
+            data.upper,
+            data.coupling_starts,
+            data.coupling_rows,
+            data.coupling_vals,
+        )
+        row_lower = data.row_lower.copy()
+        row_upper = data.row_upper.copy()
+        if size_class == "large":
+            row_upper[0] = np.inf  # small_dc row relaxed to a free row
+        # Block rows plus the availability-spread row (capacity >= floor; the
+        # floor is set by _set_spread_floors once the site count is known).
+        starts = np.concatenate([data.row_starts, [data.row_starts[-1] + 1]])
+        cols = np.concatenate([data.row_cols + base, [base]])
+        vals = np.concatenate([data.row_vals, [1.0]])
+        self._model.add_rows(
+            np.concatenate([row_lower, [0.0]]),
+            np.concatenate([row_upper, [np.inf]]),
+            starts,
+            cols,
+            vals,
+        )
+        self._fixed += data.fixed[size_class]
+
+    def _set_spread_floors(self) -> None:
+        # The spread row is always part of the block layout; without the
+        # availability constraint its floor simply stays at zero.
+        if not self.enforce_spread:
+            return
+        floor = self.problem.params.total_capacity_kw / len(self._sites)
+        for index in range(len(self._sites)):
+            row = self._coupling + index * self._block_rows + self._block_rows - 1
+            self._model.change_row_bounds(row, floor, np.inf)
+
+    def _initial_load(self, siting: Mapping[str, str]) -> None:
+        params = self.problem.params
+        T, G = self._T, self._G
+        row_lower = np.concatenate([np.full(T, params.total_capacity_kw), np.zeros(G)])
+        row_upper = np.full(T + G, np.inf)
+        empty = RowFormLP(
+            cost=np.zeros(0),
+            a_indptr=np.zeros(1, dtype=np.int32),
+            a_indices=np.zeros(0, dtype=np.int32),
+            a_data=np.zeros(0),
+            shape=(T + G, 0),
+            row_lower=row_lower,
+            row_upper=row_upper,
+            lower=np.zeros(0),
+            upper=np.zeros(0),
+            integrality=np.zeros(0, dtype=np.int64),
+            maximise=False,
+            objective_constant=0.0,
+        )
+        self._model.load(empty)
+        self._fixed = 0.0
+        for name, size_class in siting.items():
+            self._append_site(name, size_class)
+        self._sites = list(siting.items())
+        self._set_spread_floors()
+        self._loaded = True
+
+    def _apply(self, siting: Mapping[str, str]) -> bool:
+        """Mutate the model to ``siting``; True when sites were spliced."""
+        removed = [i for i, (name, _) in enumerate(self._sites) if name not in siting]
+        if removed:
+            coupling, R, n = self._coupling, self._block_rows, self._num_vars
+            col_ranges = [np.arange(i * n, (i + 1) * n, dtype=np.int64) for i in removed]
+            row_ranges = [
+                np.arange(coupling + i * R, coupling + (i + 1) * R, dtype=np.int64)
+                for i in removed
+            ]
+            self._model.delete_cols(np.concatenate(col_ranges))
+            self._model.delete_rows(np.concatenate(row_ranges))
+            for i in removed:
+                name, size_class = self._sites[i]
+                self._fixed -= self.compiler.incremental_site_data(name).fixed[size_class]
+            self._sites = [s for i, s in enumerate(self._sites) if i not in set(removed)]
+        # Size-class flips on retained sites are pure value edits.
+        for index, (name, old_class) in enumerate(self._sites):
+            new_class = siting[name]
+            if new_class == old_class:
+                continue
+            data = self.compiler.incremental_site_data(name)
+            base = index * self._num_vars
+            self._model.change_col_costs(
+                data.cost_cols + base, data.cost_vals[new_class]
+            )
+            small_dc_row = self._coupling + index * self._block_rows
+            upper = data.small_dc_upper if new_class == "small" else np.inf
+            self._model.change_row_bounds(small_dc_row, -np.inf, upper)
+            self._fixed += data.fixed[new_class] - data.fixed[old_class]
+            self._sites[index] = (name, new_class)
+        current = {name for name, _ in self._sites}
+        added = False
+        for name, size_class in siting.items():
+            if name not in current:
+                self._append_site(name, size_class)
+                self._sites.append((name, size_class))
+                added = True
+        # New blocks carry a zero floor placeholder and the floor value
+        # itself depends on the site count, so floors must be reset whenever
+        # a site was spliced in or out — including swaps, where the count is
+        # unchanged but a fresh block arrived.
+        if added or removed:
+            self._set_spread_floors()
+        return bool(added or removed)
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, siting: Mapping[str, str]) -> ProvisioningResult:
+        """Mutate the persistent model to ``siting`` and solve it warm."""
+        if not siting:
+            raise ValueError("the siting decision must place at least one datacenter")
+        if not self._loaded:
+            self._initial_load(siting)
+            structural = True
+        else:
+            structural = self._apply(siting)
+        shape = (
+            len(self._sites),
+            sum(1 for _, size_class in self._sites if size_class == "small"),
+        )
+        if structural:
+            stored = self._shape_bases.get(shape)
+            if stored is not None:
+                self._model.restore_basis(stored)
+        result = self._model.solve(self.options)
+        self.solves += 1
+        if result.is_optimal:
+            snapshot = self._model.basis_snapshot()
+            if snapshot is not None:
+                self._shape_bases[shape] = snapshot
+        if not result.is_optimal:
+            return ProvisioningResult(
+                feasible=False,
+                monthly_cost=float("inf"),
+                plan=None,
+                message=f"{result.status.value}: {result.message}",
+            )
+        result.objective = result.objective + self._fixed
+        profiles = self.compiler._profiles
+        T, n = self._T, self._num_vars
+        layouts = [
+            _SiteLayout(
+                profile=profiles[name], size_class=size_class, base=index * n, num_epochs=T
+            )
+            for index, (name, size_class) in enumerate(self._sites)
+        ]
+        dims = (self._model.num_cols, self._model.num_rows)
+        problem, cost_model = self.problem, self.compiler.cost_model
+        return ProvisioningResult(
+            feasible=True,
+            monthly_cost=result.objective,
+            plan=None,
+            message=result.message,
+            extractor=lambda: _extract_network_plan(problem, cost_model, layouts, dims, result),
+        )
+
+    def rebuild(self, siting: Mapping[str, str]) -> ProvisioningResult:
+        """Differential oracle: the same siting, rebuilt and cold-solved."""
+        return solve_provisioning(
+            self.problem,
+            siting,
+            options=self.options,
+            enforce_spread=self.enforce_spread,
+            compiler=self.compiler,
         )
 
 

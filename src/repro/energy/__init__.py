@@ -24,6 +24,7 @@ from repro.energy.profiles import (
     EpochGrid,
     LocationProfile,
     ProfileBuilder,
+    RefinedEpochGrid,
     calibrate_series,
 )
 
@@ -34,6 +35,7 @@ __all__ = [
     "NetMeteringPolicy",
     "PUEModel",
     "ProfileBuilder",
+    "RefinedEpochGrid",
     "SolarPanelModel",
     "WindTurbineModel",
     "annual_energy_kwh",

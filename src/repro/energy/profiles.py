@@ -155,6 +155,96 @@ class EpochGrid:
         indices = self.hour_indices()
         return hourly[indices].mean(axis=1)
 
+    def epoch_index(self, hour_of_year: float) -> int:
+        """Map an absolute hour cyclically onto the grid's epoch sequence.
+
+        The emulation layer runs simulation time over the grid's
+        representative days back to back, so the mapping wraps around.
+        """
+        return int(hour_of_year // self.hours_per_epoch) % self.num_epochs
+
+
+@dataclass(frozen=True)
+class RefinedEpochGrid:
+    """Epoch grid with *non-uniform* epoch durations.
+
+    Produced by the adaptive epoch-grid scheme
+    (:mod:`repro.core.adaptive_grid`): most of a representative day stays at
+    a coarse resolution while the spans where the provisioning plan is
+    storage- or migration-bound are split back to full resolution.
+    ``day_patterns`` holds one tuple of epoch durations (in hours) per
+    representative day; each pattern must sum to 24.  The interface mirrors
+    :class:`EpochGrid` except that ``epoch_hours`` (and ``hours_per_epoch``)
+    are per-epoch rather than scalar — the model builders broadcast either
+    form.
+    """
+
+    representative_days: tuple
+    day_patterns: tuple
+
+    def __post_init__(self) -> None:
+        if not self.representative_days:
+            raise ValueError("at least one representative day is required")
+        if len(self.day_patterns) != len(self.representative_days):
+            raise ValueError("one duration pattern per representative day is required")
+        for pattern in self.day_patterns:
+            if not pattern or sum(pattern) != HOURS_PER_DAY:
+                raise ValueError("every day pattern must sum to 24 hours")
+            if any(int(h) != h or h < 1 for h in pattern):
+                raise ValueError("epoch durations must be whole hours of at least one hour")
+        for day in self.representative_days:
+            if not 0 <= day < DAYS_PER_YEAR:
+                raise ValueError(f"representative day {day} outside the year")
+        # Cumulative epoch end-hours, precomputed once: epoch_index runs per
+        # simulated hour per datacenter in the emulation loop.
+        object.__setattr__(self, "_epoch_ends", np.cumsum(self.epoch_hours))
+
+    @property
+    def hours_per_epoch(self) -> tuple:
+        """Per-day duration patterns; doubles as the grid-equality key."""
+        return self.day_patterns
+
+    @property
+    def num_epochs(self) -> int:
+        return sum(len(pattern) for pattern in self.day_patterns)
+
+    @property
+    def day_weight(self) -> float:
+        """Number of real days each representative day stands for."""
+        return DAYS_PER_YEAR / len(self.representative_days)
+
+    @property
+    def epoch_hours(self) -> np.ndarray:
+        """Duration of each epoch in hours (non-uniform array form)."""
+        return np.array(
+            [hours for pattern in self.day_patterns for hours in pattern], dtype=float
+        )
+
+    def epoch_weights_hours(self) -> np.ndarray:
+        """Hours of the year represented by each epoch (sums to 8760)."""
+        return self.epoch_hours * self.day_weight
+
+    def hour_indices(self) -> List[np.ndarray]:
+        """Hour-of-year indices per epoch (ragged: one array per epoch)."""
+        indices: List[np.ndarray] = []
+        for day, pattern in zip(self.representative_days, self.day_patterns):
+            start = day * HOURS_PER_DAY
+            for hours in pattern:
+                indices.append(np.arange(start, start + int(hours)))
+                start += int(hours)
+        return indices
+
+    def aggregate(self, hourly_values: np.ndarray) -> np.ndarray:
+        """Average an 8760-hour array into the (non-uniform) epoch grid."""
+        hourly = np.asarray(hourly_values, dtype=float)
+        return np.array([hourly[idx].mean() for idx in self.hour_indices()])
+
+    def epoch_index(self, hour_of_year: float) -> int:
+        """Map an absolute hour cyclically onto the non-uniform epochs."""
+        ends = self._epoch_ends
+        wrapped = float(hour_of_year) % ends[-1]
+        return int(np.searchsorted(ends, wrapped, side="right"))
+
 
 @dataclass
 class LocationProfile:

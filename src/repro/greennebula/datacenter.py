@@ -83,10 +83,9 @@ class GreenDatacenter:
         The emulation runs over the representative days of the profile's epoch
         grid, so the mapping wraps around the grid cyclically.
         """
-        epochs = self.profile.epochs
-        total = epochs.num_epochs
-        index = int(hour_of_year // epochs.hours_per_epoch) % total
-        return index
+        # Delegated to the grid: adaptively refined grids have non-uniform
+        # epoch durations, so the division-based mapping lives with the grid.
+        return self.profile.epochs.epoch_index(hour_of_year)
 
     def green_power_kw(self, hour_of_year: float) -> float:
         """On-site green power produced at the given simulation hour."""

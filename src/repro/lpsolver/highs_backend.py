@@ -21,6 +21,21 @@ candidate location — the stored basis is installed before ``run`` and the
 dual simplex typically re-converges in a handful of iterations (~2x faster
 end-to-end on the pricing sweep).  A context must only ever be used from one
 thread at a time; concurrent sweeps should create one context per worker.
+
+In-place mutation
+-----------------
+:class:`MutableHighsModel` goes one step further: instead of re-passing the
+whole LP for every solve (``passModel`` throws away the scaled matrix and the
+simplex factorisation, a fixed ~1 ms on the provisioning LPs), the loaded
+model is *edited* between solves through HiGHS's modification API — add or
+delete column and row ranges, change costs, bounds and single coefficients.
+The previous optimal basis is carried across structural edits by explicit
+padding/projection: retained columns and rows keep their statuses, new
+columns enter nonbasic at a finite bound and new rows enter with a basic
+slack.  When deletions make the projected basis non-square it is installed
+as an "alien" basis that HiGHS repairs, which is still far cheaper than a
+cold start.  The siting search uses this to express its add/remove/swap
+moves as deltas on one persistent per-chain model.
 """
 
 from __future__ import annotations
@@ -81,8 +96,19 @@ if AVAILABLE:
         _core.HighsModelStatus.kTimeLimit: SolveStatus.ITERATION_LIMIT,
         _core.HighsModelStatus.kIterationLimit: SolveStatus.ITERATION_LIMIT,
     }
+    #: Basis statuses indexed by their integer value, for fast int -> enum
+    #: conversion when (re)installing a projected basis.
+    _BASIS_STATUSES = sorted(
+        _core.HighsBasisStatus.__members__.values(), key=lambda s: int(s)
+    )
+    _BASIC = int(_core.HighsBasisStatus.kBasic)
+    _LOWER = int(_core.HighsBasisStatus.kLower)
+    _UPPER = int(_core.HighsBasisStatus.kUpper)
+    _ZERO = int(_core.HighsBasisStatus.kZero)
 else:  # pragma: no cover
     _STATUS_MAP = {}
+    _BASIS_STATUSES = []
+    _BASIC = _LOWER = _UPPER = _ZERO = 0
 
 
 def _build_lp(row_form: RowFormLP):
@@ -154,3 +180,250 @@ def solve_row_form(
         iterations=iterations,
         x=x,
     )
+
+
+class MutableHighsModel:
+    """One HiGHS instance whose loaded LP is mutated in place between solves.
+
+    The model starts from :meth:`load` (a cold ``passModel``) and is then
+    edited through :meth:`add_cols`/:meth:`add_rows`/:meth:`delete_cols`/
+    :meth:`delete_rows`/:meth:`change_col_costs`/:meth:`change_col_bounds`/
+    :meth:`change_row_bounds`.  Between solves the previous optimal basis is
+    projected onto the mutated dimensions and re-installed, so the simplex
+    warm-starts even across structural changes:
+
+    * retained columns and rows keep their basis statuses,
+    * new columns enter nonbasic at a finite bound (``kZero`` when free),
+    * new rows enter with their slack basic,
+    * when deletions removed basic columns (or nonbasic rows) the projection
+      is no longer a square basis; it is installed with ``alien=True`` and
+      HiGHS repairs it, which still preserves most of the basis information.
+
+    Instances are not thread-safe: one mutable model per annealing chain.
+    """
+
+    def __init__(self) -> None:
+        if not AVAILABLE:  # pragma: no cover - guarded by callers
+            raise RuntimeError("the direct HiGHS backend is not available in this SciPy")
+        self._highs = _core._Highs()
+        self._highs.setOptionValue("output_flag", False)
+        self.num_cols = 0
+        self.num_rows = 0
+        # The basis travels in two forms.  ``_basis_obj`` is the native
+        # HighsBasis of the last optimal solve (or one restored by the
+        # caller): installing it costs nothing in Python.  ``_col_status``/
+        # ``_row_status`` are int arrays used only to *project* the basis
+        # across structural edits — they are derived lazily from the native
+        # object on the first edit, padded/filtered as columns and rows come
+        # and go, and converted back (the slow path) only when a projected
+        # basis actually has to be installed.
+        self._basis_obj = None
+        self._projection_dirty = False
+        self._col_status: Optional[np.ndarray] = None
+        self._row_status: Optional[np.ndarray] = None
+
+    def _ensure_status_arrays(self) -> bool:
+        """Materialise the int status arrays from the native basis object."""
+        if self._col_status is not None and self._row_status is not None:
+            return True
+        if self._basis_obj is None:
+            return False
+        self._col_status = np.fromiter(
+            (int(s) for s in self._basis_obj.col_status), dtype=np.int32
+        )
+        self._row_status = np.fromiter(
+            (int(s) for s in self._basis_obj.row_status), dtype=np.int32
+        )
+        return True
+
+    # -- structural edits -------------------------------------------------------
+    def load(self, row_form: RowFormLP) -> None:
+        """Replace the loaded model wholesale (cold start)."""
+        self._highs.passModel(_build_lp(row_form))
+        self.num_rows, self.num_cols = row_form.shape
+        self._basis_obj = None
+        self._projection_dirty = False
+        self._col_status = None
+        self._row_status = None
+
+    def add_cols(
+        self,
+        cost: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        starts: np.ndarray,
+        row_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Append columns; matrix entries may reference any existing row."""
+        count = len(cost)
+        self._highs.addCols(
+            count,
+            np.ascontiguousarray(cost, dtype=np.float64),
+            np.ascontiguousarray(lower, dtype=np.float64),
+            np.ascontiguousarray(upper, dtype=np.float64),
+            len(values),
+            np.ascontiguousarray(starts, dtype=np.int32),
+            np.ascontiguousarray(row_indices, dtype=np.int32),
+            np.ascontiguousarray(values, dtype=np.float64),
+        )
+        if self._ensure_status_arrays():
+            # Nonbasic at a finite bound; free columns sit at zero.
+            padding = np.where(
+                np.isfinite(lower), _LOWER, np.where(np.isfinite(upper), _UPPER, _ZERO)
+            ).astype(np.int32)
+            self._col_status = np.concatenate([self._col_status, padding])
+            self._projection_dirty = True
+        self.num_cols += count
+
+    def add_rows(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        starts: np.ndarray,
+        col_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Append rows; matrix entries may reference any existing column."""
+        count = len(lower)
+        self._highs.addRows(
+            count,
+            np.ascontiguousarray(lower, dtype=np.float64),
+            np.ascontiguousarray(upper, dtype=np.float64),
+            len(values),
+            np.ascontiguousarray(starts, dtype=np.int32),
+            np.ascontiguousarray(col_indices, dtype=np.int32),
+            np.ascontiguousarray(values, dtype=np.float64),
+        )
+        if self._ensure_status_arrays():
+            padding = np.full(count, _BASIC, dtype=np.int32)
+            self._row_status = np.concatenate([self._row_status, padding])
+            self._projection_dirty = True
+        self.num_rows += count
+
+    def delete_cols(self, indices: np.ndarray) -> None:
+        indices = np.ascontiguousarray(np.sort(indices), dtype=np.int32)
+        self._highs.deleteCols(len(indices), indices)
+        if self._ensure_status_arrays():
+            self._col_status = np.delete(self._col_status, indices)
+            self._projection_dirty = True
+        self.num_cols -= len(indices)
+
+    def delete_rows(self, indices: np.ndarray) -> None:
+        indices = np.ascontiguousarray(np.sort(indices), dtype=np.int32)
+        self._highs.deleteRows(len(indices), indices)
+        if self._ensure_status_arrays():
+            self._row_status = np.delete(self._row_status, indices)
+            self._projection_dirty = True
+        self.num_rows -= len(indices)
+
+    # -- value edits ------------------------------------------------------------
+    def change_col_costs(self, indices: np.ndarray, costs: np.ndarray) -> None:
+        self._highs.changeColsCost(
+            len(indices),
+            np.ascontiguousarray(indices, dtype=np.int32),
+            np.ascontiguousarray(costs, dtype=np.float64),
+        )
+
+    def change_col_bounds(
+        self, indices: np.ndarray, lower: np.ndarray, upper: np.ndarray
+    ) -> None:
+        self._highs.changeColsBounds(
+            len(indices),
+            np.ascontiguousarray(indices, dtype=np.int32),
+            np.ascontiguousarray(lower, dtype=np.float64),
+            np.ascontiguousarray(upper, dtype=np.float64),
+        )
+
+    def change_row_bounds(self, index: int, lower: float, upper: float) -> None:
+        self._highs.changeRowBounds(int(index), float(lower), float(upper))
+
+    def change_coeff(self, row: int, col: int, value: float) -> None:
+        self._highs.changeCoeff(int(row), int(col), float(value))
+
+    # -- basis transfer ----------------------------------------------------------
+    def basis_snapshot(self):
+        """The native basis of the last optimal solve (None when cold)."""
+        return self._basis_obj if not self._projection_dirty else None
+
+    def restore_basis(self, basis) -> None:
+        """Adopt a stored native basis (e.g. from an earlier same-shape model).
+
+        The basis must match the model's current dimensions; the caller
+        guarantees compatibility (site blocks are structurally identical, so
+        a same-shape basis transfers across different location mixes the same
+        way :class:`HighsSolveContext` reuses bases across the pricing
+        sweep).  Installing a native object costs nothing in Python, unlike
+        the projected-array path.
+        """
+        if len(basis.col_status) == self.num_cols and len(basis.row_status) == self.num_rows:
+            self._basis_obj = basis
+            self._projection_dirty = False
+            self._col_status = None
+            self._row_status = None
+
+    # -- solving ----------------------------------------------------------------
+    def install_basis(self) -> None:
+        """Install the carried basis: native when clean, projected when edited.
+
+        After structural edits the projected arrays are converted back to a
+        HighsBasis; when deletions removed basic columns (or nonbasic rows)
+        the projection is no longer square and is installed as *alien* so
+        HiGHS repairs it instead of rejecting it.
+        """
+        if not self._projection_dirty:
+            if self._basis_obj is not None:
+                self._highs.setBasis(self._basis_obj)
+            return
+        if (
+            self._col_status is None
+            or self._row_status is None
+            or len(self._col_status) != self.num_cols
+            or len(self._row_status) != self.num_rows
+        ):  # pragma: no cover - projection drifted; fall back to cold
+            self._basis_obj = None
+            self._projection_dirty = False
+            self._col_status = None
+            self._row_status = None
+            return
+        basis = _core.HighsBasis()
+        basis.col_status = [_BASIS_STATUSES[s] for s in self._col_status]
+        basis.row_status = [_BASIS_STATUSES[s] for s in self._row_status]
+        basic_total = int(np.count_nonzero(self._col_status == _BASIC)) + int(
+            np.count_nonzero(self._row_status == _BASIC)
+        )
+        basis.valid = True
+        basis.alien = basic_total != self.num_rows
+        self._highs.setBasis(basis)
+
+    def solve(self, options: "SolverOptions") -> SolveResult:
+        """Solve the currently loaded model, warm-starting when possible."""
+        self._highs.setOptionValue("presolve", "choose" if options.presolve else "off")
+        self._highs.setOptionValue(
+            "time_limit",
+            float(options.time_limit) if options.time_limit is not None else float("inf"),
+        )
+        self.install_basis()
+        self._highs.run()
+        raw_status = self._highs.getModelStatus()
+        status = _STATUS_MAP.get(raw_status, SolveStatus.ERROR)
+        message = self._highs.modelStatusToString(raw_status)
+        iterations = int(getattr(self._highs.getInfo(), "simplex_iteration_count", 0) or 0)
+        if status is SolveStatus.OPTIMAL:
+            x = np.asarray(self._highs.getSolution().col_value, dtype=float)
+            objective = float(self._highs.getObjectiveValue())
+            self._basis_obj = self._highs.getBasis()
+            self._projection_dirty = False
+            self._col_status = None
+            self._row_status = None
+        else:
+            x = None
+            objective = float("nan")
+        return SolveResult(
+            status=status,
+            objective=objective,
+            message=message,
+            solver="highs-mutable",
+            iterations=iterations,
+            x=x,
+        )

@@ -163,6 +163,37 @@ def _sec4b() -> ParameterSweep:
     )
 
 
+def _sec3d() -> ParameterSweep:
+    """The Section III-D solver-scaling point, with the PR-3 search settings.
+
+    Mirrors ``benchmarks/bench_sec3d_solver_scaling.py`` at the 60-candidate
+    scale: the filter and annealing chains run on a 4x coarser epoch grid
+    (``coarse_epoch_factor``) and the winning siting is re-solved on
+    adaptively refined grids until the objective converges to the fine
+    3-hour grid.
+    """
+    base = ScenarioSpec(
+        name="sec3d",
+        workflow="plan",
+        num_locations=60,
+        catalog_seed=2014,
+        days_per_season=1,
+        hours_per_epoch=3,
+        total_capacity_kw=50_000.0,
+        min_green_fraction=0.5,
+        storage="net_metering",
+        search={
+            "keep_locations": 10,
+            "max_iterations": 15,
+            "patience": 8,
+            "num_chains": 1,
+            "seed": 1,
+            "coarse_epoch_factor": 4,
+        },
+    )
+    return ParameterSweep(base=base, name="sec3d")
+
+
 def _table2() -> ParameterSweep:
     names, kinds, fractions, sources = [], [], [], []
     for location, kind, fraction in TABLE2_CONFIGURATIONS:
@@ -261,6 +292,7 @@ register_scenario("fig11", "provisioned capacity vs green percentage, net meteri
 register_scenario("fig12", "provisioned capacity vs green percentage, no storage (Fig. 10 sweep)", lambda: _cost_vs_green("fig12", "none"))
 register_scenario("fig13", "100 % green / no-storage cost vs migration overhead", _fig13)
 register_scenario("fig15", "GreenNebula follow-the-renewables emulation over one day", _fig15)
+register_scenario("sec3d", "solver-scaling point: 60 candidates, adaptive epoch grid", _sec3d)
 register_scenario("sec4b", "100 % green network cost vs net-metering credit", _sec4b)
 register_scenario("sec5b", "live-migration validation: state sizes and WAN transfer times", _sec5b)
 register_scenario("sec5c", "scheduler timing across emulated fleet sizes", _sec5c)
