@@ -39,6 +39,8 @@ def run_heuristic(
     num_candidates: int,
     hours_per_epoch: int = 3,
     coarse_epoch_factor: int = COARSE_EPOCH_FACTOR,
+    executor: str = "thread",
+    workers: int = None,
 ) -> dict:
     catalog = build_world_catalog(num_locations=num_candidates, seed=2014)
     builder = ProfileBuilder(catalog)
@@ -57,6 +59,8 @@ def run_heuristic(
         num_chains=1,
         seed=1,
         coarse_epoch_factor=coarse_epoch_factor,
+        executor=executor,
+        max_workers=workers,
     )
     started = time.perf_counter()
     solution = HeuristicSolver(problem, settings).solve()

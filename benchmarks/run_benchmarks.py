@@ -30,6 +30,7 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(BENCH_DIR))
+sys.path.insert(0, str(BENCH_DIR.parent / "src"))
 
 from bench_sec3d_solver_scaling import (  # noqa: E402
     CANDIDATE_COUNTS,
@@ -37,6 +38,9 @@ from bench_sec3d_solver_scaling import (  # noqa: E402
     run_heuristic,
 )
 from bench_sec5c_scheduler_timing import SCALES_MW, SETUPS, build_scheduler  # noqa: E402
+
+from repro.parallel import available_cpu_count  # noqa: E402
+from repro.scenarios import ExperimentRunner, ParameterSweep, get_scenario  # noqa: E402
 
 #: Seed-implementation numbers (commit b4313fa), measured on the same
 #: 1-CPU container this harness first ran on: sequential chains, dict-based
@@ -86,6 +90,74 @@ def bench_sec3d(rounds: int = 2, extended: bool = True) -> dict:
             f"(filter {result['filter_seconds']:.3f}s / search {result['search_seconds']:.3f}s), "
             f"{result['evaluations']} LPs, {result['cache_hits']} cache hits"
         )
+    return results
+
+
+#: Scale points of the executor comparison (the two largest sec3d curves).
+EXECUTOR_COMPARISON_COUNTS = (600, 1373)
+
+#: The executor kinds the comparison measures, serial first (the reference
+#: every other kind must reproduce bit for bit).
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def bench_executor_comparison(workers: int = 4) -> dict:
+    """Thread vs process vs serial wall-clock at fixed results.
+
+    Two families of fan-out are measured: the heuristic's filter-pricing
+    chunks (the sec3d points — the filter dominates at 600/1373 candidates)
+    and the experiment runner's sweep points (an hourly-grid Fig. 6 pricing
+    sweep).  Every executor must reproduce the serial costs bit for bit —
+    the harness asserts it — so the comparison is purely about wall-clock.
+    On a single-CPU container the process rows mostly show the fork/pickle
+    overhead; run on a multi-core box for the scaling numbers.
+    """
+    results = {"workers": workers, "cpus_available": available_cpu_count()}
+    for count in EXECUTOR_COMPARISON_COUNTS:
+        point = {}
+        costs = {}
+        for executor in EXECUTOR_KINDS:
+            run = run_heuristic(count, executor=executor, workers=workers)
+            point[executor] = {
+                "elapsed_s": round(run["elapsed_s"], 4),
+                "filter_seconds": round(run["filter_seconds"], 4),
+            }
+            costs[executor] = run["cost_musd"]
+            print(
+                f"sec3d {count:>4} candidates [{executor:>7}]: "
+                f"{run['elapsed_s']:.3f}s (filter {run['filter_seconds']:.3f}s), "
+                f"cost ${run['cost_musd']:.4f}M"
+            )
+        if len(set(costs.values())) != 1:
+            raise AssertionError(f"executor kinds disagree at {count} candidates: {costs}")
+        point["cost_musd"] = round(costs["serial"], 4)
+        results[f"sec3d_{count}"] = point
+
+    # An hourly-grid Fig. 6 pricing point through the experiment runner: the
+    # three configurations (brown / 50 % solar / 50 % wind) fan out as sweep
+    # points.  60 locations keeps the harness snappy; the hourly grid (96
+    # epochs) makes each point CPU-bound enough for fan-out to matter.
+    fig06 = get_scenario("fig06").build()
+    sweep = ParameterSweep(
+        base=fig06.base.with_updates(hours_per_epoch=1, num_locations=60),
+        axes=fig06.axes,
+        mode=fig06.mode,
+        name="fig06-hourly-60loc",
+    )
+    point = {}
+    medians = {}
+    for executor in EXECUTOR_KINDS:
+        runner = ExperimentRunner(workers=workers, executor=executor)
+        started = time.perf_counter()
+        result_set = runner.run(sweep)
+        elapsed = time.perf_counter() - started
+        point[executor] = {"elapsed_s": round(elapsed, 4)}
+        medians[executor] = tuple(result_set.values("median_monthly_cost"))
+        print(f"fig06 hourly 60 locations [{executor:>7}]: {elapsed:.3f}s")
+    if len(set(medians.values())) != 1:
+        raise AssertionError(f"executor kinds disagree on fig06: {medians}")
+    point["median_monthly_cost"] = [round(v, 2) for v in medians["serial"]]
+    results["fig06_hourly_60loc"] = point
     return results
 
 
@@ -154,6 +226,7 @@ def main() -> None:
         "rounds": "best of 2 per scale point",
         "sec3d_heuristic_scaling": bench_sec3d(),
         "sec5c_scheduler_timing_ms": bench_sec5c(),
+        "parallel_executor_comparison": bench_executor_comparison(),
     }
     entry["harness_seconds"] = round(time.perf_counter() - started, 2)
 
@@ -167,7 +240,12 @@ def main() -> None:
 
     trajectory = load_trajectory(args.output)
     trajectory["entries"].append(entry)
-    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    serialized = json.dumps(trajectory, indent=2) + "\n"
+    args.output.write_text(serialized)
+    # Tooling discovers perf trajectories as BENCH_*.json at the repo root, so
+    # mirror the canonical benchmarks/ copy there on every append.
+    if args.output.resolve() == (BENCH_DIR / "BENCH_solver.json").resolve():
+        (BENCH_DIR.parent / "BENCH_solver.json").write_text(serialized)
 
     print(f"\nappended entry {len(trajectory['entries'])} ({entry['revision']}) to {args.output}")
     print("trajectory at the largest scale "

@@ -26,6 +26,13 @@ invocation and a registered scenario are the same thing underneath.
 
         python -m repro.cli sweep --scenario fig06
         python -m repro.cli sweep --spec my_scenario.json --set min_green_fraction=1.0
+        python -m repro.cli sweep --scenario sec3d --executor process --workers 4
+
+``cache``
+    Inspect or clear the on-disk artifact cache::
+
+        python -m repro.cli cache info
+        python -m repro.cli cache clear
 
 All subcommands accept ``--locations`` (catalogue size) and ``--seed``.
 """
@@ -34,11 +41,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, List, Optional, Sequence
 
 from repro.analysis import case_study_breakdown, format_table
 from repro.core import EnergySources, GreenEnforcement, StorageMode
+from repro.parallel import EXECUTOR_KINDS
 from repro.scenarios import (
     ExperimentRunner,
     ParameterSweep,
@@ -46,6 +55,7 @@ from repro.scenarios import (
     get_scenario,
     scenario_names,
 )
+from repro.scenarios.runner import clear_artifact_cache
 
 _SOURCES = {
     "wind": EnergySources.WIND_ONLY.value,
@@ -117,12 +127,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override a spec field (dotted paths reach search/emulation knobs)")
     sweep.add_argument("--axis", action="append", default=[], metavar="FIELD=V1,V2,...",
                        help="sweep a field over comma-separated values (cartesian with other axes)")
-    sweep.add_argument("--workers", type=int, default=1,
-                       help="sweep points evaluated concurrently (results are identical)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="sweep points evaluated concurrently "
+                            "(default: CPUs available to this process; results are identical)")
+    sweep.add_argument("--executor", choices=EXECUTOR_KINDS, default="thread",
+                       help="how sweep points execute: thread (default), process "
+                            "(true multi-core scaling) or serial; results are identical")
     sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                        help=f"artifact-cache directory (default: {DEFAULT_CACHE_DIR})")
     sweep.add_argument("--no-cache", action="store_true", help="disable the artifact cache")
     sweep.add_argument("--json", action="store_true", help="print the ResultSet as JSON")
+
+    cache = subparsers.add_parser("cache", help="inspect or clear the sweep artifact cache")
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="info: show the cache location and size; clear: delete stored points")
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"artifact-cache directory (default: {DEFAULT_CACHE_DIR})")
     return parser
 
 
@@ -331,6 +351,7 @@ def run_sweep(args: argparse.Namespace, stream) -> int:
     runner = ExperimentRunner(
         cache_dir=None if args.no_cache else args.cache_dir,
         workers=args.workers,
+        executor=args.executor,
     )
     results = runner.run(sweep)
 
@@ -350,6 +371,27 @@ def run_sweep(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def run_cache(args: argparse.Namespace, stream) -> int:
+    from repro.scenarios.runner import list_artifacts
+
+    cache_dir = args.cache_dir
+    artifacts = list_artifacts(cache_dir)
+    if args.action == "info":
+        total_bytes = sum(os.path.getsize(path) for path in artifacts)
+        _print(
+            [
+                f"artifact cache: {cache_dir}",
+                f"stored points : {len(artifacts)}",
+                f"total size    : {total_bytes / 1024:.1f} KiB",
+            ],
+            stream,
+        )
+        return 0
+    removed = clear_artifact_cache(cache_dir)
+    _print([f"removed {removed} cached points from {cache_dir}"], stream)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, stream=None) -> int:
     """CLI entry point; returns the process exit code."""
     stream = stream or sys.stdout
@@ -362,6 +404,8 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
         return run_emulate(args, stream)
     if args.command == "sweep":
         return run_sweep(args, stream)
+    if args.command == "cache":
+        return run_cache(args, stream)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

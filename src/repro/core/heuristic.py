@@ -36,12 +36,11 @@ skeleton is built once per ``(location, size class)`` pair.
 from __future__ import annotations
 
 import math
-import os
 import random
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.problem import GreenEnforcement, SitingProblem
@@ -56,11 +55,20 @@ from repro.core.single_site import (
     scoring_parameters,
     scoring_sources,
     single_site_size_class,
+    split_chunks,
 )
 from repro.core.solution import NetworkPlan
 from repro.lpsolver import SolverOptions
 from repro.lpsolver.highs_backend import AVAILABLE as _HIGHS_DIRECT_AVAILABLE
 from repro.lpsolver.highs_backend import HighsSolveContext
+from repro.parallel.executors import EXECUTOR_KINDS, ExecutorFactory
+from repro.parallel.work import (
+    ChainTask,
+    PricingChunkTask,
+    new_token,
+    run_chain_task,
+    run_pricing_chunk,
+)
 
 #: Neighbour-move identifiers (the paper's four move kinds; "swap" is the
 #: combination of a remove and an add in one step, and "merge" removes one
@@ -99,8 +107,16 @@ class SearchSettings:
     #: any worker count — but along the parallel trajectory).
     parallel_chains: Optional[bool] = None
     #: Worker cap for the filter pricing pass and the parallel chains
-    #: (``None`` = number of CPUs).
+    #: (``None`` = CPUs available to this process, honouring container CPU
+    #: quotas via the scheduling affinity mask).
     max_workers: Optional[int] = None
+    #: How the filter chunks and the parallel chains execute: ``"thread"``
+    #: (default), ``"process"`` (true multi-core scaling; work crosses the
+    #: pickling boundary of :mod:`repro.parallel.work`) or ``"serial"``.
+    #: The knob never changes results — for a fixed seed, costs and sitings
+    #: are bit-identical across all three for any worker count; only the
+    #: ``parallel_chains`` trajectory switch does.
+    executor: str = "thread"
     #: Evaluate sequential-search moves on a persistent mutable HiGHS model
     #: (column/row deltas + projected-basis warm starts) instead of
     #: rebuilding the LP per move.  ``None`` (default) auto-enables whenever
@@ -126,6 +142,10 @@ class SearchSettings:
             raise ValueError("the cooling factor must lie in (0, 1]")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
         if self.coarse_epoch_factor < 1:
             raise ValueError("coarse_epoch_factor must be at least 1")
         if self.refine_tolerance < 0:
@@ -196,12 +216,29 @@ class HeuristicSolver:
         # Persistent mutable-model evaluator for the sequential search; moves
         # become column/row deltas with projected-basis warm starts.
         self._sa_incremental: Optional[IncrementalSitingEvaluator] = None
+        # Process-pool chain tasks of this search share one worker-side
+        # problem/compiler rebuild, keyed by this token.
+        self._chain_token = new_token("chains")
+        # When set (by process-pool chain workers), every canonical siting
+        # key that reaches the memo is appended, in request order; the parent
+        # replays the logs to reproduce the shared-memo hit accounting.
+        self._request_log: Optional[List[Tuple[Tuple[str, str], ...]]] = None
 
     # -- worker accounting ---------------------------------------------------------
+    def _factory(self) -> ExecutorFactory:
+        """The executor factory behind the filter chunks and parallel chains."""
+        return ExecutorFactory(
+            kind=self.settings.executor, max_workers=self.settings.max_workers
+        )
+
     def _workers(self, upper: int) -> int:
-        """Concurrency to use, bounded by settings, CPUs and the task size."""
-        limit = self.settings.max_workers or os.cpu_count() or 1
-        return max(1, min(limit, upper))
+        """Concurrency to use, bounded by settings, available CPUs and the task size."""
+        return self._factory().workers(upper)
+
+    @property
+    def evaluations(self) -> int:
+        """Provisioning LPs actually solved (memo misses)."""
+        return self._evaluations
 
     @property
     def cache_hits(self) -> int:
@@ -272,12 +309,18 @@ class HeuristicSolver:
                     chunk_scores.append((result.monthly_cost, profile.name, longitude))
             return chunk_scores
 
-        scored = priced_in_chunks(
-            problem.profiles,
-            price_chunk,
-            num_chunks=FILTER_CHUNKS,
-            workers=self._workers(FILTER_CHUNKS),
-        )
+        factory = self._factory()
+        if factory.effective_kind == "process":
+            scored = self._price_chunks_process(
+                pricing_problem, pricing_params, share_kw, factory
+            )
+        else:
+            scored = priced_in_chunks(
+                problem.profiles,
+                price_chunk,
+                num_chunks=FILTER_CHUNKS,
+                workers=self._workers(FILTER_CHUNKS),
+            )
         scored.sort()
         keep = max(self.settings.keep_locations, problem.min_datacenters)
 
@@ -296,6 +339,50 @@ class HeuristicSolver:
             if name not in selected:
                 selected.append(name)
         return selected
+
+    def _price_chunks_process(
+        self,
+        pricing_problem: SitingProblem,
+        pricing_params,
+        share_kw: float,
+        factory: ExecutorFactory,
+    ) -> List[Tuple[float, str, float]]:
+        """The filter pricing pass fanned out over a process pool.
+
+        The chunk split is the same fixed :data:`FILTER_CHUNKS` contiguous
+        split the thread path uses, and every chunk prices through its own
+        fresh warm-start context worker-side, so the scores are bit-identical
+        to the thread and serial paths for any worker count.  Each task ships
+        the pricing problem restricted to its chunk's locations — plain
+        profile data, no solver state.
+        """
+        profiles = self.problem.profiles
+        chunks = split_chunks(profiles, FILTER_CHUNKS)
+        tasks = []
+        for chunk in chunks:
+            names = [profile.name for profile in chunk]
+            tasks.append(
+                PricingChunkTask(
+                    problem=pricing_problem.restricted_to(names),
+                    sitings=tuple(
+                        (
+                            profile.name,
+                            single_site_size_class(share_kw, profile, pricing_params),
+                        )
+                        for profile in chunk
+                    ),
+                    options=self.solver_options,
+                )
+            )
+        by_name = self.problem.profile_map()
+        scored: List[Tuple[float, str, float]] = []
+        with factory.create(len(tasks)) as pool:
+            for rows in pool.map(run_pricing_chunk, tasks):
+                for name, cost, feasible in rows:
+                    if feasible:
+                        longitude = by_name[name].location.point.longitude
+                        scored.append((cost, name, longitude))
+        return scored
 
     # -- step 2: fixed-siting evaluation ----------------------------------------------
     def evaluate(
@@ -322,6 +409,8 @@ class HeuristicSolver:
                 ),
             )
         key = tuple(sorted(siting.items()))
+        if self._request_log is not None:
+            self._request_log.append(key)
         with self._cache_lock:
             future = self._cache.get(key)
             owner = future is None
@@ -399,8 +488,10 @@ class HeuristicSolver:
             )
 
         search_started = time.perf_counter()
-        chain_workers = self._workers(settings.num_chains)
+        factory = self._factory()
+        chain_workers = factory.workers(settings.num_chains)
         parallel = bool(settings.parallel_chains) and settings.num_chains > 1
+        process_chains = parallel and factory.effective_kind == "process"
         self._sa_warm_starts = not parallel
         use_incremental = (
             settings.incremental_lp if settings.incremental_lp is not None else True
@@ -419,11 +510,69 @@ class HeuristicSolver:
         best_result = self.evaluate(best_siting)
         history: List[Tuple[int, float]] = [(0, best_result.monthly_cost)]
 
-        if parallel:
+        if process_chains:
+            # Chains cross the pickling boundary: each worker rebuilds the
+            # problem/compiler once per process and runs the identical chain
+            # trajectory (cold solves, chain-seeded RNG), so the merged
+            # costs and sitings are bit-identical to the thread path.  Only
+            # a picklable outcome payload returns; the winning siting is
+            # re-evaluated in the parent (one LP, same cold solve) to attach
+            # a plan-bearing result.
+            payloads = self._run_chains_process(best_siting, candidates, factory)
+            winner: Optional[Dict[str, str]] = None
+            best_cost = best_result.monthly_cost
+            # Replay every chain's memo-request sequence against shared-memo
+            # accounting: a key is an evaluation the first time any chain (or
+            # the parent, for the start siting) requests it and a hit after
+            # that.  The totals are order-independent, so they equal the
+            # thread/serial paths' counts bit for bit — records built from
+            # them never depend on the executor kind.
+            seen: Dict[Tuple[Tuple[str, str], ...], Optional[int]] = {
+                key: None for key in self._cache
+            }
+            for payload in payloads:
+                offset = payload.chain * settings.max_iterations
+                history.extend(
+                    (offset + iteration, cost) for iteration, cost in payload.improvements
+                )
+                for key in payload.requests:
+                    if key in seen:
+                        self._cache_hits += 1
+                        owner = seen[key]
+                        if owner is not None and owner != payload.chain:
+                            self._cross_chain_hits += 1
+                    else:
+                        self._evaluations += 1
+                        seen[key] = payload.chain
+                if payload.best_cost < best_cost - 1e-6:
+                    best_cost = payload.best_cost
+                    winner = dict(payload.best_siting)
+            if winner is not None:
+                best_siting = winner
+                # Solve once more, outside the memo (the replay already
+                # accounted for this siting), purely to attach a plan; the
+                # reported cost stays the worker's value, which was computed
+                # in the chain's own evaluation order — re-solving under the
+                # merged (sorted) site order could differ in the last
+                # floating-point bits.
+                parent_result = solve_provisioning(
+                    self.problem,
+                    best_siting,
+                    options=self.solver_options,
+                    compiler=self._compiler,
+                )
+                best_result = ProvisioningResult(
+                    feasible=parent_result.feasible,
+                    monthly_cost=best_cost if parent_result.feasible else float("inf"),
+                    plan=None,
+                    message=parent_result.message,
+                    extractor=lambda: parent_result.plan,
+                )
+        elif parallel:
             # All chains explore independently from the shared initial best and
             # synchronise at the end; the merge prefers lower cost, ties broken
             # by chain index, so the outcome is reproducible for a fixed seed.
-            with ThreadPoolExecutor(max_workers=min(chain_workers, settings.num_chains)) as pool:
+            with factory.create(settings.num_chains) as pool:
                 outcomes = list(
                     pool.map(
                         lambda chain: self._run_chain(chain, best_siting, best_result, candidates),
@@ -467,6 +616,7 @@ class HeuristicSolver:
                 "filter_seconds": filter_seconds,
                 "search_seconds": search_seconds,
                 "parallel_chains": float(parallel),
+                "process_chains": float(process_chains),
                 "chain_workers": float(min(chain_workers, settings.num_chains)),
                 "incremental_lp": float(self._sa_incremental is not None),
                 "memo_hit_rate": self._cache_hits / requests if requests else 0.0,
@@ -549,6 +699,47 @@ class HeuristicSolver:
             cache_hits=coarse.cache_hits,
             stats=stats,
         )
+
+    def _run_chains_process(
+        self,
+        start_siting: Dict[str, str],
+        candidates: Sequence[str],
+        factory: ExecutorFactory,
+    ):
+        """Fan the annealing chains out over a process pool.
+
+        Each :class:`~repro.parallel.work.ChainTask` ships the problem
+        restricted to the filtered candidates, the parent compiler's compiled
+        skeletons/templates (plain arrays — never HiGHS handles) and the
+        shared start siting *in its original insertion order*: the neighbour
+        moves draw from ``list(siting)``, so the dict order is part of the
+        chain's deterministic trajectory.  Chain tasks are submitted and
+        collected in chain order; a chain that raises propagates when its
+        future is collected, after every other chain future has been resolved
+        by the pool (no waiter deadlocks, and the parent memo stays clean).
+        """
+        settings = self.settings
+        worker_settings = replace(
+            settings, executor="serial", parallel_chains=False, max_workers=1
+        )
+        search_problem = self.problem.restricted_to(list(candidates))
+        compiler_state = self._compiler.export_shared_state()
+        tasks = [
+            ChainTask(
+                token=self._chain_token,
+                problem=search_problem,
+                settings=worker_settings,
+                options=self.solver_options,
+                chain=chain,
+                start_siting=tuple(start_siting.items()),
+                candidates=tuple(candidates),
+                compiler_state=compiler_state,
+            )
+            for chain in range(settings.num_chains)
+        ]
+        with factory.create(len(tasks)) as pool:
+            futures = [pool.submit(run_chain_task, task) for task in tasks]
+            return [future.result() for future in futures]
 
     def _run_chain(
         self,

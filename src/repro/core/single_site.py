@@ -27,6 +27,7 @@ from repro.energy.profiles import LocationProfile
 from repro.lpsolver import SolverOptions
 from repro.lpsolver.highs_backend import AVAILABLE as _HIGHS_DIRECT_AVAILABLE
 from repro.lpsolver.highs_backend import HighsSolveContext
+from repro.parallel.executors import ExecutorFactory
 
 
 def scoring_parameters(
@@ -58,21 +59,33 @@ def single_site_size_class(
     return "small" if total_power <= params.small_dc_threshold_kw else "large"
 
 
+def split_chunks(items, num_chunks: int) -> list:
+    """``items`` split into at most ``num_chunks`` contiguous chunks.
+
+    The split depends only on ``num_chunks`` — never on how many workers end
+    up executing the chunks — which is what keeps per-chunk warm-start
+    sequences (and therefore pricing scores, bit for bit) independent of the
+    executor kind and worker count.
+    """
+    if not items:
+        return []
+    num_chunks = max(1, min(num_chunks, len(items)))
+    chunk_size = -(-len(items) // num_chunks)
+    return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
 def priced_in_chunks(items, price_chunk, num_chunks: int, workers: int) -> list:
     """Price ``items`` in contiguous chunks, optionally on a thread pool.
 
     ``price_chunk`` maps a list of items to a list of results (creating its
     own warm-start solver context per chunk); the per-chunk results are
     concatenated in chunk order, which preserves the original item order by
-    construction.  The chunk split depends only on ``num_chunks`` — never on
-    ``workers`` — so warm-start sequences (and therefore scores, bit for bit)
+    construction.  The chunk split comes from :func:`split_chunks`, so scores
     are identical no matter how many threads execute them.
     """
-    if not items:
+    chunks = split_chunks(items, num_chunks)
+    if not chunks:
         return []
-    num_chunks = max(1, min(num_chunks, len(items)))
-    chunk_size = -(-len(items) // num_chunks)
-    chunks = [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
     if workers <= 1 or len(chunks) == 1:
         return [result for chunk in chunks for result in price_chunk(chunk)]
     with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as executor:
@@ -192,13 +205,25 @@ class SingleSiteAnalyzer:
         sources: EnergySources = EnergySources.SOLAR_AND_WIND,
         storage: StorageMode = StorageMode.NET_METERING,
         workers: Optional[int] = None,
+        executor: str = "thread",
     ) -> List[SingleSiteCost]:
         """Single-site costs for many locations (the Fig. 6 distribution).
 
-        ``workers`` > 1 prices location chunks on a thread pool; each chunk
-        reuses its own warm-started HiGHS context.  Results keep the order of
-        ``profiles`` either way.
+        ``workers`` > 1 prices location chunks on a thread pool (or, with
+        ``executor="process"``, a process pool — the chunks cross the
+        pickling boundary of :mod:`repro.parallel.work` and the returned
+        costs carry no live LP result, only the numbers).  Each chunk reuses
+        its own warm-started HiGHS context, the chunk split depends only on
+        ``workers``, and results keep the order of ``profiles`` for every
+        executor kind.
         """
+        workers = max(1, workers or 1)
+        factory = ExecutorFactory(kind=executor, max_workers=workers)
+        if factory.effective_kind == "process" and len(profiles) > 1:
+            return self._cost_distribution_process(
+                list(profiles), capacity_kw, min_green_fraction, sources, storage, factory
+            )
+
         def price_chunk(chunk: Sequence[LocationProfile]) -> List[SingleSiteCost]:
             context = HighsSolveContext() if _HIGHS_DIRECT_AVAILABLE else None
             return [
@@ -209,8 +234,64 @@ class SingleSiteAnalyzer:
                 for profile in chunk
             ]
 
-        workers = max(1, workers or 1)
         return priced_in_chunks(list(profiles), price_chunk, num_chunks=workers, workers=workers)
+
+    def _cost_distribution_process(
+        self,
+        profiles: List[LocationProfile],
+        capacity_kw: float,
+        min_green_fraction: float,
+        sources: EnergySources,
+        storage: StorageMode,
+        factory: ExecutorFactory,
+    ) -> List[SingleSiteCost]:
+        """The sweep fanned out over a process pool.
+
+        Mirrors :meth:`cost_at` exactly — same pricing problem, same size
+        classes, fresh warm-start context per chunk — so the costs are bit
+        for bit those of the thread path; only the returned objects are slim
+        (``result`` is ``None``, the LP lives and dies in the worker).
+        """
+        from repro.core.problem import SitingProblem
+        from repro.parallel.work import PricingChunkTask, run_pricing_chunk
+
+        sources_used = scoring_sources(min_green_fraction, sources)
+        params = scoring_parameters(self.params, capacity_kw, min_green_fraction)
+        configuration = self._configuration_label(min_green_fraction, sources_used)
+        chunks = split_chunks(profiles, factory.workers(len(profiles)))
+        tasks = [
+            PricingChunkTask(
+                problem=SitingProblem(
+                    profiles=list(chunk),
+                    params=params,
+                    sources=sources_used,
+                    storage=storage,
+                ),
+                sitings=tuple(
+                    (
+                        profile.name,
+                        single_site_size_class(capacity_kw, profile, params),
+                    )
+                    for profile in chunk
+                ),
+                options=self.solver_options,
+            )
+            for chunk in chunks
+        ]
+        by_name = {profile.name: profile for profile in profiles}
+        costs: List[SingleSiteCost] = []
+        with factory.create(len(tasks)) as pool:
+            for rows in pool.map(run_pricing_chunk, tasks):
+                for name, cost, feasible in rows:
+                    costs.append(
+                        SingleSiteCost(
+                            profile=by_name[name],
+                            configuration=configuration,
+                            monthly_cost=cost,
+                            feasible=feasible,
+                        )
+                    )
+        return costs
 
     @staticmethod
     def _configuration_label(min_green_fraction: float, sources: EnergySources) -> str:

@@ -1,0 +1,42 @@
+"""Process/thread/serial execution layer shared by every parallel stage.
+
+See :mod:`repro.parallel.executors` for the :class:`ExecutorFactory` knob and
+:mod:`repro.parallel.work` for the picklable work descriptors process workers
+consume.
+"""
+
+from repro.parallel.executors import (
+    EXECUTOR_KINDS,
+    ExecutorFactory,
+    SerialExecutor,
+    available_cpu_count,
+    in_process_worker,
+    mark_process_worker,
+)
+from repro.parallel.work import (
+    ChainOutcomePayload,
+    ChainTask,
+    PricingChunkTask,
+    SweepPointTask,
+    new_token,
+    run_chain_task,
+    run_pricing_chunk,
+    run_sweep_point,
+)
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "ExecutorFactory",
+    "SerialExecutor",
+    "available_cpu_count",
+    "in_process_worker",
+    "mark_process_worker",
+    "ChainOutcomePayload",
+    "ChainTask",
+    "PricingChunkTask",
+    "SweepPointTask",
+    "new_token",
+    "run_chain_task",
+    "run_pricing_chunk",
+    "run_sweep_point",
+]

@@ -1,0 +1,254 @@
+"""Picklable work descriptors for process-pool execution.
+
+Process workers cannot share the parent's live solver state: compiled HiGHS
+handles, :class:`~repro.lpsolver.highs_backend.MutableHighsModel` instances
+and warm-start contexts are all process-local.  What *does* cross the
+pickling boundary is plain data — :class:`~repro.core.problem.SitingProblem`
+objects (numpy series and dataclasses), the compiler's per-site skeletons and
+``_SkeletonTemplate`` slot data, :class:`~repro.scenarios.spec.ScenarioSpec`
+dictionaries — so each fan-out site ships a small frozen *task* describing
+the work and the worker rebuilds whatever solver machinery it needs, lazily,
+with a per-process memo:
+
+* :class:`PricingChunkTask` — one contiguous chunk of the filter-pricing /
+  single-site sweep, carrying the pricing problem restricted to the chunk's
+  locations.  The worker builds a fresh warm-start context per chunk, exactly
+  like the thread path, so scores are bit-identical for any executor.
+* :class:`ChainTask` — one annealing chain, carrying the search problem
+  (restricted to the filtered candidates), the search settings and the shared
+  start siting.  Chains of the same search share a per-process
+  problem/compiler rebuild through ``token``; each chain owns a fresh
+  evaluation memo so its reported hit stats are deterministic regardless of
+  which worker runs it.
+* :class:`SweepPointTask` — one experiment-runner sweep point as a spec
+  dictionary.  Workers keep one serial :class:`ExperimentRunner` per parent
+  runner (keyed by ``token``), so points landing on the same process share
+  catalogue/profile/compiler caches just like the thread path does.
+
+Results flowing back are equally plain: cost tuples, spec records, and a
+:class:`ChainOutcomePayload` whose hit stats the parent merges into
+:class:`~repro.core.heuristic.HeuristicSolution.stats`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.parallel.executors import mark_process_worker
+
+#: Upper bound on per-process memo entries (problems, compilers, runners);
+#: old entries are evicted least-recently-used so long-lived workers serving
+#: many distinct searches do not accumulate every problem they ever saw.
+_CACHE_LIMIT = 8
+
+_cache: "OrderedDict[Tuple, Any]" = OrderedDict()
+_cache_lock = threading.Lock()
+
+_token_counter = itertools.count()
+
+
+def new_token(label: str) -> str:
+    """A token unique across parent processes and calls.
+
+    Workers key their per-process rebuild memo by it, so two different
+    parent-side objects (even at the same memory address, across parent
+    restarts) never alias one worker-side rebuild.
+    """
+    return f"{label}-{os.getpid()}-{next(_token_counter)}"
+
+
+def _cached(key: Tuple, build: Callable[[], Any]) -> Any:
+    """Per-process memo: build once per key, evict least-recently-used."""
+    with _cache_lock:
+        value = _cache.get(key)
+        if value is not None:
+            _cache.move_to_end(key)
+            return value
+    value = build()
+    with _cache_lock:
+        value = _cache.setdefault(key, value)
+        _cache.move_to_end(key)
+        while len(_cache) > _CACHE_LIMIT:
+            _cache.popitem(last=False)
+    return value
+
+
+def reset_worker_caches() -> None:
+    """Drop the per-process memo (test hook; workers never need to call it)."""
+    with _cache_lock:
+        _cache.clear()
+
+
+# -- filter pricing / single-site sweeps --------------------------------------
+
+
+@dataclass(frozen=True)
+class PricingChunkTask:
+    """One chunk of structurally-identical single-site pricing LPs.
+
+    ``problem`` is the *pricing* problem restricted to the chunk's locations;
+    ``sitings`` lists ``(location, size_class)`` in chunk order.  The chunk
+    split is decided by the parent (a fixed chunk count, independent of the
+    worker count), so basis carry-over sequences — and therefore scores, bit
+    for bit — match the thread and serial paths.
+    """
+
+    problem: Any  # SitingProblem
+    sitings: Tuple[Tuple[str, str], ...]
+    options: Any  # SolverOptions
+
+
+def run_pricing_chunk(task: PricingChunkTask) -> List[Tuple[str, float, bool]]:
+    """Price one chunk; returns ``(location, monthly_cost, feasible)`` rows."""
+    mark_process_worker()
+    from repro.core.provisioning import ProvisioningCompiler, solve_provisioning
+    from repro.lpsolver.highs_backend import AVAILABLE as _HIGHS_DIRECT_AVAILABLE
+    from repro.lpsolver.highs_backend import HighsSolveContext
+
+    compiler = ProvisioningCompiler(task.problem)
+    context = HighsSolveContext() if _HIGHS_DIRECT_AVAILABLE else None
+    rows: List[Tuple[str, float, bool]] = []
+    for name, size_class in task.sitings:
+        result = solve_provisioning(
+            task.problem,
+            {name: size_class},
+            options=task.options,
+            enforce_spread=False,
+            compiler=compiler,
+            solver_context=context,
+        )
+        rows.append((name, result.monthly_cost, result.feasible))
+    return rows
+
+
+# -- annealing chains ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainTask:
+    """One annealing chain of a heuristic search.
+
+    All chains of one search share ``token`` (and ship identical ``problem``
+    payloads); the first chain to land on a process rebuilds the problem and
+    its :class:`~repro.core.provisioning.ProvisioningCompiler` — optionally
+    seeded with the parent's compiled skeletons/templates — and later chains
+    on that process reuse them.  Each chain still owns a fresh evaluation
+    memo, so its outcome *and its hit stats* depend only on the chain index,
+    never on worker scheduling.
+    """
+
+    token: str
+    problem: Any  # SitingProblem, restricted to the filtered candidates
+    settings: Any  # SearchSettings (executor normalised to "serial")
+    options: Any  # SolverOptions
+    chain: int
+    start_siting: Tuple[Tuple[str, str], ...]
+    candidates: Tuple[str, ...]
+    compiler_state: Optional[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class ChainOutcomePayload:
+    """Picklable outcome of one chain (no live LP results cross back).
+
+    ``requests`` is the ordered sequence of canonical siting keys the chain
+    asked its evaluation memo for (start evaluation excluded).  The parent
+    replays the sequences of all chains against shared-memo accounting, so
+    the reported ``evaluations``/``cache_hits`` — and therefore the sweep
+    records built from them — are bit-identical to the serial and thread
+    paths, where the chains genuinely share one memo.
+    """
+
+    chain: int
+    best_siting: Tuple[Tuple[str, str], ...]
+    best_cost: float
+    feasible: bool
+    message: str
+    improvements: Tuple[Tuple[int, float], ...]
+    requests: Tuple[Tuple[Tuple[str, str], ...], ...]
+
+
+def _chain_context(task: ChainTask):
+    from repro.core.provisioning import ProvisioningCompiler
+
+    def build():
+        compiler = ProvisioningCompiler(task.problem)
+        if task.compiler_state is not None:
+            compiler.seed_shared_state(task.compiler_state)
+        return task.problem, compiler
+
+    return _cached(("chain", task.token), build)
+
+
+def run_chain_task(task: ChainTask) -> ChainOutcomePayload:
+    """Run one annealing chain against a per-process rebuilt problem."""
+    mark_process_worker()
+    from repro.core.heuristic import HeuristicSolver
+
+    problem, compiler = _chain_context(task)
+    solver = HeuristicSolver(
+        problem, settings=task.settings, solver_options=task.options, compiler=compiler
+    )
+    start_siting = dict(task.start_siting)
+    start_result = solver.evaluate(start_siting)
+    # Log memo requests from here on: the start evaluation mirrors the
+    # parent's (already counted there), everything after is the chain's own.
+    request_log: List[Tuple[Tuple[str, str], ...]] = []
+    solver._request_log = request_log
+    outcome = solver._run_chain(
+        task.chain, start_siting, start_result, list(task.candidates)
+    )
+    return ChainOutcomePayload(
+        chain=outcome.chain,
+        best_siting=tuple(sorted(outcome.best_siting.items())),
+        best_cost=outcome.best_result.monthly_cost,
+        feasible=outcome.best_result.feasible,
+        message=outcome.best_result.message,
+        improvements=tuple(outcome.improvements),
+        requests=tuple(request_log),
+    )
+
+
+# -- experiment-runner sweep points --------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPointTask:
+    """One sweep point: a spec dictionary plus the runner configuration.
+
+    The worker keeps one serial :class:`~repro.scenarios.runner.ExperimentRunner`
+    per ``token`` (one per parent runner), so its catalogue/profile/compiler
+    caches persist across the points a worker serves; the runner shares the
+    parent's on-disk artifact cache directory, whose writes are atomic.
+    """
+
+    token: str
+    spec: Dict[str, Any]
+    cache_dir: Optional[str]
+    base_params: Any  # FrameworkParameters
+    solver_options: Any  # SolverOptions
+
+
+def run_sweep_point(task: SweepPointTask) -> Tuple[Dict[str, Any], bool]:
+    """Evaluate one sweep point; returns ``(record, from_cache)``."""
+    mark_process_worker()
+    from repro.scenarios.runner import ExperimentRunner
+    from repro.scenarios.spec import ScenarioSpec
+
+    def build():
+        return ExperimentRunner(
+            cache_dir=task.cache_dir,
+            workers=1,
+            executor="serial",
+            base_params=task.base_params,
+            solver_options=task.solver_options,
+        )
+
+    runner = _cached(("runner", task.token), build)
+    point = runner.run_point(ScenarioSpec.from_dict(task.spec))
+    return point.record, point.from_cache

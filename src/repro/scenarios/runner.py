@@ -31,7 +31,7 @@ import json
 import os
 import tempfile
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -43,8 +43,59 @@ from repro.core.provisioning import ProvisioningCompiler
 from repro.core.single_site import SingleSiteAnalyzer
 from repro.core.tool import PlacementTool
 from repro.lpsolver import SolverOptions
+from repro.parallel.executors import ExecutorFactory, available_cpu_count
+from repro.parallel.work import SweepPointTask, new_token, run_sweep_point
 from repro.scenarios.results import PointResult, ResultSet
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import ScenarioSpec, code_fingerprint
+
+#: Schema version of the on-disk artifact payload.  Version 2 wraps the point
+#: in a code fingerprint (see :func:`repro.scenarios.spec.code_fingerprint`):
+#: artifacts written by a different package version or solver backend are
+#: rejected on load and recomputed, instead of silently replaying numbers the
+#: old code produced.
+ARTIFACT_SCHEMA_VERSION = 2
+
+
+def list_artifacts(cache_dir: Union[str, os.PathLike]) -> List[str]:
+    """Paths of the sweep-point artifacts stored under ``cache_dir``, sorted.
+
+    This function owns the artifact naming convention together with
+    :meth:`ExperimentRunner._artifact_path`; CLI tooling goes through it so
+    a layout change cannot silently desynchronise ``repro cache info``.
+    """
+    cache_dir = str(cache_dir)
+    if not os.path.isdir(cache_dir):
+        return []
+    return sorted(
+        os.path.join(cache_dir, entry)
+        for entry in os.listdir(cache_dir)
+        if entry.startswith("point-") and entry.endswith(".json")
+    )
+
+
+def clear_artifact_cache(cache_dir: Union[str, os.PathLike]) -> int:
+    """Delete every stored sweep-point artifact; returns how many were removed.
+
+    Only the runner's own ``point-*.json`` files (and leftover ``*.tmp``
+    write staging files) are touched, so a mistyped directory cannot be
+    emptied wholesale.
+    """
+    removed = 0
+    cache_dir = str(cache_dir)
+    for path in list_artifacts(cache_dir):
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        removed += 1
+    if os.path.isdir(cache_dir):
+        for entry in os.listdir(cache_dir):  # leftover write-staging files
+            if entry.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(cache_dir, entry))
+                except OSError:
+                    continue
+    return removed
 
 
 @dataclass
@@ -114,8 +165,18 @@ class ExperimentRunner:
         Cached points are keyed by the spec content hash, so editing any
         semantic field of a scenario invalidates exactly that point.
     workers:
-        Sweep points evaluated concurrently.  Results (and all numbers in
-        them) are independent of this knob; it only changes wall-clock time.
+        Sweep points evaluated concurrently; ``None`` means the CPUs
+        available to this process (container CPU quotas included).  Results
+        (and all numbers in them) are independent of this knob; it only
+        changes wall-clock time.
+    executor:
+        ``"thread"`` (default), ``"process"`` or ``"serial"``.  Process
+        execution ships each point's :class:`~repro.scenarios.spec.ScenarioSpec`
+        dictionary to a worker, which rebuilds a serial runner lazily (one
+        per process, shared across the points it serves) and sends back the
+        JSON record; the live ``solution`` object of such points is ``None``,
+        exactly like cache-served points.  Records are bit-identical across
+        all three executors.
     base_params:
         Baseline framework parameters that spec ``param_overrides`` apply to
         (Table I defaults when omitted).
@@ -124,14 +185,17 @@ class ExperimentRunner:
     def __init__(
         self,
         cache_dir: Optional[Union[str, os.PathLike]] = None,
-        workers: int = 1,
+        workers: Optional[int] = None,
         base_params: Optional[FrameworkParameters] = None,
         solver_options: Optional[SolverOptions] = None,
+        executor: str = "thread",
     ) -> None:
-        if workers < 1:
+        if workers is not None and workers < 1:
             raise ValueError("the runner needs at least one worker")
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
-        self.workers = workers
+        self.workers = workers if workers is not None else available_cpu_count()
+        self.executor = executor
+        self._factory = ExecutorFactory(kind=executor, max_workers=self.workers)
         self.base_params = base_params or FrameworkParameters()
         self.solver_options = solver_options or SolverOptions()
         self._catalogs: Dict[Tuple, object] = {}
@@ -139,6 +203,8 @@ class ExperimentRunner:
         self._problems: Dict[str, Tuple[object, ProvisioningCompiler]] = {}
         self._memo: Dict[str, Future] = {}
         self._lock = threading.Lock()
+        # Process workers key their per-process runner rebuild by this token.
+        self._runner_token = new_token("runner")
 
     # -- public API -----------------------------------------------------------
     def run(self, experiment: Union[ScenarioSpec, ParameterSweep]) -> ResultSet:
@@ -162,12 +228,13 @@ class ExperimentRunner:
                 futures.append((point, future))
 
         if to_submit:
-            if self.workers > 1 and len(to_submit) > 1:
-                with ThreadPoolExecutor(max_workers=min(self.workers, len(to_submit))) as pool:
-                    list(pool.map(lambda item: self._fill(*item), to_submit))
+            if self._factory.effective_kind == "process":
+                self._fill_process(to_submit)
             else:
-                for item in to_submit:
-                    self._fill(*item)
+                # Thread or serial: _fill captures failures on the memo
+                # future itself, so the pool futures never raise here.
+                with self._factory.create(len(to_submit)) as pool:
+                    list(pool.map(lambda item: self._fill(*item), to_submit))
 
         results: List[PointResult] = []
         for point, future in futures:
@@ -203,6 +270,59 @@ class ExperimentRunner:
                 if self._memo.get(key) is future:
                     del self._memo[key]
             future.set_exception(error)
+
+    def _fill_process(self, to_submit: List[Tuple[str, ScenarioSpec]]) -> None:
+        """Evaluate uncached points on a process pool, in submission order.
+
+        The parent serves on-disk artifacts itself (no point shipping a spec
+        whose record is already a file read); everything else crosses the
+        pickling boundary as a :class:`~repro.parallel.work.SweepPointTask`.
+        A worker failure is set on exactly that point's memo future — every
+        waiter observes it, nothing deadlocks — and the memo entry is
+        dropped so a later run recomputes instead of replaying the error.
+        """
+        pending: List[Tuple[str, ScenarioSpec]] = []
+        for key, spec in to_submit:
+            cached = self._load_artifact(key)
+            if cached is not None:
+                self._memo[key].set_result(cached)
+            else:
+                pending.append((key, spec))
+        if not pending:
+            return
+        with self._factory.create(len(pending)) as pool:
+            submitted = [
+                (
+                    key,
+                    spec,
+                    pool.submit(
+                        run_sweep_point,
+                        SweepPointTask(
+                            token=self._runner_token,
+                            spec=spec.to_dict(),
+                            cache_dir=self.cache_dir,
+                            base_params=self.base_params,
+                            solver_options=self.solver_options,
+                        ),
+                    ),
+                )
+                for key, spec in pending
+            ]
+            for key, spec, task_future in submitted:
+                future = self._memo[key]
+                try:
+                    record, from_cache = task_future.result()
+                except BaseException as error:
+                    with self._lock:
+                        if self._memo.get(key) is future:
+                            del self._memo[key]
+                    future.set_exception(error)
+                else:
+                    future.set_result(
+                        PointResult(
+                            spec=spec.canonical(), record=record, from_cache=from_cache
+                        )
+                    )
 
     def _evaluate(self, key: str, spec: ScenarioSpec) -> PointResult:
         cached = self._load_artifact(key)
@@ -417,7 +537,11 @@ class ExperimentRunner:
                 payload = json.load(handle)
         except (OSError, ValueError):
             return None
-        if payload.get("schema_version") != 1:
+        if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            return None
+        if payload.get("fingerprint") != code_fingerprint():
+            # Written by different code (older package, another LP backend):
+            # the spec alone no longer guarantees the numbers, so recompute.
             return None
         result = PointResult.from_dict(payload["point"])
         result.from_cache = True
@@ -427,7 +551,11 @@ class ExperimentRunner:
         path = self._artifact_path(key)
         if path is None:
             return
-        payload = {"schema_version": 1, "point": result.to_dict()}
+        payload = {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "fingerprint": code_fingerprint(),
+            "point": result.to_dict(),
+        }
         os.makedirs(self.cache_dir, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:

@@ -32,8 +32,41 @@ from repro.energy.profiles import EpochGrid
 WORKFLOWS = ("plan", "single_site", "emulate")
 
 #: Bump when the semantics of a recorded artifact change, to invalidate
-#: on-disk caches written by older code.
-SPEC_SCHEMA_VERSION = 1
+#: on-disk caches written by older code.  Version 2 added the code
+#: fingerprint to stored artifacts and dropped the pure execution knobs
+#: (``search.executor`` / ``search.max_workers``) from the content hash.
+SPEC_SCHEMA_VERSION = 2
+
+#: Search-settings keys that only choose *how* a scenario executes (executor
+#: kind, worker caps) and are guaranteed not to change its numbers; they are
+#: excluded from the content hash so a sweep run with ``executor="process"``
+#: hits the artifacts a serial run wrote, and vice versa.
+EXECUTION_ONLY_SEARCH_KEYS = ("executor", "max_workers")
+
+
+def code_fingerprint() -> Dict[str, str]:
+    """Identifiers of the code that produces artifact records.
+
+    Stored alongside every on-disk artifact and compared on load: a cached
+    point whose fingerprint does not match the running code is recomputed
+    instead of silently replaying numbers an older solver produced.  The
+    fingerprint names everything that can change results without changing
+    the spec — the package version, the LP backend actually in use and the
+    scientific stack underneath it.
+    """
+    import numpy
+    import scipy
+
+    from repro import __version__
+    from repro.lpsolver import highs_backend
+
+    return {
+        "package_version": __version__,
+        "spec_schema": str(SPEC_SCHEMA_VERSION),
+        "solver_backend": "highs-direct" if highs_backend.AVAILABLE else "linprog",
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+    }
 
 _SOURCES_VALUES = tuple(member.value for member in EnergySources)
 _STORAGE_VALUES = tuple(member.value for member in StorageMode)
@@ -228,10 +261,19 @@ class ScenarioSpec:
         The identity fields (``name``, ``description``) are excluded so that
         relabelling a scenario does not invalidate cached artifacts, and the
         spec is canonicalised first so equivalent scenarios share a hash.
+        The execution-only search knobs (:data:`EXECUTION_ONLY_SEARCH_KEYS`)
+        are dropped too: the executor kind and worker caps never change a
+        scenario's numbers, so they must not change its cache key either.
         """
         payload = self.canonical().to_dict()
         payload.pop("name")
         payload.pop("description")
+        search = {
+            key: value
+            for key, value in payload["search"].items()
+            if key not in EXECUTION_ONLY_SEARCH_KEYS
+        }
+        payload["search"] = search
         payload["schema_version"] = SPEC_SCHEMA_VERSION
         return payload
 

@@ -177,7 +177,7 @@ class TestEvaluationCache:
 
 
 class TestParallelDeterminism:
-    def _solve(self, problem, parallel, workers):
+    def _solve(self, problem, parallel, workers, executor="thread"):
         settings = SearchSettings(
             keep_locations=6,
             max_iterations=10,
@@ -187,6 +187,7 @@ class TestParallelDeterminism:
             max_datacenters=4,
             parallel_chains=parallel,
             max_workers=workers,
+            executor=executor,
         )
         return HeuristicSolver(problem, settings).solve()
 
@@ -206,6 +207,23 @@ class TestParallelDeterminism:
         names = sorted(dc.name for dc in first.plan.datacenters)
         assert names == sorted(dc.name for dc in second.plan.datacenters)
         assert names == sorted(dc.name for dc in fewer_workers.plan.datacenters)
+
+    def test_process_executor_matches_thread_and_serial(self, all_profiles, params):
+        """The executor kind is pure mechanism: identical bits on every path."""
+        problem = SitingProblem(
+            profiles=all_profiles,
+            params=params.with_updates(total_capacity_kw=50_000.0, min_green_fraction=0.5),
+            sources=EnergySources.SOLAR_AND_WIND,
+            storage=StorageMode.NET_METERING,
+        )
+        thread = self._solve(problem, parallel=True, workers=4, executor="thread")
+        serial = self._solve(problem, parallel=True, workers=1, executor="serial")
+        process = self._solve(problem, parallel=True, workers=4, executor="process")
+        assert process.monthly_cost == thread.monthly_cost == serial.monthly_cost
+        assert process.history == thread.history == serial.history
+        names = sorted(dc.name for dc in process.plan.datacenters)
+        assert names == sorted(dc.name for dc in thread.plan.datacenters)
+        assert names == sorted(dc.name for dc in serial.plan.datacenters)
 
     def test_parallel_not_worse_than_initial(self, all_profiles, params):
         problem = SitingProblem(

@@ -1,0 +1,176 @@
+"""Failure propagation through the parallel fan-out layers.
+
+A sweep point or annealing chain that raises must (a) surface the exception
+to *every* waiter — no future may be left pending for a ``result()`` call to
+deadlock on — and (b) leave the evaluation memos clean, so a later run of the
+same work recomputes instead of replaying a stale error.  Both the thread and
+the process executors are covered.
+"""
+
+import pytest
+
+from repro.core import heuristic as heuristic_module
+from repro.core import EnergySources, HeuristicSolver, SearchSettings, SitingProblem, StorageMode
+from repro.parallel import ExecutorFactory, PricingChunkTask, run_pricing_chunk
+from repro.scenarios import ExperimentRunner, ParameterSweep, ScenarioSpec
+
+TINY_SEARCH = {
+    "keep_locations": 4,
+    "max_iterations": 3,
+    "patience": 3,
+    "num_chains": 1,
+    "seed": 3,
+    "max_datacenters": 3,
+}
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    spec = ScenarioSpec(
+        num_locations=12,
+        catalog_seed=3,
+        days_per_season=1,
+        hours_per_epoch=6,
+        total_capacity_kw=20_000.0,
+        search=dict(TINY_SEARCH),
+    )
+    return spec.with_updates(**overrides) if overrides else spec
+
+
+class TestRunnerThreadFailures:
+    def test_all_waiters_raise_and_memo_stays_clean(self, monkeypatch):
+        runner = ExperimentRunner(workers=3, executor="thread")
+        calls = {"n": 0}
+
+        def explode(key, spec):
+            calls["n"] += 1
+            raise RuntimeError("worker detonated")
+
+        monkeypatch.setattr(runner, "_evaluate", explode)
+        # Three sweep points that canonicalise onto ONE memo future (all
+        # 0 %-green source variants are the same brown scenario): one
+        # computation, three waiters.
+        sweep = ParameterSweep(
+            base=tiny_spec(min_green_fraction=0.0),
+            axes={"sources": ("wind", "solar", "solar+wind")},
+        )
+        with pytest.raises(RuntimeError, match="worker detonated"):
+            runner.run(sweep)
+        assert calls["n"] == 1  # one future, every waiter saw its exception
+        assert runner._memo == {}  # the failure was not memoized
+
+        monkeypatch.undo()
+        results = runner.run(sweep)  # same runner recomputes cleanly
+        assert len(results) == 3
+        assert all(point.record["feasible"] for point in results)
+
+
+class TestRunnerProcessFailures:
+    def test_worker_error_propagates_and_is_not_memoized(self):
+        runner = ExperimentRunner(workers=2, executor="process")
+        # An emulation site missing from the catalogue raises KeyError inside
+        # the worker process, after the task crossed the pickling boundary.
+        bad = ScenarioSpec(
+            workflow="emulate",
+            num_locations=12,
+            catalog_seed=3,
+            hours_per_epoch=1,
+            emulation={"sites": ("Nowhere, Atlantis",), "duration_hours": 2, "num_vms": 2},
+        )
+        with pytest.raises(KeyError):
+            runner.run_point(bad)
+        assert runner._memo == {}
+        # The same runner recomputes (same error again — not a stale future,
+        # not a deadlock) and still serves healthy points afterwards.
+        with pytest.raises(KeyError):
+            runner.run_point(bad)
+        good = runner.run_point(tiny_spec())
+        assert good.record["feasible"]
+
+    def test_failure_of_one_point_does_not_block_others(self):
+        runner = ExperimentRunner(workers=2, executor="process")
+        bad = ScenarioSpec(
+            workflow="emulate",
+            num_locations=12,
+            catalog_seed=3,
+            hours_per_epoch=1,
+            emulation={"sites": ("Nowhere, Atlantis",), "duration_hours": 2, "num_vms": 2},
+        )
+        good = tiny_spec()
+        with pytest.raises(KeyError):
+            runner.run(ParameterSweep(base=bad))
+        # Every memo future was resolved (exception or result) before run()
+        # raised: a fresh run of the good point must not hang on leftovers.
+        assert all(future.done() for future in runner._memo.values())
+        assert runner.run_point(good).record["feasible"]
+
+
+class TestChainFailures:
+    @pytest.fixture()
+    def problem(self, all_profiles, params):
+        return SitingProblem(
+            profiles=all_profiles,
+            params=params.with_updates(total_capacity_kw=50_000.0, min_green_fraction=0.5),
+            sources=EnergySources.SOLAR_AND_WIND,
+            storage=StorageMode.NET_METERING,
+        )
+
+    def test_thread_chain_failure_resolves_every_memo_future(self, monkeypatch, problem):
+        settings = SearchSettings(
+            keep_locations=6,
+            max_iterations=6,
+            patience=4,
+            num_chains=3,
+            seed=11,
+            parallel_chains=True,
+            max_workers=4,
+            executor="thread",
+        )
+        solver = HeuristicSolver(problem, settings)
+        original = heuristic_module.solve_provisioning
+        multi_site_calls = {"n": 0}
+
+        def flaky(problem_arg, siting, *args, **kwargs):
+            # Filter pricing solves single-site LPs; the first multi-site LP
+            # is the shared initial evaluation.  Everything after that is a
+            # chain move — those are the ones that fall over.
+            if len(siting) >= 2:
+                multi_site_calls["n"] += 1
+                if multi_site_calls["n"] > 1:
+                    raise RuntimeError("LP backend fell over")
+            return original(problem_arg, siting, *args, **kwargs)
+
+        monkeypatch.setattr(heuristic_module, "solve_provisioning", flaky)
+        with pytest.raises(RuntimeError, match="LP backend fell over"):
+            solver.solve()
+        # The owner set the exception on its memo future before re-raising:
+        # concurrent chains waiting on the same siting saw it too, and no
+        # future is left pending to deadlock a later result() call.
+        assert solver._cache
+        assert all(future.done() for future in solver._cache.values())
+
+    def test_process_worker_failure_propagates_to_parent(self, problem):
+        # A pricing task referencing a location outside its shipped problem
+        # raises KeyError inside the worker; the parent must see it on the
+        # pool future, and the pool must stay usable for the next task.
+        from repro.lpsolver import SolverOptions
+
+        factory = ExecutorFactory(kind="process", max_workers=2)
+        options = SolverOptions()
+        names = [profile.name for profile in problem.profiles[:2]]
+        good = PricingChunkTask(
+            problem=problem.restricted_to(names),
+            sitings=((names[0], "large"),),
+            options=options,
+        )
+        bad = PricingChunkTask(
+            problem=problem.restricted_to(names),
+            sitings=(("Nowhere, Atlantis", "large"),),
+            options=options,
+        )
+        with factory.create(2) as pool:
+            bad_future = pool.submit(run_pricing_chunk, bad)
+            good_future = pool.submit(run_pricing_chunk, good)
+            with pytest.raises(KeyError):
+                bad_future.result()
+            rows = good_future.result()
+        assert rows[0][0] == names[0]
