@@ -161,6 +161,56 @@ def bench_executor_comparison(workers: int = 4) -> dict:
     return results
 
 
+def bench_operator(steps: int = 168, rounds: int = 2) -> dict:
+    """Rolling-horizon operator throughput on the operate-fig06 scenario.
+
+    The plan stage runs once through the experiment runner; the replay is
+    then re-timed standalone (both policies over the same trace), reporting
+    steps/second, LPs solved and the warm-start hit rate of the incremental
+    dispatch path.
+    """
+    from repro.operator import OperateConfig, operate_plan
+
+    sweep = get_scenario("operate-fig06").build()
+    base = sweep.base.with_updates(**{"operate.steps": steps})
+    runner = ExperimentRunner()
+    point = runner.run_point(base)
+    plan = point.solution.plan
+    config = OperateConfig(**base.operate_knobs())
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        record = operate_plan(plan, config, total_capacity_kw=base.total_capacity_kw)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, record)
+    elapsed, record = best
+    replay_steps = 2 * steps  # forecast + oracle policies over the same trace
+    result = {
+        "steps": steps,
+        "num_sites": record["num_sites"],
+        "horizon_steps": record["horizon_steps"],
+        "replay_seconds": round(elapsed, 4),
+        "steps_per_second": round(replay_steps / elapsed, 1),
+        "lps_solved": record["forecast"]["lp_solves"] + record["oracle"]["lp_solves"],
+        "cold_loads": record["forecast"]["cold_loads"] + record["oracle"]["cold_loads"],
+        "warm_start_rate": round(record["warm_start_rate"], 4),
+        "simplex_iterations": record["forecast"]["simplex_iterations"]
+        + record["oracle"]["simplex_iterations"],
+        "regret_cost_pct": round(record["regret_cost_pct"], 3),
+        "forecast_cost_usd": round(record["forecast_cost_usd"], 2),
+        "oracle_cost_usd": round(record["oracle_cost_usd"], 2),
+    }
+    print(
+        f"operator {steps} steps x {record['num_sites']} sites: {elapsed:.3f}s "
+        f"({result['steps_per_second']:.0f} steps/s, {result['lps_solved']} LPs, "
+        f"{result['cold_loads']} cold loads, "
+        f"{100 * result['warm_start_rate']:.0f} % warm-started, "
+        f"regret {result['regret_cost_pct']:+.2f} %)"
+    )
+    return result
+
+
 def bench_sec5c(rounds: int = 3) -> dict:
     results = {}
     for scale in SCALES_MW:
@@ -227,6 +277,7 @@ def main() -> None:
         "sec3d_heuristic_scaling": bench_sec3d(),
         "sec5c_scheduler_timing_ms": bench_sec5c(),
         "parallel_executor_comparison": bench_executor_comparison(),
+        "operator_rolling_horizon": bench_operator(),
     }
     entry["harness_seconds"] = round(time.perf_counter() - started, 2)
 

@@ -20,6 +20,7 @@ from repro.analysis.figures import (
 )
 from repro.analysis.tables import (
     case_study_breakdown,
+    operator_regret_table,
     table2_good_locations,
     table3_no_storage_network,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "figure8_cost_vs_green",
     "figures",
     "format_table",
+    "operator_regret_table",
     "reporting",
     "series_to_rows",
     "table2_good_locations",

@@ -80,6 +80,34 @@ def case_study_breakdown(plan: NetworkPlan) -> List[Dict[str, object]]:
     return rows
 
 
+def operator_regret_table(results) -> List[Dict[str, object]]:
+    """Tidy regret rows of an ``operate`` scenario sweep.
+
+    ``results`` is the :class:`~repro.scenarios.results.ResultSet` of an
+    operate-workflow sweep (e.g. ``operate-forecast``); each row summarises
+    one point: the forecast configuration, the realized operating costs of
+    the forecast-driven and oracle policies, and the regret between them.
+    """
+    operated = results.filter(
+        lambda point: point.record.get("workflow") == "operate"
+        and bool(point.record.get("feasible"))
+    )
+    return operated.rows(
+        record_fields=(
+            "load_forecast",
+            "energy_forecast",
+            "forecast_error",
+            "forecast_cost_usd",
+            "oracle_cost_usd",
+            "regret_cost_usd",
+            "regret_cost_pct",
+            "regret_brown_kwh",
+            "sla_violation_steps",
+            "warm_start_rate",
+        )
+    )
+
+
 def network_summary_row(label: str, plan: Optional[NetworkPlan]) -> Dict[str, object]:
     """One summary row used by several benchmarks (cost, capacity, green %)."""
     if plan is None:

@@ -28,6 +28,14 @@ invocation and a registered scenario are the same thing underneath.
         python -m repro.cli sweep --spec my_scenario.json --set min_green_fraction=1.0
         python -m repro.cli sweep --scenario sec3d --executor process --workers 4
 
+``operate``
+    Replay an operating run of a provisioned plan — traffic synthesis,
+    rolling re-forecasts, incremental sliding-window dispatch, oracle-vs-
+    forecast regret (Section V at fleet scale)::
+
+        python -m repro.cli operate --scenario operate-fig06 --steps 168
+        python -m repro.cli operate --scenario operate-forecast --json
+
 ``cache``
     Inspect or clear the on-disk artifact cache::
 
@@ -137,6 +145,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"artifact-cache directory (default: {DEFAULT_CACHE_DIR})")
     sweep.add_argument("--no-cache", action="store_true", help="disable the artifact cache")
     sweep.add_argument("--json", action="store_true", help="print the ResultSet as JSON")
+
+    operate = subparsers.add_parser(
+        "operate", help="replay an operating run of a provisioned plan (rolling horizon)"
+    )
+    operate.add_argument("--scenario", default="operate-fig06",
+                         help="registered operate-* scenario name (default: operate-fig06)")
+    operate.add_argument("--spec", help="path to an operate-workflow ScenarioSpec JSON file")
+    operate.add_argument("--steps", type=int, default=None,
+                         help="operating steps to replay (overrides the scenario)")
+    operate.add_argument("--horizon", type=int, default=None,
+                         help="dispatch look-ahead window in hours")
+    operate.add_argument("--forecast-error", type=float, default=None,
+                         help="noisy-oracle forecast error level")
+    operate.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
+                         help="override a spec field (dotted paths reach operate knobs)")
+    operate.add_argument("--workers", type=int, default=None)
+    operate.add_argument("--executor", choices=EXECUTOR_KINDS, default="thread")
+    operate.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help=f"artifact-cache directory (default: {DEFAULT_CACHE_DIR})")
+    operate.add_argument("--no-cache", action="store_true", help="disable the artifact cache")
+    operate.add_argument("--json", action="store_true", help="print the ResultSet as JSON")
 
     cache = subparsers.add_parser("cache", help="inspect or clear the sweep artifact cache")
     cache.add_argument("action", choices=("info", "clear"),
@@ -371,6 +400,95 @@ def run_sweep(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def run_operate(args: argparse.Namespace, stream) -> int:
+    if args.spec:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                base = ScenarioSpec.from_json(handle.read())
+        except (OSError, ValueError, KeyError) as error:
+            _print([f"cannot load spec {args.spec!r}: {error}"], stream)
+            return 1
+        sweep = ParameterSweep(base=base)
+    else:
+        try:
+            sweep = get_scenario(args.scenario).build()
+        except KeyError as error:
+            _print([str(error.args[0])], stream)
+            return 1
+    overrides = {}
+    if args.steps is not None:
+        overrides["operate.steps"] = args.steps
+    if args.horizon is not None:
+        overrides["operate.horizon_hours"] = args.horizon
+    if args.forecast_error is not None:
+        overrides["operate.forecast_error"] = args.forecast_error
+    try:
+        overrides.update(_parse_assignments(args.set))
+        if overrides:
+            sweep = ParameterSweep(
+                base=sweep.base.with_updates(**overrides),
+                axes=sweep.axes,
+                mode=sweep.mode,
+                name=sweep.name,
+            )
+        sweep.points()
+    except (ValueError, KeyError) as error:
+        _print([f"invalid scenario override: {error}"], stream)
+        return 2
+    # Checked after --set overrides: `--set workflow=plan` must be rejected
+    # too, not just a non-operate --scenario.
+    if sweep.base.workflow != "operate":
+        _print([f"scenario {sweep.name!r} is not an operate-workflow scenario"], stream)
+        return 2
+
+    runner = ExperimentRunner(
+        cache_dir=None if args.no_cache else args.cache_dir,
+        workers=args.workers,
+        executor=args.executor,
+    )
+    results = runner.run(sweep)
+    if args.json:
+        _print([results.to_json()], stream)
+        return 0
+
+    exit_code = 0
+    for point in results:
+        record = point.record
+        if not record.get("feasible", False):
+            _print([f"no feasible plan to operate: {record.get('message', '')}"], stream)
+            exit_code = 1
+            continue
+        label = ", ".join(f"{k}={v}" for k, v in point.overrides.items()) or sweep.name
+        _print(
+            [
+                f"[{label}] operated {record['num_sites']} sites over "
+                f"{record['steps']} x {record['step_hours']:g} h steps "
+                f"(horizon {record['horizon_steps']} steps, "
+                f"{record['load_forecast']}/{record['energy_forecast']} forecasts)",
+                f"  forecast-driven cost : ${record['forecast_cost_usd']:,.2f}",
+                f"  oracle cost          : ${record['oracle_cost_usd']:,.2f}",
+                f"  regret               : ${record['regret_cost_usd']:,.2f} "
+                f"({record['regret_cost_pct']:+.2f} %)",
+                f"  green fraction       : {100 * record['forecast_green_fraction']:.1f} % "
+                f"(oracle {100 * record['oracle_green_fraction']:.1f} %)",
+                f"  SLA violation steps  : {record['sla_violation_steps']}",
+                f"  dispatch LPs         : {record['lp_solves']} solves, "
+                f"{record['cold_loads']} cold load(s), {record['slides']} in-place slides, "
+                f"{100 * record['warm_start_rate']:.0f} % warm-started",
+            ],
+            stream,
+        )
+    _print(
+        [
+            "",
+            f"scenario {sweep.name}: {len(results)} point(s) "
+            f"({results.computed} computed, {results.cache_hits} from cache)",
+        ],
+        stream,
+    )
+    return exit_code
+
+
 def run_cache(args: argparse.Namespace, stream) -> int:
     from repro.scenarios.runner import list_artifacts
 
@@ -404,6 +522,8 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
         return run_emulate(args, stream)
     if args.command == "sweep":
         return run_sweep(args, stream)
+    if args.command == "operate":
+        return run_operate(args, stream)
     if args.command == "cache":
         return run_cache(args, stream)
     raise AssertionError(f"unhandled command {args.command!r}")

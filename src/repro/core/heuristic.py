@@ -132,6 +132,14 @@ class SearchSettings:
     refine_tolerance: float = 0.002
     #: Cap on refinement rounds (each round solves one provisioning LP).
     refine_max_rounds: int = 6
+    #: Warm-start strategy of the incremental evaluator's structural moves:
+    #: ``"shape"`` restores the last optimal basis of any same-shape siting;
+    #: ``"site-block"`` transplants each leaving site's basis statuses onto
+    #: the entering site (the ROADMAP's per-site-block basis memory —
+    #: measured faster on swap-heavy mixes by
+    #: ``benchmarks/bench_basis_memory.py``, but "shape" stays the default
+    #: pending equal results on the full search trajectories).
+    basis_mode: str = "shape"
 
     def __post_init__(self) -> None:
         if self.keep_locations < 1:
@@ -152,6 +160,10 @@ class SearchSettings:
             raise ValueError("refine_tolerance cannot be negative")
         if self.refine_max_rounds < 1:
             raise ValueError("the refinement loop needs at least one round")
+        if self.basis_mode not in ("shape", "site-block"):
+            raise ValueError(
+                f"unknown basis mode {self.basis_mode!r}; expected 'shape' or 'site-block'"
+            )
         unknown = set(self.move_weights) - set(MOVES)
         if unknown:
             raise ValueError(f"unknown neighbour moves: {sorted(unknown)}")
@@ -504,7 +516,9 @@ class HeuristicSolver:
             self._sa_incremental = None
         elif self._sa_incremental is None:
             self._sa_incremental = IncrementalSitingEvaluator(
-                self._compiler, options=self.solver_options
+                self._compiler,
+                options=self.solver_options,
+                basis_mode=settings.basis_mode,
             )
         best_siting = self._initial_siting(candidates)
         best_result = self.evaluate(best_siting)

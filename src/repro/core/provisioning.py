@@ -1470,9 +1470,12 @@ class IncrementalSitingEvaluator:
         compiler: ProvisioningCompiler,
         enforce_spread: bool = True,
         options: Optional[SolverOptions] = None,
+        basis_mode: str = "shape",
     ) -> None:
         if not highs_backend.AVAILABLE:  # pragma: no cover - guarded by callers
             raise RuntimeError("the direct HiGHS backend is not available in this SciPy")
+        if basis_mode not in ("shape", "site-block"):
+            raise ValueError(f"unknown basis mode {basis_mode!r}; expected 'shape' or 'site-block'")
         problem = compiler.problem
         if problem.num_epochs < 2:
             raise ValueError("the incremental evaluator needs at least two epochs")
@@ -1501,6 +1504,12 @@ class IncrementalSitingEvaluator:
         #: transfers across location mixes far better than padding newly
         #: spliced columns nonbasic — structural moves restore the shape's
         #: stored (native) basis, pure value edits keep the carried basis.
+        #: ``basis_mode="site-block"`` instead transplants each *leaving*
+        #: site's statuses onto the entering site (the ROADMAP's per-site-
+        #: block basis-memory idea; measured by
+        #: ``benchmarks/bench_basis_memory.py`` — per-shape reuse wins on the
+        #: swap-heavy mixes, so it stays the default).
+        self.basis_mode = basis_mode
         self._shape_bases: Dict[Tuple[int, int], object] = {}
         self.solves = 0
 
@@ -1588,8 +1597,18 @@ class IncrementalSitingEvaluator:
     def _apply(self, siting: Mapping[str, str]) -> bool:
         """Mutate the model to ``siting``; True when sites were spliced."""
         removed = [i for i, (name, _) in enumerate(self._sites) if name not in siting]
+        captured_blocks: List[Tuple[np.ndarray, np.ndarray]] = []
         if removed:
             coupling, R, n = self._coupling, self._block_rows, self._num_vars
+            if self.basis_mode == "site-block":
+                # Remember the leaving blocks' statuses so an entering site
+                # can inherit them (site blocks are structurally identical).
+                for i in removed:
+                    captured = self._model.capture_block_status(
+                        i * n, (i + 1) * n, coupling + i * R, coupling + (i + 1) * R
+                    )
+                    if captured is not None:
+                        captured_blocks.append(captured)
             col_ranges = [np.arange(i * n, (i + 1) * n, dtype=np.int64) for i in removed]
             row_ranges = [
                 np.arange(coupling + i * R, coupling + (i + 1) * R, dtype=np.int64)
@@ -1618,11 +1637,19 @@ class IncrementalSitingEvaluator:
             self._sites[index] = (name, new_class)
         current = {name for name, _ in self._sites}
         added = False
+        appended_indices: List[int] = []
         for name, size_class in siting.items():
             if name not in current:
                 self._append_site(name, size_class)
                 self._sites.append((name, size_class))
+                appended_indices.append(len(self._sites) - 1)
                 added = True
+        if captured_blocks and appended_indices:
+            coupling, R, n = self._coupling, self._block_rows, self._num_vars
+            for captured, index in zip(captured_blocks, appended_indices):
+                self._model.overlay_block_status(
+                    index * n, captured[0], coupling + index * R, captured[1]
+                )
         # New blocks carry a zero floor placeholder and the floor value
         # itself depends on the site count, so floors must be reset whenever
         # a site was spliced in or out — including swaps, where the count is
@@ -1645,13 +1672,13 @@ class IncrementalSitingEvaluator:
             len(self._sites),
             sum(1 for _, size_class in self._sites if size_class == "small"),
         )
-        if structural:
+        if structural and self.basis_mode == "shape":
             stored = self._shape_bases.get(shape)
             if stored is not None:
                 self._model.restore_basis(stored)
         result = self._model.solve(self.options)
         self.solves += 1
-        if result.is_optimal:
+        if result.is_optimal and self.basis_mode == "shape":
             snapshot = self._model.basis_snapshot()
             if snapshot is not None:
                 self._shape_bases[shape] = snapshot

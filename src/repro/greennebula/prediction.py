@@ -4,8 +4,17 @@ Every hour the scheduler predicts the green energy production of each
 datacenter 48 hours into the future.  The paper assumes perfectly accurate
 predictions in its experiments (citing prior work showing such predictions
 are achievable); we default to the same, but the predictor also supports a
-multiplicative noise model so the test-suite can exercise the scheduler's
-robustness to forecast errors.
+multiplicative noise model so the test-suite and the emulation can exercise
+the scheduler's robustness to forecast errors.
+
+The predictor is built on the operations subsystem's forecaster family
+(:mod:`repro.operator.forecast`): noise factors are a pure function of
+``(seed, datacenter, absolute hour)`` via the same counter-based stream the
+replay harness uses.  Predictions therefore no longer depend on how many
+forecasts were issued before — two processes, or two interleavings of
+``predict`` calls, produce bit-identical forecasts for the same seed, which
+is what makes emulation runs reproducible across the ``serial``/``thread``/
+``process`` executors.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.greennebula.datacenter import GreenDatacenter
+from repro.operator.forecast import deterministic_noise
 
 
 @dataclass
@@ -30,27 +40,44 @@ class GreenEnergyPredictor:
         Standard deviation of multiplicative forecast noise (0 = perfect
         predictions, the paper's assumption).
     seed:
-        RNG seed for the noise.
+        Seed of the deterministic noise stream.
+    forecast_error:
+        Explicit forecast-error knob; when given it overrides ``noise_std``
+        (the two are the same quantity — this name matches the operations
+        subsystem's ``operate.forecast_error``).
     """
 
     horizon_hours: int = 48
     noise_std: float = 0.0
     seed: int = 0
+    forecast_error: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.horizon_hours <= 0:
             raise ValueError("the prediction horizon must be positive")
+        if self.forecast_error is not None:
+            self.noise_std = float(self.forecast_error)
         if self.noise_std < 0:
             raise ValueError("the noise level cannot be negative")
-        self._rng = np.random.default_rng(self.seed)
 
     def predict(self, datacenter: GreenDatacenter, hour_of_year: float) -> np.ndarray:
-        """Predicted green power (kW) for each hour of the window."""
+        """Predicted green power (kW) for each hour of the window.
+
+        The noise applied to a given (datacenter, absolute hour) pair is
+        always the same for a fixed seed, no matter when — or in which
+        process — the prediction is made.
+        """
         actual = datacenter.green_power_forecast_kw(hour_of_year, self.horizon_hours)
         if self.noise_std == 0.0:
             return actual
-        noise = self._rng.normal(1.0, self.noise_std, size=actual.shape)
-        return np.clip(actual * noise, 0.0, None)
+        start = int(hour_of_year)
+        factors = deterministic_noise(
+            self.seed,
+            datacenter.name,
+            start + np.arange(self.horizon_hours),
+            self.noise_std,
+        )
+        return np.clip(actual * factors, 0.0, None)
 
     def predict_all(self, datacenters, hour_of_year: float) -> dict:
         """Predictions for every datacenter, keyed by datacenter name."""

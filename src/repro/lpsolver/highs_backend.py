@@ -342,6 +342,43 @@ class MutableHighsModel:
         self._highs.changeCoeff(int(row), int(col), float(value))
 
     # -- basis transfer ----------------------------------------------------------
+    def capture_block_status(
+        self, col_start: int, col_stop: int, row_start: int, row_stop: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Int basis statuses of a column/row block, or None when cold.
+
+        Callers use this to remember the statuses of a block about to be
+        deleted (a leaving site, an expiring horizon step) so they can be
+        transplanted onto a structurally identical replacement block with
+        :meth:`overlay_block_status` — the "per-block basis memory" idea.
+        """
+        if not self._ensure_status_arrays():
+            return None
+        return (
+            self._col_status[col_start:col_stop].copy(),
+            self._row_status[row_start:row_stop].copy(),
+        )
+
+    def overlay_block_status(
+        self,
+        col_start: int,
+        col_status: np.ndarray,
+        row_start: int,
+        row_status: np.ndarray,
+    ) -> None:
+        """Overwrite the projected statuses of a block with captured ones.
+
+        The overlay usually makes the projected basis non-square (the
+        transplanted block brings its own basic columns), so it is installed
+        as an alien basis that HiGHS repairs — the point is preserving the
+        block-local structure of the basis, not its exact squareness.
+        """
+        if not self._ensure_status_arrays():
+            return
+        self._col_status[col_start : col_start + len(col_status)] = col_status
+        self._row_status[row_start : row_start + len(row_status)] = row_status
+        self._projection_dirty = True
+
     def basis_snapshot(self):
         """The native basis of the last optimal solve (None when cold)."""
         return self._basis_obj if not self._projection_dirty else None

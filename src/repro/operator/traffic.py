@@ -1,0 +1,280 @@
+"""Request-level traffic synthesis for the online operations subsystem.
+
+The siting study provisions a network for a fixed service size; *operating*
+it needs the hour-by-hour demand of that service.  This module synthesizes
+it from regional user populations: each :class:`Region` contributes a
+diurnal activity curve phased by its longitude (users are awake in their
+local daytime), a weekly shape (weekends are quieter), a seasonal swell and
+a small amount of deterministic noise.  On top of the smooth shape the model
+injects *flash crowds* (a region's demand spikes for a few hours) and
+*outages* (a region goes dark), drawn once per seed so a trace is fully
+reproducible — the same seed yields the same events and the same per-step
+demand in every process, which the replay-determinism tests rely on.
+
+The synthesized trace is expressed as utilization of the provisioned service
+(``demand_kw``), and :func:`repro.simulation.workload` helpers map it to VM
+fleet counts and migration state sizes — the units the dispatch LP's WAN
+budget and the migration-stall accounting are written in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.operator.forecast import deterministic_noise
+from repro.simulation.workload import VMSpec, fleet_counts
+
+HOURS_PER_DAY = 24.0
+HOURS_PER_WEEK = 168.0
+HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class Region:
+    """One regional user population feeding the service."""
+
+    name: str
+    longitude_deg: float          #: phases the diurnal curve (local solar time)
+    weight: float                 #: share of the global user base
+    diurnal_amplitude: float = 0.35
+    weekly_amplitude: float = 0.20
+    seasonal_amplitude: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("a region must carry positive weight")
+        for name in ("diurnal_amplitude", "weekly_amplitude", "seasonal_amplitude"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """A flash crowd (demand spike) or an outage (demand drop) in one region."""
+
+    kind: str                     #: ``"flash_crowd"`` or ``"outage"``
+    region: str
+    start_hour: float
+    duration_hours: float
+    magnitude: float              #: fractional demand added (crowd) or removed (outage)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("flash_crowd", "outage"):
+            raise ValueError(f"unknown traffic event kind {self.kind!r}")
+        if self.duration_hours <= 0:
+            raise ValueError("an event must last a positive number of hours")
+        if self.magnitude < 0:
+            raise ValueError("the event magnitude cannot be negative")
+
+    def factor(self, hour: np.ndarray) -> np.ndarray:
+        """Multiplicative demand factor of this event at the given hours."""
+        active = (hour >= self.start_hour) & (hour < self.start_hour + self.duration_hours)
+        if self.kind == "flash_crowd":
+            return np.where(active, 1.0 + self.magnitude, 1.0)
+        return np.where(active, max(0.0, 1.0 - self.magnitude), 1.0)
+
+
+def default_regions(count: int = 3) -> Tuple[Region, ...]:
+    """``count`` regions spread in longitude with geometrically decaying weight."""
+    if count < 1:
+        raise ValueError("at least one region is required")
+    names = ("americas", "emea", "apac", "oceania", "arctic", "atlantic")
+    regions = []
+    for index in range(count):
+        regions.append(
+            Region(
+                name=names[index % len(names)] if index < len(names) else f"region-{index}",
+                longitude_deg=-90.0 + index * (360.0 / count),
+                weight=0.5 ** index,
+            )
+        )
+    total = sum(region.weight for region in regions)
+    return tuple(
+        Region(
+            name=region.name,
+            longitude_deg=region.longitude_deg,
+            weight=region.weight / total,
+            diurnal_amplitude=region.diurnal_amplitude,
+            weekly_amplitude=region.weekly_amplitude,
+            seasonal_amplitude=region.seasonal_amplitude,
+        )
+        for region in regions
+    )
+
+
+@dataclass
+class TrafficTrace:
+    """A synthesized demand trace, epoch-aligned with the replay's steps."""
+
+    hours: np.ndarray             #: absolute hour of each step
+    demand_kw: np.ndarray         #: service demand per step (kW of fleet power)
+    utilization: np.ndarray       #: demand as a fraction of the provisioned service
+    events: List[TrafficEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.hours = np.asarray(self.hours, dtype=float)
+        self.demand_kw = np.asarray(self.demand_kw, dtype=float)
+        self.utilization = np.asarray(self.utilization, dtype=float)
+        if not (len(self.hours) == len(self.demand_kw) == len(self.utilization)):
+            raise ValueError("trace series must share one length")
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.hours)
+
+    def fleet_counts(self, spec: Optional[VMSpec] = None) -> np.ndarray:
+        """Per-step VM fleet size serving the demand (ceil of kW / VM power)."""
+        return fleet_counts(self.demand_kw, spec or VMSpec(name="template"))
+
+
+class TrafficModel:
+    """Synthesizes deterministic regional demand traces.
+
+    Parameters
+    ----------
+    regions:
+        The user populations; :func:`default_regions` when omitted.
+    seed:
+        Drives the event draw and the per-step noise.  Everything is a pure
+        function of ``(seed, step index)`` — no RNG state survives between
+        calls, so traces are identical across processes and call orders.
+    base_utilization / peak_utilization:
+        The smooth shape is scaled so its mean sits at ``base_utilization``
+        and its maximum at ``peak_utilization`` (of the provisioned service);
+        flash crowds can push individual steps above the peak, which is what
+        exercises the replay's unserved-demand (SLA) accounting.
+    noise_std:
+        Relative step noise (deterministic, see above).
+    flash_crowds_per_week / outages_per_week:
+        Expected event counts; the actual draw is Poisson per trace.
+    """
+
+    def __init__(
+        self,
+        regions: Optional[Sequence[Region]] = None,
+        seed: int = 0,
+        base_utilization: float = 0.55,
+        peak_utilization: float = 0.95,
+        noise_std: float = 0.02,
+        flash_crowds_per_week: float = 1.0,
+        outages_per_week: float = 0.5,
+    ) -> None:
+        self.regions = tuple(regions) if regions else default_regions()
+        if not 0.0 < base_utilization <= peak_utilization:
+            raise ValueError("need 0 < base_utilization <= peak_utilization")
+        if peak_utilization <= 0:
+            raise ValueError("the peak utilization must be positive")
+        if noise_std < 0 or flash_crowds_per_week < 0 or outages_per_week < 0:
+            raise ValueError("rates and noise levels cannot be negative")
+        self.seed = seed
+        self.base_utilization = base_utilization
+        self.peak_utilization = peak_utilization
+        self.noise_std = noise_std
+        self.flash_crowds_per_week = flash_crowds_per_week
+        self.outages_per_week = outages_per_week
+
+    # -- shape ----------------------------------------------------------------
+    def _regional_activity(self, region: Region, hours: np.ndarray) -> np.ndarray:
+        """Smooth activity curve of one region (positive, mean ~1)."""
+        local = hours + region.longitude_deg / 15.0
+        diurnal = 1.0 + region.diurnal_amplitude * np.sin(
+            2.0 * np.pi * (local - 9.0) / HOURS_PER_DAY
+        )
+        day_of_week = np.floor(hours / HOURS_PER_DAY) % 7.0
+        weekly = np.where(day_of_week >= 5.0, 1.0 - region.weekly_amplitude, 1.0)
+        seasonal = 1.0 + region.seasonal_amplitude * np.sin(
+            2.0 * np.pi * hours / HOURS_PER_YEAR
+        )
+        return diurnal * weekly * seasonal
+
+    def _draw_events(self, start_hour: float, duration_hours: float) -> List[TrafficEvent]:
+        """Poisson event draw, fixed once per (seed, window)."""
+        rng = np.random.default_rng([int(self.seed), 0xE7E27])
+        weeks = duration_hours / HOURS_PER_WEEK
+        events: List[TrafficEvent] = []
+        for kind, rate in (
+            ("flash_crowd", self.flash_crowds_per_week),
+            ("outage", self.outages_per_week),
+        ):
+            count = int(rng.poisson(rate * weeks))
+            for _ in range(count):
+                region = self.regions[int(rng.integers(len(self.regions)))]
+                events.append(
+                    TrafficEvent(
+                        kind=kind,
+                        region=region.name,
+                        start_hour=float(start_hour + rng.uniform(0.0, duration_hours)),
+                        duration_hours=float(rng.uniform(1.0, 6.0)),
+                        magnitude=float(
+                            rng.uniform(0.3, 0.9)
+                            if kind == "flash_crowd"
+                            else rng.uniform(0.5, 1.0)
+                        ),
+                    )
+                )
+        events.sort(key=lambda event: (event.start_hour, event.region, event.kind))
+        return events
+
+    # -- synthesis ------------------------------------------------------------
+    def synthesize(
+        self,
+        steps: int,
+        step_hours: float = 1.0,
+        start_hour: float = 0.0,
+        total_capacity_kw: float = 50_000.0,
+        reference_steps: Optional[int] = None,
+    ) -> TrafficTrace:
+        """A demand trace of ``steps`` steps for a service of the given size.
+
+        ``reference_steps`` fixes the window the shape normalisation and the
+        event draw are computed over (default: the whole trace).  The replay
+        harness passes its *operating* period here while requesting extra
+        steps for the forecast horizon, so the actuals of the operating
+        period do not change when the look-ahead horizon or re-forecast
+        cadence do — horizon sweeps then compare policies on literally the
+        same trace.
+        """
+        if steps < 1:
+            raise ValueError("a trace needs at least one step")
+        if step_hours <= 0 or total_capacity_kw <= 0:
+            raise ValueError("step duration and service size must be positive")
+        reference = steps if reference_steps is None else int(reference_steps)
+        if not 1 <= reference <= steps:
+            raise ValueError("reference_steps must lie in [1, steps]")
+        hours = start_hour + step_hours * np.arange(steps, dtype=float)
+        events = self._draw_events(start_hour, reference * step_hours)
+
+        shape = np.zeros(steps)
+        for region in self.regions:
+            activity = self._regional_activity(region, hours)
+            for event in events:
+                if event.region == region.name:
+                    activity = activity * event.factor(hours)
+            shape += region.weight * activity
+
+        # Normalise the *smooth* shape (events excluded) so base/peak land
+        # where asked; events then scale individual steps beyond the peak.
+        # Statistics come from the reference window only, so trailing
+        # horizon padding never shifts the operating period's demand.
+        smooth = np.zeros(steps)
+        for region in self.regions:
+            smooth += region.weight * self._regional_activity(region, hours)
+        mean = float(smooth[:reference].mean())
+        peak = float(smooth[:reference].max())
+        scale = min(
+            self.base_utilization / mean if mean > 0 else 1.0,
+            self.peak_utilization / peak if peak > 0 else 1.0,
+        )
+        noise = deterministic_noise(
+            self.seed, "traffic", np.arange(steps), self.noise_std
+        )
+        utilization = np.clip(shape * scale * noise, 0.0, None)
+        return TrafficTrace(
+            hours=hours,
+            demand_kw=utilization * total_capacity_kw,
+            utilization=utilization,
+            events=events,
+        )

@@ -11,7 +11,12 @@ Named paper scenarios live in :mod:`repro.scenarios.registry`.
 
 from repro.scenarios.results import PointResult, ResultSet
 from repro.scenarios.runner import ExperimentRunner, ParameterSweep, SweepPoint
-from repro.scenarios.spec import EMULATION_DEFAULTS, WORKFLOWS, ScenarioSpec
+from repro.scenarios.spec import (
+    EMULATION_DEFAULTS,
+    OPERATE_DEFAULTS,
+    WORKFLOWS,
+    ScenarioSpec,
+)
 from repro.scenarios.registry import (
     BENCH_SEARCH,
     GREEN_FRACTIONS,
@@ -31,6 +36,7 @@ __all__ = [
     "BENCH_SEARCH",
     "EMULATION_DEFAULTS",
     "ExperimentRunner",
+    "OPERATE_DEFAULTS",
     "GREEN_FRACTIONS",
     "MIGRATION_FACTORS",
     "ParameterSweep",

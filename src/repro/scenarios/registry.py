@@ -263,6 +263,99 @@ def _sec5c() -> ParameterSweep:
     return ParameterSweep(base=base, axes={"emulation.num_vms": (9, 18)}, name="sec5c")
 
 
+# -- online-operations scenarios -----------------------------------------------
+
+
+def _operate_base(**overrides) -> ScenarioSpec:
+    """Base operate scenario: the fig06-scale 50 MW / 50 % green network.
+
+    The plan stage reuses the benchmark search settings; the operating week
+    replays it hour by hour with persistence energy forecasts and a
+    seasonal-naive load forecast against the oracle baseline.
+    """
+    spec = bench_base(
+        name="operate",
+        workflow="operate",
+        storage="net_metering",
+        min_green_fraction=0.5,
+    )
+    return spec.with_updates(**overrides) if overrides else spec
+
+
+def _operate_fig06() -> ParameterSweep:
+    base = _operate_base(
+        name="operate-fig06",
+        operate={"steps": 168, "horizon_hours": 24},
+    )
+    return ParameterSweep(base=base, name="operate-fig06")
+
+
+def _operate_forecast() -> ParameterSweep:
+    """Forecast-error sensitivity: noisy-oracle forecasts at growing error."""
+    base = _operate_base(
+        name="operate-forecast",
+        operate={
+            "steps": 72,
+            "horizon_hours": 24,
+            "energy_forecast": "noisy-oracle",
+            "load_forecast": "noisy-oracle",
+        },
+    )
+    return ParameterSweep(
+        base=base,
+        axes={"operate.forecast_error": (0.0, 0.1, 0.3)},
+        name="operate-forecast",
+    )
+
+
+def _operate_policy() -> ParameterSweep:
+    """Forecaster-policy comparison at a fixed trace."""
+    base = _operate_base(
+        name="operate-policy",
+        operate={"steps": 72, "horizon_hours": 24, "forecast_error": 0.2},
+    )
+    return ParameterSweep(
+        base=base,
+        axes={
+            "operate.load_forecast": ("persistence", "seasonal-naive", "noisy-oracle"),
+            "operate.energy_forecast": ("persistence", "seasonal-naive", "noisy-oracle"),
+        },
+        mode="zip",
+        name="operate-policy",
+    )
+
+
+def _operate_smoke() -> ParameterSweep:
+    """Tiny rolling-horizon replay for CI (two points, shared plan stage)."""
+    base = ScenarioSpec(
+        name="operate-smoke",
+        workflow="operate",
+        num_locations=16,
+        catalog_seed=3,
+        days_per_season=1,
+        hours_per_epoch=6,
+        total_capacity_kw=20_000.0,
+        min_green_fraction=0.5,
+        search={
+            "keep_locations": 5,
+            "max_iterations": 4,
+            "patience": 4,
+            "num_chains": 1,
+            "seed": 3,
+            "max_datacenters": 3,
+        },
+        operate={
+            "steps": 24,
+            "horizon_hours": 8,
+            "energy_forecast": "noisy-oracle",
+            "load_forecast": "noisy-oracle",
+        },
+    )
+    return ParameterSweep(
+        base=base, axes={"operate.forecast_error": (0.0, 0.25)}, name="operate-smoke"
+    )
+
+
 def _smoke() -> ParameterSweep:
     base = ScenarioSpec(
         name="smoke",
@@ -299,3 +392,7 @@ register_scenario("sec5c", "scheduler timing across emulated fleet sizes", _sec5
 register_scenario("table2", "attributes of good brown / solar / wind locations", _table2)
 register_scenario("table3", "the 100 % green / no-storage network", _table3)
 register_scenario("smoke", "tiny end-to-end siting sweep for CI smoke runs", _smoke)
+register_scenario("operate-fig06", "week-long rolling-horizon replay of the 50 MW / 50 % green plan", _operate_fig06)
+register_scenario("operate-forecast", "operating regret vs forecast error (noisy-oracle sweep)", _operate_forecast)
+register_scenario("operate-policy", "operating regret across forecaster policies", _operate_policy)
+register_scenario("operate-smoke", "tiny rolling-horizon replay for CI smoke runs", _operate_smoke)

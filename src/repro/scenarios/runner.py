@@ -335,6 +335,8 @@ class ExperimentRunner:
             record, solution = self._run_single_site(spec)
         elif spec.workflow == "emulate":
             record, solution = self._run_emulate(spec)
+        elif spec.workflow == "operate":
+            record, solution = self._run_operate(spec)
         else:  # pragma: no cover - __post_init__ rejects unknown workflows
             raise ValueError(f"unknown workflow {spec.workflow!r}")
         result = PointResult(spec=spec, record=record, solution=solution)
@@ -453,6 +455,44 @@ class ExperimentRunner:
             },
         }
         return record, cloud
+
+    def _run_operate(self, spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
+        """Provision a plan with the heuristic, then replay an operating run.
+
+        The siting/provisioning stage goes through the same shared
+        problem/compiler caches as the ``plan`` workflow (operations knobs do
+        not change the problem signature), so operate points sweeping only
+        forecast or traffic knobs share compiled LP skeletons; the replay
+        itself is the :mod:`repro.operator` rolling-horizon harness, run once
+        under the forecast-driven policy and once under the oracle over the
+        same synthesized trace.
+        """
+        from repro.operator.replay import OperateConfig, operate_plan
+
+        tool = self.tool_for(spec)
+        problem, compiler = self._problem_for(spec, tool)
+        solver = HeuristicSolver(
+            problem,
+            settings=spec.build_search_settings(),
+            solver_options=tool.solver_options,
+            compiler=compiler,
+        )
+        solution = solver.solve()
+        record: Dict[str, Any] = {
+            "workflow": "operate",
+            "feasible": bool(solution.feasible),
+            "plan_monthly_cost": float(solution.monthly_cost),
+            "plan_evaluations": int(solution.evaluations),
+            "message": solution.message,
+        }
+        plan = solution.plan
+        if not solution.feasible or plan is None:
+            return record, solution
+        config = OperateConfig(**spec.operate_knobs())
+        record.update(
+            operate_plan(plan, config, total_capacity_kw=spec.total_capacity_kw)
+        )
+        return record, solution
 
     # -- shared construction caches -------------------------------------------
     def _catalog_for(self, spec: ScenarioSpec):

@@ -29,7 +29,7 @@ from repro.core.problem import EnergySources, GreenEnforcement, StorageMode
 from repro.energy.profiles import EpochGrid
 
 #: Workflows a spec can drive (which ``from_spec`` entry point consumes it).
-WORKFLOWS = ("plan", "single_site", "emulate")
+WORKFLOWS = ("plan", "single_site", "emulate", "operate")
 
 #: Bump when the semantics of a recorded artifact change, to invalidate
 #: on-disk caches written by older code.  Version 2 added the code
@@ -71,6 +71,24 @@ def code_fingerprint() -> Dict[str, str]:
 _SOURCES_VALUES = tuple(member.value for member in EnergySources)
 _STORAGE_VALUES = tuple(member.value for member in StorageMode)
 _ENFORCEMENT_VALUES = tuple(member.value for member in GreenEnforcement)
+
+def _operate_defaults() -> Dict[str, Any]:
+    """Default knobs of the ``operate`` workflow.
+
+    Derived from :class:`repro.operator.replay.OperateConfig` so the spec
+    layer and the replay harness can never drift apart; every default is a
+    JSON-serializable scalar.
+    """
+    import dataclasses
+
+    from repro.operator.replay import OperateConfig
+
+    return {f.name: f.default for f in dataclasses.fields(OperateConfig)}
+
+
+#: Default knobs of the ``operate`` workflow (rolling-horizon replay of a
+#: provisioned plan; see :mod:`repro.operator`).
+OPERATE_DEFAULTS: Dict[str, Any] = _operate_defaults()
 
 #: Default knobs of the ``emulate`` workflow (the paper's three-site,
 #: nine-VM, solar-heavy Section V deployment).
@@ -132,6 +150,9 @@ class ScenarioSpec:
     # -- emulation knobs (EMULATION_DEFAULTS keys) ----------------------------
     emulation: Dict[str, Any] = field(default_factory=dict)
 
+    # -- operations knobs (OPERATE_DEFAULTS keys; ``operate`` workflow) -------
+    operate: Dict[str, Any] = field(default_factory=dict)
+
     def __post_init__(self) -> None:
         if self.workflow not in WORKFLOWS:
             raise ValueError(f"unknown workflow {self.workflow!r}; expected one of {WORKFLOWS}")
@@ -153,6 +174,9 @@ class ScenarioSpec:
         unknown_emulation = set(self.emulation) - set(EMULATION_DEFAULTS)
         if unknown_emulation:
             raise ValueError(f"unknown emulation knobs: {sorted(unknown_emulation)}")
+        unknown_operate = set(self.operate) - set(OPERATE_DEFAULTS)
+        if unknown_operate:
+            raise ValueError(f"unknown operate knobs: {sorted(unknown_operate)}")
         if self.candidate_names is not None:
             object.__setattr__(self, "candidate_names", tuple(self.candidate_names))
         if "sites" in self.emulation:
@@ -182,6 +206,12 @@ class ScenarioSpec:
             knobs["initial_datacenter"] = knobs["sites"][-1]
         return knobs
 
+    def operate_knobs(self) -> Dict[str, Any]:
+        """Operations knobs with the subsystem defaults filled in."""
+        knobs = dict(OPERATE_DEFAULTS)
+        knobs.update(self.operate)
+        return knobs
+
     # -- updates --------------------------------------------------------------
     def with_updates(self, **changes: Any) -> "ScenarioSpec":
         """A copy of the spec with the given fields replaced.
@@ -200,7 +230,7 @@ class ScenarioSpec:
                 flat[key] = value
         spec_fields = {f.name for f in fields(self)}
         for parent, updates in nested.items():
-            if parent not in ("param_overrides", "search", "emulation"):
+            if parent not in ("param_overrides", "search", "emulation", "operate"):
                 raise KeyError(f"cannot apply dotted override to field {parent!r}")
             merged = dict(getattr(self, parent))
             merged.update(updates)
@@ -220,7 +250,7 @@ class ScenarioSpec:
         instead of once per source curve.
         """
         spec = self
-        if spec.workflow in ("plan", "single_site") and spec.min_green_fraction == 0.0:
+        if spec.workflow in ("plan", "single_site", "operate") and spec.min_green_fraction == 0.0:
             if spec.sources != EnergySources.NONE.value:
                 spec = replace(spec, sources=EnergySources.NONE.value)
         return spec
@@ -268,6 +298,11 @@ class ScenarioSpec:
         payload = self.canonical().to_dict()
         payload.pop("name")
         payload.pop("description")
+        if self.workflow != "operate":
+            # Operations knobs only exist for the operate workflow; dropping
+            # them here keeps every pre-operate content hash (and therefore
+            # every cached artifact) valid.
+            payload.pop("operate", None)
         search = {
             key: value
             for key, value in payload["search"].items()
@@ -290,7 +325,7 @@ class ScenarioSpec:
         signature — and therefore a compiled-skeleton cache in the runner.
         """
         payload = self.hash_payload()
-        for irrelevant in ("workflow", "search", "emulation"):
+        for irrelevant in ("workflow", "search", "emulation", "operate"):
             payload.pop(irrelevant, None)
         canonical_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical_json.encode("utf-8")).hexdigest()

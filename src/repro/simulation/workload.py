@@ -46,6 +46,16 @@ class VMSpec:
         """Baseline state moved by a live migration: the memory footprint."""
         return self.memory_mb
 
+    @property
+    def state_mb_per_kw(self) -> float:
+        """Migration state (MB) behind one kW of fleet power.
+
+        The operations subsystem plans load shifts in kW; this converts a
+        shifted power amount into the state a live migration actually moves,
+        which is what WAN budgets and transfer times are expressed in.
+        """
+        return self.migration_state_mb / self.power_kw
+
 
 class HPCWorkloadGenerator:
     """Generates fleets of batch VMs.
@@ -120,3 +130,31 @@ class HPCWorkloadGenerator:
             raise ValueError("the target power cannot be negative")
         count = int(round(target_power_kw / self.base_spec.power_kw))
         return self.homogeneous_fleet(count, prefix=prefix)
+
+
+def fleet_counts(demand_kw: np.ndarray, spec: VMSpec) -> np.ndarray:
+    """VM fleet sizes covering a power-demand series (one count per step).
+
+    The operations traffic layer synthesizes demand in kW; dispatch and
+    migration accounting need it as whole VMs of the given specification.
+    """
+    demand = np.asarray(demand_kw, dtype=float)
+    if np.any(demand < 0):
+        raise ValueError("demand cannot be negative")
+    return np.ceil(demand / spec.power_kw).astype(np.int64)
+
+
+def migration_state_mb(moved_kw: float, spec: VMSpec) -> float:
+    """State (MB) that live-migrating ``moved_kw`` of fleet power transfers."""
+    if moved_kw < 0:
+        raise ValueError("the moved power cannot be negative")
+    return moved_kw * spec.state_mb_per_kw
+
+
+def migration_transfer_hours(
+    moved_kw: float, spec: VMSpec, bandwidth_mb_per_hour: float
+) -> float:
+    """WAN time to move ``moved_kw`` of fleet power over one link."""
+    if bandwidth_mb_per_hour <= 0:
+        raise ValueError("the WAN bandwidth must be positive")
+    return migration_state_mb(moved_kw, spec) / bandwidth_mb_per_hour

@@ -110,6 +110,34 @@ class TestGreenEnergyPredictor:
         with pytest.raises(ValueError):
             GreenEnergyPredictor(noise_std=-0.1)
 
+    def test_noise_independent_of_call_order(self, three_dcs):
+        """Predictions are a pure function of (seed, datacenter, hour).
+
+        The stateful-RNG predictor gave different noise depending on how many
+        forecasts were issued before; the rebased one must not, so emulation
+        runs reproduce across processes and scheduler cadences.
+        """
+        direct = GreenEnergyPredictor(horizon_hours=24, noise_std=0.4, seed=3)
+        prediction = direct.predict(three_dcs[0], 12.0)
+        warmed = GreenEnergyPredictor(horizon_hours=24, noise_std=0.4, seed=3)
+        for hour in (0.0, 5.0, 48.0):  # unrelated earlier forecasts
+            warmed.predict_all(three_dcs, hour)
+        np.testing.assert_array_equal(warmed.predict(three_dcs[0], 12.0), prediction)
+
+    def test_overlapping_windows_share_noise(self, three_dcs):
+        """Re-forecasting an hour yields the same noisy value it had before."""
+        predictor = GreenEnergyPredictor(horizon_hours=24, noise_std=0.4, seed=3)
+        first = predictor.predict(three_dcs[0], 0.0)
+        shifted = predictor.predict(three_dcs[0], 6.0)
+        np.testing.assert_array_equal(shifted[:18], first[6:])
+
+    def test_forecast_error_knob_aliases_noise(self, three_dcs):
+        via_error = GreenEnergyPredictor(horizon_hours=12, forecast_error=0.3, seed=1)
+        via_std = GreenEnergyPredictor(horizon_hours=12, noise_std=0.3, seed=1)
+        np.testing.assert_array_equal(
+            via_error.predict(three_dcs[0], 3.0), via_std.predict(three_dcs[0], 3.0)
+        )
+
 
 class TestWANLinkAndRequests:
     def test_link_validation(self):

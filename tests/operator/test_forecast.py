@@ -1,0 +1,131 @@
+"""Forecaster family: kinds, determinism, rolling cadence."""
+
+import numpy as np
+import pytest
+
+from repro.operator.forecast import (
+    FORECASTER_KINDS,
+    NoisyOracleForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+    RollingForecast,
+    SeasonalNaiveForecaster,
+    deterministic_noise,
+    make_forecaster,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    hours = np.arange(200, dtype=float)
+    return 100.0 + 40.0 * np.sin(2 * np.pi * hours / 24.0)
+
+
+class TestDeterministicNoise:
+    def test_pure_function_of_seed_key_index(self):
+        a = deterministic_noise(7, "demand", np.array([5, 6, 7]), 0.2)
+        b = deterministic_noise(7, "demand", np.array([5, 6, 7]), 0.2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_independent_of_call_order_and_window(self):
+        # The factor at index 6 is the same whether asked alone, in a window
+        # starting at 5, or after unrelated draws — no RNG state leaks.
+        window = deterministic_noise(7, "demand", np.array([5, 6, 7]), 0.2)
+        deterministic_noise(7, "demand", np.arange(100), 0.2)
+        alone = deterministic_noise(7, "demand", np.array([6]), 0.2)
+        assert alone[0] == window[1]
+
+    def test_keys_and_seeds_decorrelate(self):
+        idx = np.arange(8)
+        assert not np.allclose(
+            deterministic_noise(7, "demand", idx, 0.2),
+            deterministic_noise(7, "site-a", idx, 0.2),
+        )
+        assert not np.allclose(
+            deterministic_noise(7, "demand", idx, 0.2),
+            deterministic_noise(8, "demand", idx, 0.2),
+        )
+
+    def test_zero_std_is_exact(self):
+        np.testing.assert_array_equal(
+            deterministic_noise(1, "x", np.arange(4), 0.0), np.ones(4)
+        )
+
+    def test_factors_clipped_nonnegative(self):
+        factors = deterministic_noise(3, "x", np.arange(500), 2.0)
+        assert np.all(factors >= 0.0)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            deterministic_noise(1, "x", np.arange(4), -0.1)
+
+
+class TestForecasterKinds:
+    def test_factory_covers_all_kinds(self):
+        for kind in FORECASTER_KINDS:
+            forecaster = make_forecaster(kind, key="demand", error=0.1, seed=2)
+            assert forecaster.kind == kind
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_forecaster("prophet")
+
+    def test_oracle_returns_truth(self, series):
+        predicted = OracleForecaster(key="demand").forecast(series, 10, 24)
+        np.testing.assert_array_equal(predicted, series[10:34])
+
+    def test_noisy_oracle_zero_error_equals_oracle(self, series):
+        noisy = NoisyOracleForecaster(key="demand", error=0.0, seed=1)
+        np.testing.assert_array_equal(noisy.forecast(series, 10, 24), series[10:34])
+
+    def test_noisy_oracle_perturbs_and_reproduces(self, series):
+        noisy = NoisyOracleForecaster(key="demand", error=0.3, seed=1)
+        first = noisy.forecast(series, 10, 24)
+        again = noisy.forecast(series, 10, 24)
+        np.testing.assert_array_equal(first, again)
+        assert not np.allclose(first, series[10:34])
+        assert np.all(first >= 0.0)
+
+    def test_persistence_repeats_now(self, series):
+        predicted = PersistenceForecaster(key="demand").forecast(series, 30, 12)
+        np.testing.assert_array_equal(predicted, np.full(12, series[30]))
+
+    def test_seasonal_naive_reads_previous_period(self, series):
+        forecaster = SeasonalNaiveForecaster(key="demand", period=24)
+        predicted = forecaster.forecast(series, 48, 24)
+        np.testing.assert_array_equal(predicted, series[24:48])
+
+    def test_seasonal_naive_never_reads_the_future(self, series):
+        # Even with a horizon longer than the period, every reference index
+        # must be <= now.
+        forecaster = SeasonalNaiveForecaster(key="demand", period=24)
+        predicted = forecaster.forecast(series, 30, 40)
+        for offset, value in enumerate(predicted):
+            assert value in series[: 31]
+
+    def test_seasonal_naive_start_of_series_falls_back(self, series):
+        forecaster = SeasonalNaiveForecaster(key="demand", period=24)
+        predicted = forecaster.forecast(series, 3, 6)
+        np.testing.assert_array_equal(predicted, np.full(6, series[3]))
+
+
+class TestRollingForecast:
+    def test_cadence_one_reissues_every_step(self, series):
+        rolling = RollingForecast(PersistenceForecaster(key="d"), horizon=6, cadence=1)
+        np.testing.assert_array_equal(rolling.window(series, 10), np.full(6, series[10]))
+        np.testing.assert_array_equal(rolling.window(series, 11), np.full(6, series[11]))
+
+    def test_cadence_holds_stale_forecast_between_issues(self, series):
+        rolling = RollingForecast(PersistenceForecaster(key="d"), horizon=6, cadence=4)
+        first = rolling.window(series, 8)
+        second = rolling.window(series, 9)  # same issue, shifted by one
+        np.testing.assert_array_equal(second, np.full(6, series[8]))
+        assert len(second) == len(first) == 6
+        reissued = rolling.window(series, 12)
+        np.testing.assert_array_equal(reissued, np.full(6, series[12]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingForecast(PersistenceForecaster(), horizon=0)
+        with pytest.raises(ValueError):
+            RollingForecast(PersistenceForecaster(), horizon=4, cadence=0)

@@ -1,0 +1,143 @@
+"""Traffic synthesis: determinism, shapes, events, fleet mapping."""
+
+import numpy as np
+import pytest
+
+from repro.operator.traffic import (
+    Region,
+    TrafficEvent,
+    TrafficModel,
+    default_regions,
+)
+from repro.simulation.workload import (
+    VMSpec,
+    fleet_counts,
+    migration_state_mb,
+    migration_transfer_hours,
+)
+
+
+class TestRegionsAndEvents:
+    def test_default_regions_weights_normalised(self):
+        regions = default_regions(4)
+        assert len(regions) == 4
+        assert sum(r.weight for r in regions) == pytest.approx(1.0)
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            Region(name="x", longitude_deg=0.0, weight=0.0)
+        with pytest.raises(ValueError):
+            Region(name="x", longitude_deg=0.0, weight=1.0, diurnal_amplitude=1.5)
+
+    def test_event_factors(self):
+        hours = np.arange(10, dtype=float)
+        crowd = TrafficEvent("flash_crowd", "emea", 2.0, 3.0, 0.5)
+        outage = TrafficEvent("outage", "emea", 2.0, 3.0, 1.0)
+        np.testing.assert_allclose(crowd.factor(hours)[2:5], 1.5)
+        np.testing.assert_allclose(crowd.factor(hours)[5:], 1.0)
+        np.testing.assert_allclose(outage.factor(hours)[2:5], 0.0)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            TrafficEvent("surge", "emea", 0.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            TrafficEvent("outage", "emea", 0.0, 0.0, 0.1)
+
+
+class TestTrafficModel:
+    def test_same_seed_same_trace(self):
+        a = TrafficModel(seed=9).synthesize(96, total_capacity_kw=10_000.0)
+        b = TrafficModel(seed=9).synthesize(96, total_capacity_kw=10_000.0)
+        np.testing.assert_array_equal(a.demand_kw, b.demand_kw)
+        assert a.events == b.events
+
+    def test_different_seed_different_trace(self):
+        a = TrafficModel(seed=9).synthesize(96, total_capacity_kw=10_000.0)
+        b = TrafficModel(seed=10).synthesize(96, total_capacity_kw=10_000.0)
+        assert not np.allclose(a.demand_kw, b.demand_kw)
+
+    def test_utilization_targets(self):
+        model = TrafficModel(
+            seed=1,
+            base_utilization=0.5,
+            peak_utilization=0.9,
+            noise_std=0.0,
+            flash_crowds_per_week=0.0,
+            outages_per_week=0.0,
+        )
+        trace = model.synthesize(336, total_capacity_kw=1000.0)
+        assert trace.utilization.mean() <= 0.5 + 1e-6
+        assert trace.utilization.max() <= 0.9 + 1e-6
+        assert trace.utilization.min() > 0.0
+
+    def test_diurnal_shape_moves_demand(self):
+        model = TrafficModel(
+            seed=1, noise_std=0.0, flash_crowds_per_week=0.0, outages_per_week=0.0
+        )
+        trace = model.synthesize(48, total_capacity_kw=1000.0)
+        assert trace.demand_kw.max() > 1.1 * trace.demand_kw.min()
+
+    def test_events_change_demand(self):
+        calm = TrafficModel(
+            seed=4, flash_crowds_per_week=0.0, outages_per_week=0.0
+        ).synthesize(168, total_capacity_kw=1000.0)
+        eventful = TrafficModel(
+            seed=4, flash_crowds_per_week=20.0, outages_per_week=10.0
+        ).synthesize(168, total_capacity_kw=1000.0)
+        assert eventful.events
+        assert not np.allclose(calm.demand_kw, eventful.demand_kw)
+
+    def test_reference_window_pins_operating_actuals(self):
+        # Horizon padding (extra trailing steps for the forecasters) must not
+        # change the operating period's demand: normalisation statistics and
+        # the event draw are computed over the reference window only.
+        model = TrafficModel(seed=6)
+        short = model.synthesize(168 + 24, reference_steps=168, total_capacity_kw=1000.0)
+        long = model.synthesize(168 + 48, reference_steps=168, total_capacity_kw=1000.0)
+        np.testing.assert_array_equal(short.demand_kw[:168], long.demand_kw[:168])
+        assert short.events == long.events
+
+    def test_reference_window_validation(self):
+        model = TrafficModel(seed=6)
+        with pytest.raises(ValueError):
+            model.synthesize(24, reference_steps=0)
+        with pytest.raises(ValueError):
+            model.synthesize(24, reference_steps=48)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficModel(base_utilization=0.0)
+        with pytest.raises(ValueError):
+            TrafficModel(base_utilization=0.9, peak_utilization=0.5)
+        model = TrafficModel(seed=1)
+        with pytest.raises(ValueError):
+            model.synthesize(0)
+        with pytest.raises(ValueError):
+            model.synthesize(10, total_capacity_kw=0.0)
+
+
+class TestFleetMapping:
+    def test_trace_fleet_counts(self):
+        trace = TrafficModel(seed=2).synthesize(24, total_capacity_kw=300.0)
+        counts = trace.fleet_counts()
+        spec = VMSpec(name="template")
+        assert counts.shape == (24,)
+        assert np.all(counts >= np.floor(trace.demand_kw / spec.power_kw))
+
+    def test_fleet_counts_ceil(self):
+        spec = VMSpec(name="x")  # 30 W per VM
+        np.testing.assert_array_equal(
+            fleet_counts(np.array([0.0, 0.03, 0.031]), spec), [0, 1, 2]
+        )
+        with pytest.raises(ValueError):
+            fleet_counts(np.array([-1.0]), spec)
+
+    def test_migration_state_and_transfer(self):
+        spec = VMSpec(name="x")  # 512 MB per 0.03 kW
+        state = migration_state_mb(0.03, spec)
+        assert state == pytest.approx(512.0)
+        assert migration_transfer_hours(0.03, spec, 512.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            migration_state_mb(-1.0, spec)
+        with pytest.raises(ValueError):
+            migration_transfer_hours(1.0, spec, 0.0)

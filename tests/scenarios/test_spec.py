@@ -199,7 +199,7 @@ class TestRegistry:
             points = sweep.points()
             assert points, name
             for point in points:
-                assert point.spec.workflow in ("plan", "single_site", "emulate")
+                assert point.spec.workflow in ("plan", "single_site", "emulate", "operate")
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(KeyError):
