@@ -211,6 +211,69 @@ def bench_operator(steps: int = 168, rounds: int = 2) -> dict:
     return result
 
 
+def bench_stochastic_ensemble(draws: int = 8, rounds: int = 2) -> dict:
+    """Joint stochastic-LP throughput and the full ensemble-report wall-clock.
+
+    Plans the robust-saa base deterministically once, then times (a) the
+    joint scenario LP (shared sizing, per-draw epoch blocks) across the
+    weather/demand ensemble and (b) the complete regret report (per-draw
+    fixed + clairvoyant solves).  Draws/second is the number the robustness
+    sweeps are bounded by.
+    """
+    from repro.core.provisioning import ProvisioningCompiler
+    from repro.robust import EnsembleConfig, ensemble_report, perturbed_problem, solve_ensemble_lp
+    from repro.robust.stochastic import plan_siting_and_sizing
+    from repro.scenarios import get_scenario
+
+    base = get_scenario("robust-saa").build().base.with_updates(ensemble={})
+    runner = ExperimentRunner()
+    point = runner.run_point(base)
+    plan = point.solution.plan
+    problem, _ = runner._problem_for(base, runner.tool_for(base))
+    siting, sizing = plan_siting_and_sizing(plan)
+    config = EnsembleConfig(draws=draws, mode="stochastic")
+
+    best_solve = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        compilers = [
+            ProvisioningCompiler(perturbed_problem(problem, config, draw))
+            for draw in range(draws)
+        ]
+        joint = solve_ensemble_lp(compilers, siting, options=runner.solver_options)
+        elapsed = time.perf_counter() - started
+        if best_solve is None or elapsed < best_solve[0]:
+            best_solve = (elapsed, joint)
+    solve_seconds, joint = best_solve
+
+    started = time.perf_counter()
+    report = ensemble_report(problem, siting, sizing, config, options=runner.solver_options)
+    report_seconds = time.perf_counter() - started
+
+    result = {
+        "draws": draws,
+        "num_sites": len(siting),
+        "num_cols": joint.num_cols,
+        "num_rows": joint.num_rows,
+        "simplex_iterations": joint.iterations,
+        "joint_lp_seconds": round(solve_seconds, 4),
+        "draws_per_second": round(draws / solve_seconds, 1),
+        "report_seconds": round(report_seconds, 4),
+        "expected_cost_musd": round(report["expected_cost"] / 1e6, 4),
+        "cvar_cost_musd": round(report["cvar_cost"] / 1e6, 4),
+        "regret_mean_pct": round(report["regret_mean_pct"], 3),
+        "stochastic_saving_pct": round(report["stochastic_saving_pct"], 3),
+    }
+    print(
+        f"stochastic ensemble {draws} draws x {result['num_sites']} sites: "
+        f"joint LP {result['num_cols']}x{result['num_rows']} in {solve_seconds:.3f}s "
+        f"({result['draws_per_second']:.1f} draws/s), report {report_seconds:.3f}s, "
+        f"regret {result['regret_mean_pct']:+.2f} %, "
+        f"stochastic saving {result['stochastic_saving_pct']:+.2f} %"
+    )
+    return result
+
+
 def bench_sec5c(rounds: int = 3) -> dict:
     results = {}
     for scale in SCALES_MW:
@@ -278,6 +341,7 @@ def main() -> None:
         "sec5c_scheduler_timing_ms": bench_sec5c(),
         "parallel_executor_comparison": bench_executor_comparison(),
         "operator_rolling_horizon": bench_operator(),
+        "stochastic_ensemble": bench_stochastic_ensemble(),
     }
     entry["harness_seconds"] = round(time.perf_counter() - started, 2)
 

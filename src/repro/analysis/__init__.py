@@ -20,7 +20,9 @@ from repro.analysis.figures import (
 )
 from repro.analysis.tables import (
     case_study_breakdown,
+    fragility_table,
     operator_regret_table,
+    robustness_table,
     table2_good_locations,
     table3_no_storage_network,
 )
@@ -38,8 +40,10 @@ __all__ = [
     "figure8_cost_vs_green",
     "figures",
     "format_table",
+    "fragility_table",
     "operator_regret_table",
     "reporting",
+    "robustness_table",
     "series_to_rows",
     "table2_good_locations",
     "table3_no_storage_network",

@@ -108,6 +108,50 @@ def operator_regret_table(results) -> List[Dict[str, object]]:
     )
 
 
+def robustness_table(results) -> List[Dict[str, object]]:
+    """Tidy ensemble-robustness rows of a sweep with ``ensemble`` blocks.
+
+    ``results`` is the :class:`~repro.scenarios.results.ResultSet` of any
+    plan/operate sweep whose specs carried a non-empty ``ensemble`` block;
+    each row summarises how one point's deterministic plan fares across the
+    ensemble — expected cost, the CVaR tail, and its regret against per-draw
+    clairvoyant sizing (plus the joint stochastic sizing when the mode asked
+    for it).
+    """
+    scored = results.filter(lambda point: "robustness" in point.record)
+    return scored.rows(
+        record_fields=(
+            "ensemble_expected_cost",
+            "ensemble_cvar_cost",
+            "ensemble_regret_mean",
+            "ensemble_regret_max",
+            "stochastic_expected_cost",
+            "stochastic_saving_pct",
+        )
+    )
+
+
+def fragility_table(results) -> List[Dict[str, object]]:
+    """Tidy fault-injection rows of an operate sweep with ``faults`` blocks.
+
+    Each row scores one point's faulted replay against its nominal replay:
+    cost blowup, unserved demand, SLA violations, and how hard the solver
+    resilience ladder (slide retry -> cold rebuild) had to work.
+    """
+    stressed = results.filter(lambda point: "stress" in point.record)
+    return stressed.rows(
+        record_fields=(
+            "stress_cost_usd",
+            "stress_cost_blowup_pct",
+            "stress_unserved_kwh",
+            "stress_sla_violation_steps",
+            "stress_slide_retries",
+            "stress_fallback_rebuilds",
+            "stress_blackout_steps",
+        )
+    )
+
+
 def network_summary_row(label: str, plan: Optional[NetworkPlan]) -> Dict[str, object]:
     """One summary row used by several benchmarks (cost, capacity, green %)."""
     if plan is None:

@@ -167,6 +167,29 @@ def build_parser() -> argparse.ArgumentParser:
     operate.add_argument("--no-cache", action="store_true", help="disable the artifact cache")
     operate.add_argument("--json", action="store_true", help="print the ResultSet as JSON")
 
+    stress = subparsers.add_parser(
+        "stress",
+        help="score a scenario against weather/demand ensembles and injected faults",
+    )
+    stress.add_argument("--scenario", default="robust-fig06",
+                        help="registered scenario with an ensemble and/or faults block "
+                             "(default: robust-fig06)")
+    stress.add_argument("--spec", help="path to a ScenarioSpec JSON file")
+    stress.add_argument("--draws", type=int, default=None,
+                        help="ensemble size (overrides the scenario's ensemble.draws)")
+    stress.add_argument("--alpha", type=float, default=None,
+                        help="CVaR tail level (overrides ensemble.alpha)")
+    stress.add_argument("--mode", choices=("saa", "stochastic"), default=None,
+                        help="ensemble mode (overrides ensemble.mode)")
+    stress.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
+                        help="override a spec field (dotted paths reach ensemble/faults knobs)")
+    stress.add_argument("--workers", type=int, default=None)
+    stress.add_argument("--executor", choices=EXECUTOR_KINDS, default="thread")
+    stress.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"artifact-cache directory (default: {DEFAULT_CACHE_DIR})")
+    stress.add_argument("--no-cache", action="store_true", help="disable the artifact cache")
+    stress.add_argument("--json", action="store_true", help="print the ResultSet as JSON")
+
     cache = subparsers.add_parser("cache", help="inspect or clear the sweep artifact cache")
     cache.add_argument("action", choices=("info", "clear"),
                        help="info: show the cache location and size; clear: delete stored points")
@@ -489,6 +512,118 @@ def run_operate(args: argparse.Namespace, stream) -> int:
     return exit_code
 
 
+def run_stress(args: argparse.Namespace, stream) -> int:
+    if args.spec:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                base = ScenarioSpec.from_json(handle.read())
+        except (OSError, ValueError, KeyError) as error:
+            _print([f"cannot load spec {args.spec!r}: {error}"], stream)
+            return 1
+        sweep = ParameterSweep(base=base)
+    else:
+        try:
+            sweep = get_scenario(args.scenario).build()
+        except KeyError as error:
+            _print([str(error.args[0])], stream)
+            return 1
+    overrides = {}
+    if args.draws is not None:
+        overrides["ensemble.draws"] = args.draws
+    if args.alpha is not None:
+        overrides["ensemble.alpha"] = args.alpha
+    if args.mode is not None:
+        overrides["ensemble.mode"] = args.mode
+    try:
+        overrides.update(_parse_assignments(args.set))
+        if overrides:
+            sweep = ParameterSweep(
+                base=sweep.base.with_updates(**overrides),
+                axes=sweep.axes,
+                mode=sweep.mode,
+                name=sweep.name,
+            )
+        sweep.points()
+    except (ValueError, KeyError) as error:
+        _print([f"invalid scenario override: {error}"], stream)
+        return 2
+    if not sweep.base.ensemble and not sweep.base.faults:
+        _print(
+            [
+                f"scenario {sweep.name!r} has neither an ensemble nor a faults block; "
+                "nothing to stress (set ensemble.draws or faults.* via --set)"
+            ],
+            stream,
+        )
+        return 2
+
+    runner = ExperimentRunner(
+        cache_dir=None if args.no_cache else args.cache_dir,
+        workers=args.workers,
+        executor=args.executor,
+    )
+    results = runner.run(sweep)
+    if args.json:
+        _print([results.to_json()], stream)
+        return 0
+
+    exit_code = 0
+    for point in results:
+        record = point.record
+        if not record.get("feasible", True):
+            _print([f"no feasible plan to stress: {record.get('message', '')}"], stream)
+            exit_code = 1
+            continue
+        label = ", ".join(f"{k}={v}" for k, v in point.overrides.items()) or sweep.name
+        lines = [f"[{label}] workflow {record.get('workflow', '?')}"]
+        robustness = record.get("robustness")
+        if robustness:
+            lines += [
+                f"  ensemble             : {robustness['draws']} draws, "
+                f"mode {robustness['mode']}, seed {robustness['seed']}",
+                f"  expected cost        : ${robustness['expected_cost']:,.2f} / month",
+                f"  CVaR@{robustness['alpha']:.2f}            : "
+                f"${robustness['cvar_cost']:,.2f} / month",
+                f"  plan regret          : ${robustness['regret_mean']:,.2f} mean, "
+                f"${robustness['regret_max']:,.2f} worst draw "
+                f"({robustness['regret_mean_pct']:+.2f} % mean)",
+                f"  draws with unserved  : {robustness['draws_with_unserved']} "
+                f"of {robustness['draws']}",
+            ]
+            if "stochastic_expected_cost" in robustness:
+                lines.append(
+                    f"  stochastic sizing    : "
+                    f"${robustness['stochastic_expected_cost']:,.2f} expected "
+                    f"({robustness['stochastic_saving_pct']:+.2f} % vs deterministic plan)"
+                )
+        stress_block = record.get("stress")
+        if stress_block:
+            fragility_score = stress_block["fragility"]
+            lines += [
+                f"  faulted replay cost  : ${fragility_score['cost_usd']:,.2f} "
+                f"({fragility_score['cost_blowup_pct']:+.2f} % vs nominal)",
+                f"  unserved demand      : {fragility_score['unserved_kwh']:,.1f} kWh "
+                f"(+{fragility_score['unserved_delta_kwh']:,.1f} vs nominal)",
+                f"  SLA violation steps  : {fragility_score['sla_violation_steps']} "
+                f"(+{fragility_score['sla_delta_steps']} vs nominal)",
+                f"  solver resilience    : {fragility_score['slide_retries']} retries, "
+                f"{fragility_score['fallback_rebuilds']} cold-rebuild fallbacks, "
+                f"{fragility_score['forecast_blackout_steps']} blackout steps",
+            ]
+        if len(lines) == 1:
+            lines.append("  (no robustness data on this record)")
+        _print(lines, stream)
+    _print(
+        [
+            "",
+            f"scenario {sweep.name}: {len(results)} point(s) "
+            f"({results.computed} computed, {results.cache_hits} from cache)",
+        ],
+        stream,
+    )
+    return exit_code
+
+
 def run_cache(args: argparse.Namespace, stream) -> int:
     from repro.scenarios.runner import list_artifacts
 
@@ -524,6 +659,8 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
         return run_sweep(args, stream)
     if args.command == "operate":
         return run_operate(args, stream)
+    if args.command == "stress":
+        return run_stress(args, stream)
     if args.command == "cache":
         return run_cache(args, stream)
     raise AssertionError(f"unhandled command {args.command!r}")

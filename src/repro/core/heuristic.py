@@ -61,7 +61,11 @@ from repro.core.solution import NetworkPlan
 from repro.lpsolver import SolverOptions
 from repro.lpsolver.highs_backend import AVAILABLE as _HIGHS_DIRECT_AVAILABLE
 from repro.lpsolver.highs_backend import HighsSolveContext
-from repro.parallel.executors import EXECUTOR_KINDS, ExecutorFactory
+from repro.parallel.executors import (
+    EXECUTOR_KINDS,
+    ExecutorFactory,
+    result_with_serial_fallback,
+)
 from repro.parallel.work import (
     ChainTask,
     PricingChunkTask,
@@ -389,7 +393,9 @@ class HeuristicSolver:
         by_name = self.problem.profile_map()
         scored: List[Tuple[float, str, float]] = []
         with factory.create(len(tasks)) as pool:
-            for rows in pool.map(run_pricing_chunk, tasks):
+            futures = [pool.submit(run_pricing_chunk, task) for task in tasks]
+            for future, task in zip(futures, tasks):
+                rows = result_with_serial_fallback(future, run_pricing_chunk, task)
                 for name, cost, feasible in rows:
                     if feasible:
                         longitude = by_name[name].location.point.longitude
@@ -753,7 +759,10 @@ class HeuristicSolver:
         ]
         with factory.create(len(tasks)) as pool:
             futures = [pool.submit(run_chain_task, task) for task in tasks]
-            return [future.result() for future in futures]
+            return [
+                result_with_serial_fallback(future, run_chain_task, task)
+                for future, task in zip(futures, tasks)
+            ]
 
     def _run_chain(
         self,

@@ -27,7 +27,7 @@ from repro.energy.profiles import LocationProfile
 from repro.lpsolver import SolverOptions
 from repro.lpsolver.highs_backend import AVAILABLE as _HIGHS_DIRECT_AVAILABLE
 from repro.lpsolver.highs_backend import HighsSolveContext
-from repro.parallel.executors import ExecutorFactory
+from repro.parallel.executors import ExecutorFactory, result_with_serial_fallback
 
 
 def scoring_parameters(
@@ -281,7 +281,9 @@ class SingleSiteAnalyzer:
         by_name = {profile.name: profile for profile in profiles}
         costs: List[SingleSiteCost] = []
         with factory.create(len(tasks)) as pool:
-            for rows in pool.map(run_pricing_chunk, tasks):
+            futures = [pool.submit(run_pricing_chunk, task) for task in tasks]
+            for future, task in zip(futures, tasks):
+                rows = result_with_serial_fallback(future, run_pricing_chunk, task)
                 for name, cost, feasible in rows:
                     costs.append(
                         SingleSiteCost(

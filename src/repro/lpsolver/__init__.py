@@ -60,7 +60,7 @@ from repro.lpsolver.expressions import (
 )
 from repro.lpsolver.highs_backend import HighsSolveContext
 from repro.lpsolver.model import CompiledModel, Model, ModelError, RowFormLP
-from repro.lpsolver.result import SolveResult, SolveStatus
+from repro.lpsolver.result import SolveResult, SolveStatus, SolverStatusError
 from repro.lpsolver.solvers import SolverOptions, solve_model
 
 __all__ = [
@@ -76,6 +76,7 @@ __all__ = [
     "SolveResult",
     "SolveStatus",
     "SolverOptions",
+    "SolverStatusError",
     "Variable",
     "VariableKind",
     "solve_model",

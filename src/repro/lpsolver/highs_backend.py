@@ -45,7 +45,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.lpsolver.model import RowFormLP
-from repro.lpsolver.result import SolveResult, SolveStatus
+from repro.lpsolver.result import SolveResult, SolveStatus, SolverStatusError  # noqa: F401
 
 try:  # pragma: no cover - exercised implicitly by every solve
     import scipy.optimize._highspy._core as _core
@@ -134,11 +134,18 @@ def solve_row_form(
     row_form: RowFormLP,
     options: "SolverOptions",
     context: Optional[HighsSolveContext] = None,
+    check: bool = False,
 ) -> SolveResult:
     """Solve a continuous LP in row form with HiGHS directly.
 
     Integrality declarations are ignored (callers route MILPs to
     ``scipy.optimize.milp``; the heuristic deliberately solves relaxations).
+
+    With ``check=True`` a non-optimal status raises
+    :class:`~repro.lpsolver.result.SolverStatusError` instead of returning a
+    ``nan`` objective — for callers that cannot tolerate silently acting on a
+    failed solve.  The siting search keeps ``check=False``: infeasible
+    candidate sitings are a legitimate outcome there, not an error.
     """
     highs = context._highs if context is not None else _core._Highs()
     if context is None:
@@ -172,7 +179,7 @@ def solve_row_form(
     else:
         x = None
         objective = float("nan")
-    return SolveResult(
+    result = SolveResult(
         status=status,
         objective=objective,
         message=message,
@@ -180,6 +187,7 @@ def solve_row_form(
         iterations=iterations,
         x=x,
     )
+    return result.raise_for_status() if check else result
 
 
 class MutableHighsModel:
@@ -399,6 +407,22 @@ class MutableHighsModel:
             self._col_status = None
             self._row_status = None
 
+    def clear_basis(self) -> None:
+        """Drop every carried basis so the next solve starts cold.
+
+        The resilience ladder uses this between a failed warm solve and its
+        retry: a corrupted or badly-repaired alien basis is the most likely
+        culprit for a spurious non-optimal status, and clearing it is far
+        cheaper than rebuilding the whole model.
+        """
+        self._basis_obj = None
+        self._projection_dirty = False
+        self._col_status = None
+        self._row_status = None
+        clear = getattr(self._highs, "clearSolver", None)
+        if clear is not None:
+            clear()
+
     # -- solving ----------------------------------------------------------------
     def install_basis(self) -> None:
         """Install the carried basis: native when clean, projected when edited.
@@ -433,8 +457,13 @@ class MutableHighsModel:
         basis.alien = basic_total != self.num_rows
         self._highs.setBasis(basis)
 
-    def solve(self, options: "SolverOptions") -> SolveResult:
-        """Solve the currently loaded model, warm-starting when possible."""
+    def solve(self, options: "SolverOptions", check: bool = False) -> SolveResult:
+        """Solve the currently loaded model, warm-starting when possible.
+
+        With ``check=True`` a non-optimal status raises
+        :class:`~repro.lpsolver.result.SolverStatusError` (status, message and
+        iteration count attached) instead of handing back a ``nan`` objective.
+        """
         self._highs.setOptionValue("presolve", "choose" if options.presolve else "off")
         self._highs.setOptionValue(
             "time_limit",
@@ -456,7 +485,7 @@ class MutableHighsModel:
         else:
             x = None
             objective = float("nan")
-        return SolveResult(
+        result = SolveResult(
             status=status,
             objective=objective,
             message=message,
@@ -464,3 +493,4 @@ class MutableHighsModel:
             iterations=iterations,
             x=x,
         )
+        return result.raise_for_status() if check else result

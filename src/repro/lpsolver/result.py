@@ -20,6 +20,34 @@ class SolveStatus(enum.Enum):
     ERROR = "error"
 
 
+class SolverStatusError(RuntimeError):
+    """A solve that had to be optimal was not.
+
+    Carries the backend's status classification and counters so callers that
+    must never act on a ``nan`` objective (the incremental dispatcher, the
+    stochastic-ensemble LP) can distinguish an infeasible model from an
+    iteration limit or a backend error and react accordingly — retry, cold
+    rebuild, or surface the failure with full context.
+    """
+
+    def __init__(
+        self,
+        status: "SolveStatus",
+        message: str = "",
+        solver: str = "",
+        iterations: int = 0,
+    ) -> None:
+        detail = f" ({message})" if message else ""
+        super().__init__(
+            f"solver returned status {status.value}{detail} "
+            f"[solver={solver or 'unknown'}, iterations={iterations}]"
+        )
+        self.status = status
+        self.solver_message = message
+        self.solver = solver
+        self.iterations = iterations
+
+
 class SolveResult:
     """The outcome of solving a :class:`~repro.lpsolver.model.Model`.
 
@@ -78,6 +106,17 @@ class SolveResult:
     @property
     def is_optimal(self) -> bool:
         return self.status is SolveStatus.OPTIMAL
+
+    def raise_for_status(self) -> "SolveResult":
+        """Return self when optimal, raise :class:`SolverStatusError` otherwise."""
+        if self.status is not SolveStatus.OPTIMAL:
+            raise SolverStatusError(
+                self.status,
+                message=self.message,
+                solver=self.solver,
+                iterations=self.iterations,
+            )
+        return self
 
     def value(self, item: Variable | LinearExpression) -> float:
         """Value of a variable or linear expression at the optimum."""

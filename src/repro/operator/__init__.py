@@ -22,6 +22,13 @@ from repro.operator.dispatch import (
     RollingDispatcher,
     SiteAsset,
 )
+from repro.operator.faults import (
+    DemandSurge,
+    FaultSpec,
+    ForecastBlackout,
+    SiteOutage,
+    WanDegradation,
+)
 from repro.operator.forecast import (
     FORECASTER_KINDS,
     Forecaster,
@@ -38,6 +45,7 @@ from repro.operator.replay import (
     OperateConfig,
     ReplayHarness,
     ReplayResult,
+    fragility,
     operate_plan,
     regret,
     sites_from_plan,
@@ -51,11 +59,14 @@ from repro.operator.traffic import (
 )
 
 __all__ = [
+    "DemandSurge",
     "DispatchConfig",
     "DispatchDecision",
     "DispatchError",
     "FORECASTER_KINDS",
+    "FaultSpec",
     "Forecaster",
+    "ForecastBlackout",
     "NoisyOracleForecaster",
     "OperateConfig",
     "OracleForecaster",
@@ -68,11 +79,14 @@ __all__ = [
     "RollingForecast",
     "SeasonalNaiveForecaster",
     "SiteAsset",
+    "SiteOutage",
     "TrafficEvent",
     "TrafficModel",
     "TrafficTrace",
+    "WanDegradation",
     "default_regions",
     "deterministic_noise",
+    "fragility",
     "make_forecaster",
     "operate_plan",
     "regret",

@@ -206,13 +206,34 @@ class RollingDispatcher:
         self._level_kwh: Optional[np.ndarray] = None
         self._demand_hat: Optional[np.ndarray] = None
         self._production_hat: Optional[np.ndarray] = None
+        # Realized first-step state under faults: per-site capacity actually
+        # available right now (outages) and the WAN budget fraction in effect.
+        # Future window steps always assume nominal conditions — faults are
+        # unanticipated, the operator only observes them as they happen.
+        self._capacity_nominal = np.array([site.capacity_kw for site in self.sites])
+        self._capacity_now = self._capacity_nominal.copy()
+        self._wan_factor = 1.0
+        self._restore_first_step = False
+        self._fault_steps: frozenset = frozenset()
         self.stats: Dict[str, int] = {
             "lp_solves": 0,
             "cold_loads": 0,
             "slides": 0,
             "warm_solves": 0,
             "simplex_iterations": 0,
+            "slide_retries": 0,
+            "fallback_rebuilds": 0,
         }
+
+    def inject_solve_failures(self, steps) -> None:
+        """Treat the warm solve at these window start steps as failed.
+
+        Chaos-engineering hook: the listed steps skip the in-place warm solve
+        and its basis-cleared retry, forcing the slide -> cold-rebuild
+        fallback ladder so replays can verify graceful degradation (counters
+        increment, objectives stay identical to the cold oracle).
+        """
+        self._fault_steps = frozenset(int(step) for step in steps)
 
     # -- column/row block construction -----------------------------------------
     def _col(self, base: int, site: int, var: int) -> int:
@@ -382,6 +403,10 @@ class RollingDispatcher:
         order = np.argsort(cols * np.int64(nrows) + rows, kind="stable")
         indptr = np.zeros(ncols + 1, dtype=np.int64)
         np.cumsum(np.bincount(cols, minlength=ncols), out=indptr[1:])
+        lower = np.concatenate(lower_parts)
+        upper = np.concatenate(upper_parts)
+        if self._faulted:
+            self._override_first_step(row_lower, row_upper, upper)
         return RowFormLP(
             cost=np.concatenate(cost_parts),
             a_indptr=indptr.astype(np.int32),
@@ -390,12 +415,47 @@ class RollingDispatcher:
             shape=(nrows, ncols),
             row_lower=row_lower,
             row_upper=row_upper,
-            lower=np.concatenate(lower_parts),
-            upper=np.concatenate(upper_parts),
+            lower=lower,
+            upper=upper,
             integrality=np.zeros(ncols, dtype=np.int64),
             maximise=False,
             objective_constant=0.0,
         )
+
+    @property
+    def _faulted(self) -> bool:
+        """Is the realized first step operating off-nominal right now?"""
+        return self._wan_factor < 1.0 or bool(
+            np.any(self._capacity_now < self._capacity_nominal)
+        )
+
+    def _wan_upper(self) -> float:
+        """Effective WAN cap of the realized step under the current factor."""
+        budget = self.config.wan_move_kw
+        if self._wan_factor >= 1.0:
+            return budget if budget is not None else np.inf
+        # A degradation with no configured budget scales an implicit budget
+        # of the fleet's total IT capacity, so the fault still bites.
+        if budget is None:
+            budget = float(self._capacity_nominal.sum())
+        return budget * self._wan_factor
+
+    def _override_first_step(
+        self, row_lower: np.ndarray, row_upper: np.ndarray, upper: np.ndarray
+    ) -> None:
+        """Impose the realized (faulted) state on the window's first step.
+
+        Compute is capped at the capacity actually available, the capacity
+        row follows, and load stranded above the cap is released from the
+        migration anchor (it crashed with the site — charging it as WAN
+        migration would make a hard outage infeasible).
+        """
+        for d in range(self._N):
+            cap = float(self._capacity_now[d])
+            upper[1 + 8 * d + _C] = cap
+            row_upper[2 + 5 * d] = cap
+            row_lower[2 + 5 * d + 1] = min(float(self._load_kw[d]), cap)
+        row_upper[1] = self._wan_upper()
 
     def _solve_cold_row_form(self, row_form: RowFormLP):
         """Solve a window row form cold (HiGHS direct, else linprog)."""
@@ -411,6 +471,8 @@ class RollingDispatcher:
         level_kwh: np.ndarray,
         demand_hat: np.ndarray,
         production_hat: np.ndarray,
+        capacity_now: Optional[np.ndarray] = None,
+        wan_factor: float = 1.0,
     ) -> None:
         load_kw = np.asarray(load_kw, dtype=float)
         level_kwh = np.asarray(level_kwh, dtype=float)
@@ -420,6 +482,16 @@ class RollingDispatcher:
             raise ValueError("anchors must carry one value per site")
         if demand_hat.shape != (self._H,) or production_hat.shape != (self._N, self._H):
             raise ValueError("forecast windows must cover exactly the horizon")
+        if capacity_now is None:
+            self._capacity_now = self._capacity_nominal.copy()
+        else:
+            capacity_now = np.asarray(capacity_now, dtype=float)
+            if capacity_now.shape != (self._N,):
+                raise ValueError("capacity_now must carry one value per site")
+            self._capacity_now = np.minimum(capacity_now, self._capacity_nominal)
+        if not 0.0 <= wan_factor <= 1.0:
+            raise ValueError("the WAN degradation factor must lie in [0, 1]")
+        self._wan_factor = float(wan_factor)
         self._start_step = start_step
         self._load_kw = load_kw
         self._level_kwh = level_kwh
@@ -433,12 +505,18 @@ class RollingDispatcher:
         level_kwh: np.ndarray,
         demand_hat: np.ndarray,
         production_hat: np.ndarray,
+        capacity_now: Optional[np.ndarray] = None,
+        wan_factor: float = 1.0,
     ) -> DispatchDecision:
         """Cold-load the first window and solve it."""
-        self._set_window(start_step, load_kw, level_kwh, demand_hat, production_hat)
+        self._set_window(
+            start_step, load_kw, level_kwh, demand_hat, production_hat,
+            capacity_now=capacity_now, wan_factor=wan_factor,
+        )
         if self.incremental:
             row_form = self._build_row_form()
             self._model.load(row_form)
+            self._restore_first_step = self._faulted
         self.stats["cold_loads"] += 1
         return self._solve()
 
@@ -448,12 +526,15 @@ class RollingDispatcher:
         level_kwh: np.ndarray,
         demand_hat: np.ndarray,
         production_hat: np.ndarray,
+        capacity_now: Optional[np.ndarray] = None,
+        wan_factor: float = 1.0,
     ) -> DispatchDecision:
         """Slide the window one step forward, re-anchor, refresh, solve."""
         if self._start_step is None:
             raise RuntimeError("advance() before start()")
         self._set_window(
-            self._start_step + 1, load_kw, level_kwh, demand_hat, production_hat
+            self._start_step + 1, load_kw, level_kwh, demand_hat, production_hat,
+            capacity_now=capacity_now, wan_factor=wan_factor,
         )
         if not self.incremental:
             self.stats["cold_loads"] += 1
@@ -469,10 +550,14 @@ class RollingDispatcher:
         # 1. drop the expiring step (its coupling coefficients go with it).
         model.delete_cols(np.arange(self._ncols_step, dtype=np.int64))
         model.delete_rows(np.arange(self._nrows_step, dtype=np.int64))
-        # 2. re-anchor the (new) first step to the realized state.
+        # 2. re-anchor the (new) first step to the realized state.  Load
+        #    stranded above the currently available capacity (a site outage)
+        #    is released from the migration anchor — it crashed with the
+        #    site, so it re-enters through the demand row instead.
         for d in range(self._N):
             mig_row = 2 + 5 * d + 1
-            model.change_row_bounds(mig_row, float(self._load_kw[d]), np.inf)
+            anchor_kw = min(float(self._load_kw[d]), float(self._capacity_now[d]))
+            model.change_row_bounds(mig_row, anchor_kw, np.inf)
             bdyn_row = 2 + 5 * d + 4
             anchor = float(self._level_kwh[d])
             model.change_row_bounds(bdyn_row, anchor, anchor)
@@ -506,6 +591,17 @@ class RollingDispatcher:
                 model.change_row_bounds(
                     offset + 2 + 5 * d + 3, -np.inf, float(self._production_hat[d, k])
                 )
+        # 5. impose (or lift) realized faults on the first step's bounds.
+        #    Skipped entirely on the nominal path so fault support costs an
+        #    unfaulted replay nothing.
+        faulted = self._faulted
+        if faulted or self._restore_first_step:
+            indices = 1 + 8 * np.arange(self._N, dtype=np.int64) + _C
+            model.change_col_bounds(indices, np.zeros(self._N), self._capacity_now)
+            for d in range(self._N):
+                model.change_row_bounds(2 + 5 * d, -np.inf, float(self._capacity_now[d]))
+            model.change_row_bounds(1, -np.inf, self._wan_upper())
+            self._restore_first_step = faulted
         self.stats["slides"] += 1
         return self._solve()
 
@@ -513,7 +609,27 @@ class RollingDispatcher:
     def _solve(self) -> DispatchDecision:
         if self.incremental:
             warm = self._model.basis_snapshot() is not None or self.stats["lp_solves"] > 0
-            result = self._model.solve(self.options)
+            injected = self._start_step in self._fault_steps
+            result = None
+            if not injected:
+                result = self._model.solve(self.options)
+            if injected or result.status is not SolveStatus.OPTIMAL:
+                # Resilience ladder: a failed (or injected-as-failed) warm
+                # solve first retries once with the carried basis dropped — a
+                # badly repaired alien basis is the usual culprit — and only
+                # then falls back to a cold rebuild of the window.  Every leg
+                # is counted; a non-optimal status never leaks an objective.
+                self.stats["slide_retries"] += 1
+                if not injected:
+                    self._model.clear_basis()
+                    result = self._model.solve(self.options)
+                if injected or result.status is not SolveStatus.OPTIMAL:
+                    self.stats["fallback_rebuilds"] += 1
+                    self.stats["cold_loads"] += 1
+                    self._model.load(self._build_row_form())
+                    self._restore_first_step = self._faulted
+                    result = self._model.solve(self.options)
+                warm = False
             if warm and result.status is SolveStatus.OPTIMAL:
                 self.stats["warm_solves"] += 1
         else:

@@ -1,0 +1,252 @@
+"""Declarative fault injection for rolling-horizon replays.
+
+A :class:`FaultSpec` describes *held-out* perturbations of an operating
+trace — events the planner never saw and the operator cannot anticipate:
+
+* :class:`SiteOutage` — a site loses all IT capacity and on-site production
+  for a window of steps; stranded load crashes back into the demand pool
+  (served elsewhere or counted as unserved) instead of being billed as WAN
+  migration.
+* :class:`WanDegradation` — the inter-site migration budget is scaled down
+  for a window (a congested or partially failed WAN link).
+* :class:`ForecastBlackout` — the forecasting service is down; the forecast
+  policy degrades to persistence (flat continuation of the last observation)
+  until the blackout lifts.  The oracle policy is unaffected, so fragility
+  is still scored against the same clairvoyant baseline.
+* :class:`DemandSurge` — service demand is multiplied over a window (a flash
+  crowd on top of whatever the traffic model already produced).
+
+``solver_faults`` lists window start steps whose in-place warm solve is
+*treated as failed*, driving the dispatcher's retry -> cold-rebuild ladder
+(:meth:`~repro.operator.dispatch.RollingDispatcher.inject_solve_failures`) —
+chaos engineering for the LP runtime rather than the plant.
+
+All windows are half-open step ranges ``[start_step, start_step +
+duration_steps)`` on the replay's step grid.  Sites are referenced by plan
+name or by integer position in the replay's site order, so scenario files
+can inject faults without knowing which locations the search will pick.
+
+Everything round-trips through plain-JSON dicts (:meth:`FaultSpec.to_dict` /
+:meth:`FaultSpec.from_dict`) so fault programs can live inside a
+:class:`~repro.scenarios.spec.ScenarioSpec` and participate in content
+hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+
+def _require_window(start_step: int, duration_steps: int, what: str) -> None:
+    if start_step < 0:
+        raise ValueError(f"{what}: start_step cannot be negative")
+    if duration_steps <= 0:
+        raise ValueError(f"{what}: duration_steps must be positive")
+
+
+@dataclass(frozen=True)
+class SiteOutage:
+    """One site contributes zero capacity and zero production for a window."""
+
+    site: Union[str, int]
+    start_step: int
+    duration_steps: int
+
+    def __post_init__(self) -> None:
+        _require_window(self.start_step, self.duration_steps, "site outage")
+
+    def resolve(self, site_names: Sequence[str]) -> int:
+        """Index of the affected site in the replay's site order."""
+        if isinstance(self.site, int):
+            if not 0 <= self.site < len(site_names):
+                raise ValueError(
+                    f"site outage index {self.site} out of range for {len(site_names)} sites"
+                )
+            return self.site
+        try:
+            return list(site_names).index(self.site)
+        except ValueError:
+            raise ValueError(f"site outage names unknown site {self.site!r}") from None
+
+
+@dataclass(frozen=True)
+class WanDegradation:
+    """The WAN migration budget is scaled by ``factor`` for a window."""
+
+    start_step: int
+    duration_steps: int
+    factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_window(self.start_step, self.duration_steps, "WAN degradation")
+        if not 0.0 <= self.factor < 1.0:
+            raise ValueError("a WAN degradation factor must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ForecastBlackout:
+    """The forecast policy falls back to persistence for a window."""
+
+    start_step: int
+    duration_steps: int
+
+    def __post_init__(self) -> None:
+        _require_window(self.start_step, self.duration_steps, "forecast blackout")
+
+
+@dataclass(frozen=True)
+class DemandSurge:
+    """Realized demand is multiplied by ``multiplier`` for a window."""
+
+    start_step: int
+    duration_steps: int
+    multiplier: float = 1.5
+
+    def __post_init__(self) -> None:
+        _require_window(self.start_step, self.duration_steps, "demand surge")
+        if self.multiplier <= 0:
+            raise ValueError("a demand-surge multiplier must be positive")
+
+
+def _covers(start: int, duration: int, step: int) -> bool:
+    return start <= step < start + duration
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A complete fault program for one stress replay."""
+
+    site_outages: Tuple[SiteOutage, ...] = ()
+    wan_degradations: Tuple[WanDegradation, ...] = ()
+    forecast_blackouts: Tuple[ForecastBlackout, ...] = ()
+    demand_surges: Tuple[DemandSurge, ...] = ()
+    solver_faults: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "site_outages", tuple(self.site_outages))
+        object.__setattr__(self, "wan_degradations", tuple(self.wan_degradations))
+        object.__setattr__(self, "forecast_blackouts", tuple(self.forecast_blackouts))
+        object.__setattr__(self, "demand_surges", tuple(self.demand_surges))
+        object.__setattr__(
+            self, "solver_faults", tuple(int(step) for step in self.solver_faults)
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.site_outages
+            or self.wan_degradations
+            or self.forecast_blackouts
+            or self.demand_surges
+            or self.solver_faults
+        )
+
+    # -- per-step queries (realized state at `step`) ----------------------------
+    def capacity_factors(self, step: int, site_names: Sequence[str]) -> np.ndarray:
+        """Per-site multiplier on available IT capacity at ``step``."""
+        factors = np.ones(len(site_names))
+        for outage in self.site_outages:
+            if _covers(outage.start_step, outage.duration_steps, step):
+                factors[outage.resolve(site_names)] = 0.0
+        return factors
+
+    def wan_factor(self, step: int) -> float:
+        """Multiplier on the WAN migration budget at ``step`` (min over faults)."""
+        factor = 1.0
+        for degradation in self.wan_degradations:
+            if _covers(degradation.start_step, degradation.duration_steps, step):
+                factor = min(factor, degradation.factor)
+        return factor
+
+    def blackout(self, step: int) -> bool:
+        """Is the forecasting service down at ``step``?"""
+        return any(
+            _covers(blackout.start_step, blackout.duration_steps, step)
+            for blackout in self.forecast_blackouts
+        )
+
+    def demand_multiplier(self, step: int) -> float:
+        """Surge multiplier on realized demand at ``step`` (surges compound)."""
+        multiplier = 1.0
+        for surge in self.demand_surges:
+            if _covers(surge.start_step, surge.duration_steps, step):
+                multiplier *= surge.multiplier
+        return multiplier
+
+    def outage_mask(self, num_steps: int, site_names: Sequence[str]) -> np.ndarray:
+        """Boolean ``(num_sites, num_steps)`` mask of outage coverage."""
+        mask = np.zeros((len(site_names), num_steps), dtype=bool)
+        for outage in self.site_outages:
+            row = outage.resolve(site_names)
+            start = outage.start_step
+            stop = min(start + outage.duration_steps, num_steps)
+            if start < num_steps:
+                mask[row, start:stop] = True
+        return mask
+
+    def demand_multipliers(self, num_steps: int) -> np.ndarray:
+        """Per-step surge multiplier vector over ``num_steps`` steps."""
+        multipliers = np.ones(num_steps)
+        for surge in self.demand_surges:
+            start = surge.start_step
+            stop = min(start + surge.duration_steps, num_steps)
+            if start < num_steps:
+                multipliers[start:stop] *= surge.multiplier
+        return multipliers
+
+    # -- JSON round-trip --------------------------------------------------------
+    def to_dict(self) -> Dict[str, List]:
+        payload: Dict[str, List] = {}
+        if self.site_outages:
+            payload["site_outages"] = [
+                {"site": o.site, "start_step": o.start_step, "duration_steps": o.duration_steps}
+                for o in self.site_outages
+            ]
+        if self.wan_degradations:
+            payload["wan_degradations"] = [
+                {"start_step": w.start_step, "duration_steps": w.duration_steps, "factor": w.factor}
+                for w in self.wan_degradations
+            ]
+        if self.forecast_blackouts:
+            payload["forecast_blackouts"] = [
+                {"start_step": b.start_step, "duration_steps": b.duration_steps}
+                for b in self.forecast_blackouts
+            ]
+        if self.demand_surges:
+            payload["demand_surges"] = [
+                {"start_step": s.start_step, "duration_steps": s.duration_steps,
+                 "multiplier": s.multiplier}
+                for s in self.demand_surges
+            ]
+        if self.solver_faults:
+            payload["solver_faults"] = list(self.solver_faults)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultSpec":
+        known = {
+            "site_outages",
+            "wan_degradations",
+            "forecast_blackouts",
+            "demand_surges",
+            "solver_faults",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        return cls(
+            site_outages=tuple(SiteOutage(**entry) for entry in payload.get("site_outages", ())),
+            wan_degradations=tuple(
+                WanDegradation(**entry) for entry in payload.get("wan_degradations", ())
+            ),
+            forecast_blackouts=tuple(
+                ForecastBlackout(**entry) for entry in payload.get("forecast_blackouts", ())
+            ),
+            demand_surges=tuple(
+                DemandSurge(**entry) for entry in payload.get("demand_surges", ())
+            ),
+            solver_faults=tuple(payload.get("solver_faults", ())),
+        )

@@ -31,6 +31,7 @@ from repro.operator.dispatch import (
     RollingDispatcher,
     SiteAsset,
 )
+from repro.operator.faults import FaultSpec
 from repro.operator.forecast import RollingForecast, make_forecaster
 from repro.operator.traffic import TrafficModel, TrafficTrace, default_regions
 from repro.simulation.workload import VMSpec, migration_state_mb
@@ -152,6 +153,9 @@ class ReplayResult:
             "slides": int(self.stats.get("slides", 0)),
             "warm_start_rate": float(self.warm_start_rate),
             "simplex_iterations": int(self.stats.get("simplex_iterations", 0)),
+            "slide_retries": int(self.stats.get("slide_retries", 0)),
+            "fallback_rebuilds": int(self.stats.get("fallback_rebuilds", 0)),
+            "forecast_blackout_steps": int(self.stats.get("forecast_blackout_steps", 0)),
             "site_brown_kwh": {
                 name: float(value)
                 for name, value in zip(self.site_names, self.site_brown_kwh)
@@ -173,6 +177,7 @@ class ReplayHarness:
         config: OperateConfig,
         total_capacity_kw: float,
         vm_spec: Optional[VMSpec] = None,
+        faults: Optional[FaultSpec] = None,
     ) -> None:
         if not sites:
             raise ValueError("the replay needs at least one site")
@@ -193,6 +198,17 @@ class ReplayHarness:
         self.vm_spec = vm_spec or VMSpec(name="template")
         self._production = np.stack([site.production_kw[:needed] for site in self.sites])
         self._demand = np.asarray(trace.demand_kw[:needed], dtype=float)
+        # Held-out faults perturb the *actuals*: surges multiply realized
+        # demand, outages zero a site's realized production (its capacity is
+        # withdrawn per step through the dispatcher).  Forecasters read the
+        # same actuals, so the operator observes faults only as they unfold.
+        self.faults = faults if faults is not None and not faults.is_empty else None
+        if self.faults is not None:
+            site_names = [site.name for site in self.sites]
+            self._demand = self._demand * self.faults.demand_multipliers(needed)
+            self._production = np.where(
+                self.faults.outage_mask(needed, site_names), 0.0, self._production
+            )
 
     def _forecasts(self, policy: str):
         config = self.config
@@ -242,6 +258,9 @@ class ReplayHarness:
             self.sites,
             config=config.dispatch_config(self.total_capacity_kw),
         )
+        site_names = [site.name for site in self.sites]
+        if self.faults is not None and self.faults.solver_faults:
+            dispatcher.inject_solve_failures(self.faults.solver_faults)
 
         # Initial state: demand spread proportionally to capacity (clipped to
         # each site's cap — an overloaded first step surfaces as unserved
@@ -256,7 +275,7 @@ class ReplayHarness:
         )
 
         cost = brown = green = export = unserved = moved = state_gb = 0.0
-        stalls = sla_steps = 0
+        stalls = sla_steps = blackout_steps = 0
         site_brown = np.zeros(N)
         site_compute = np.zeros(N)
         decisions: List[DispatchDecision] = []
@@ -274,10 +293,32 @@ class ReplayHarness:
             demand_hat[0] = self._demand[step]
             production_hat[:, 0] = self._production[:, step]
 
+            capacity_now = None
+            wan_factor = 1.0
+            if self.faults is not None:
+                capacity_now = capacities * self.faults.capacity_factors(step, site_names)
+                wan_factor = self.faults.wan_factor(step)
+                if policy == "forecast" and self.faults.blackout(step):
+                    # Forecasting service down: degrade to persistence (flat
+                    # continuation of the current observation).  The rolling
+                    # forecasters were still advanced above, so their cadence
+                    # state — and the replay's determinism — is unaffected.
+                    blackout_steps += 1
+                    demand_hat = np.full(horizon, float(self._demand[step]))
+                    production_hat = np.repeat(
+                        self._production[:, step : step + 1], horizon, axis=1
+                    )
+
             if step == 0:
-                decision = dispatcher.start(0, load_kw, level_kwh, demand_hat, production_hat)
+                decision = dispatcher.start(
+                    0, load_kw, level_kwh, demand_hat, production_hat,
+                    capacity_now=capacity_now, wan_factor=wan_factor,
+                )
             else:
-                decision = dispatcher.advance(load_kw, level_kwh, demand_hat, production_hat)
+                decision = dispatcher.advance(
+                    load_kw, level_kwh, demand_hat, production_hat,
+                    capacity_now=capacity_now, wan_factor=wan_factor,
+                )
             decisions.append(decision)
 
             # Realize the committed first step against the actuals (position 0
@@ -313,6 +354,8 @@ class ReplayHarness:
             load_kw = decision.compute_kw.copy()
             level_kwh = decision.level_kwh.copy()
 
+        stats = dict(dispatcher.stats)
+        stats["forecast_blackout_steps"] = blackout_steps
         return ReplayResult(
             policy=policy,
             steps=config.steps,
@@ -326,7 +369,7 @@ class ReplayHarness:
             migrated_state_gb=state_gb,
             migration_stall_steps=stalls,
             sla_violation_steps=sla_steps,
-            stats=dict(dispatcher.stats),
+            stats=stats,
             site_names=[site.name for site in self.sites],
             site_brown_kwh=site_brown,
             site_compute_kwh=site_compute,
@@ -342,16 +385,47 @@ def sites_from_plan(plan, hours: np.ndarray) -> List[SiteAsset]:
     ]
 
 
+def fragility(faulted: ReplayResult, nominal: ReplayResult) -> Dict[str, float]:
+    """Fragility score of a plan: the faulted replay against its nominal twin.
+
+    The interesting quantities are the *deltas* — unserved demand and SLA
+    hours the faults caused, and the cost blowup relative to the same policy
+    on the unfaulted trace — plus the resilience counters showing how the LP
+    runtime degraded (retries, cold rebuilds, persistence fallbacks) instead
+    of crashing.
+    """
+    baseline = abs(nominal.cost_usd)
+    cost_delta = faulted.cost_usd - nominal.cost_usd
+    return {
+        "cost_usd": float(faulted.cost_usd),
+        "cost_blowup_usd": float(cost_delta),
+        "cost_blowup_pct": float(100.0 * cost_delta / baseline) if baseline > 0 else 0.0,
+        "unserved_kwh": float(faulted.unserved_kwh),
+        "unserved_delta_kwh": float(faulted.unserved_kwh - nominal.unserved_kwh),
+        "sla_violation_steps": int(faulted.sla_violation_steps),
+        "sla_delta_steps": int(faulted.sla_violation_steps - nominal.sla_violation_steps),
+        "slide_retries": int(faulted.stats.get("slide_retries", 0)),
+        "fallback_rebuilds": int(faulted.stats.get("fallback_rebuilds", 0)),
+        "forecast_blackout_steps": int(faulted.stats.get("forecast_blackout_steps", 0)),
+    }
+
+
 def operate_plan(
     plan,
     config: OperateConfig,
     total_capacity_kw: Optional[float] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> Dict[str, Any]:
     """Replay a provisioned plan under the forecast and oracle policies.
 
     Returns a JSON-ready record: both policies' summaries plus the regret —
     the cost/brown/SLA penalty the forecast-driven operator pays relative to
     perfect foresight over the same trace.
+
+    With a non-empty ``faults`` program the plan is additionally
+    stress-replayed (forecast policy, same trace, faults injected) and the
+    record gains a ``stress`` block scoring its fragility against the
+    unfaulted forecast replay.
     """
     service_kw = float(total_capacity_kw or plan.total_capacity_kw)
     needed = config.steps + config.horizon_steps + config.reforecast_every
@@ -411,6 +485,28 @@ def operate_plan(
             "warm_start_rate": float(forecast.warm_start_rate),
         }
     )
+    if faults is not None and not faults.is_empty:
+        stressed = ReplayHarness(
+            sites, trace, config, total_capacity_kw=service_kw, faults=faults
+        ).run("forecast")
+        score = fragility(stressed, forecast)
+        record["stress"] = {
+            "faults": faults.to_dict(),
+            "replay": stressed.to_record(),
+            "fragility": score,
+        }
+        # Flattened headline fragility metrics, same convention as above.
+        record.update(
+            {
+                "stress_cost_usd": score["cost_usd"],
+                "stress_cost_blowup_pct": score["cost_blowup_pct"],
+                "stress_unserved_kwh": score["unserved_kwh"],
+                "stress_sla_violation_steps": score["sla_violation_steps"],
+                "stress_slide_retries": score["slide_retries"],
+                "stress_fallback_rebuilds": score["fallback_rebuilds"],
+                "stress_blackout_steps": score["forecast_blackout_steps"],
+            }
+        )
     return record
 
 

@@ -12,6 +12,8 @@ from repro.parallel.executors import (
     available_cpu_count,
     in_process_worker,
     mark_process_worker,
+    result_with_serial_fallback,
+    run_task_inline,
 )
 from repro.parallel.work import (
     ChainOutcomePayload,
@@ -31,6 +33,8 @@ __all__ = [
     "available_cpu_count",
     "in_process_worker",
     "mark_process_worker",
+    "result_with_serial_fallback",
+    "run_task_inline",
     "ChainOutcomePayload",
     "ChainTask",
     "PricingChunkTask",

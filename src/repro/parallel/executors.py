@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Optional
 
@@ -50,6 +51,39 @@ def mark_process_worker() -> None:
 
 def in_process_worker() -> bool:
     return _IN_PROCESS_WORKER
+
+
+def run_task_inline(fn, *args):
+    """Run a pool task function in the calling process, leaving no worker mark.
+
+    Task entry points (:func:`~repro.parallel.work.run_pricing_chunk` and
+    friends) call :func:`mark_process_worker` unconditionally; executing one
+    inline for a fallback must not permanently flag the *parent* as a worker
+    — that would silently downgrade every later process pool to serial.
+    """
+    global _IN_PROCESS_WORKER
+    saved = _IN_PROCESS_WORKER
+    try:
+        return fn(*args)
+    finally:
+        _IN_PROCESS_WORKER = saved
+
+
+def result_with_serial_fallback(future: Future, fn, *args):
+    """``future.result()``, re-running the task inline if the pool died.
+
+    A worker killed by a signal or the OOM killer breaks the whole
+    :class:`~concurrent.futures.ProcessPoolExecutor`: every outstanding
+    future raises :class:`~concurrent.futures.process.BrokenProcessPool`
+    even though the *work* is perfectly healthy.  Fan-out sites wrap their
+    ``result()`` calls with this so one lost worker degrades a run to
+    slower (the affected tasks re-run serially in the parent) instead of
+    failed.  Genuine task exceptions propagate unchanged.
+    """
+    try:
+        return future.result()
+    except BrokenProcessPool:
+        return run_task_inline(fn, *args)
 
 
 def available_cpu_count() -> int:

@@ -1,0 +1,123 @@
+"""Deterministic weather-year and demand ensembles.
+
+A draw perturbs the base :class:`~repro.core.problem.SitingProblem` with
+multiplicative noise from :func:`~repro.operator.forecast.deterministic_noise`
+— the same counter-based SplitMix64 stream the operator's noisy-oracle
+forecasters use.  Every factor is a pure function of ``(seed, key, index)``,
+so the ensemble is bit-identical across serial, thread and process
+executors, and across re-runs: there is no RNG state to share or advance.
+
+Per draw:
+
+* every location's ``solar_alpha`` / ``wind_beta`` series is scaled by a
+  per-epoch factor (an off-nominal weather year), and
+* the framework's ``total_capacity_kw`` is scaled by one per-draw factor
+  (a mis-estimated demand level).
+
+The demand perturbation is deliberately a scalar: the deterministic
+provisioning LP models demand as a flat per-epoch floor, so a scalar keeps
+the per-draw problems expressible by the exact same compiler the nominal
+solve uses — which is what lets the stochastic LP reuse cached site
+skeletons and the SAA path reuse ``solve_provisioning`` unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.problem import SitingProblem
+from repro.operator.forecast import deterministic_noise
+
+#: Ensemble evaluation modes: ``saa`` evaluates per-draw LPs only (sample
+#: average approximation), ``stochastic`` additionally solves the joint
+#: scenario LP with shared sizing columns.
+ENSEMBLE_MODES = ("saa", "stochastic")
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Knobs of one ensemble study (all JSON scalars, spec-embeddable)."""
+
+    draws: int = 8                  #: ensemble size
+    weather_noise: float = 0.15     #: per-epoch multiplicative std on solar/wind
+    demand_noise: float = 0.05      #: per-draw multiplicative std on total demand
+    seed: int = 0                   #: noise stream seed
+    alpha: float = 0.9              #: CVaR tail level (mean of worst 1-alpha share)
+    mode: str = "saa"               #: "saa" or "stochastic"
+    #: Unserved-demand recourse price, as a multiple of the most expensive
+    #: per-epoch brown-energy coefficient — dimensionless so it tracks the
+    #: cost model's internal scaling (mirrors the operator's 10x SLA penalty).
+    unserved_penalty_x: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.draws < 1:
+            raise ValueError("an ensemble needs at least one draw")
+        if self.weather_noise < 0 or self.demand_noise < 0:
+            raise ValueError("noise levels cannot be negative")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("the CVaR level must lie in (0, 1)")
+        if self.mode not in ENSEMBLE_MODES:
+            raise ValueError(f"unknown ensemble mode {self.mode!r}; expected {ENSEMBLE_MODES}")
+        if self.unserved_penalty_x <= 0:
+            raise ValueError("the unserved-demand penalty multiple must be positive")
+
+
+def weather_factors(config: EnsembleConfig, draw: int, key: str, num_epochs: int) -> np.ndarray:
+    """Per-epoch multiplicative weather factors of one (draw, series)."""
+    return deterministic_noise(
+        config.seed,
+        f"ensemble:{key}:{draw}",
+        np.arange(num_epochs, dtype=np.int64),
+        config.weather_noise,
+    )
+
+
+def demand_factor(config: EnsembleConfig, draw: int) -> float:
+    """Scalar demand-level factor of one draw."""
+    return float(
+        deterministic_noise(
+            config.seed,
+            "ensemble:demand",
+            np.array([draw], dtype=np.int64),
+            config.demand_noise,
+        )[0]
+    )
+
+
+def perturbed_problem(problem: SitingProblem, config: EnsembleConfig, draw: int) -> SitingProblem:
+    """The siting problem as draw ``draw`` of the ensemble sees it."""
+    T = problem.num_epochs
+    profiles = []
+    for profile in problem.profiles:
+        profiles.append(
+            dataclasses.replace(
+                profile,
+                solar_alpha=profile.solar_alpha * weather_factors(
+                    config, draw, f"solar:{profile.name}", T
+                ),
+                wind_beta=profile.wind_beta * weather_factors(
+                    config, draw, f"wind:{profile.name}", T
+                ),
+            )
+        )
+    params = problem.params.with_updates(
+        total_capacity_kw=problem.params.total_capacity_kw * demand_factor(config, draw)
+    )
+    return dataclasses.replace(problem, profiles=profiles, params=params)
+
+
+def cvar(costs: Sequence[float], alpha: float) -> float:
+    """Conditional value-at-risk: mean of the worst ``1 - alpha`` tail.
+
+    With few draws the tail is the ceiling of ``(1 - alpha) * n`` samples
+    (at least one), matching the usual discrete-scenario estimator.
+    """
+    values = np.sort(np.asarray(costs, dtype=float))
+    if values.size == 0:
+        raise ValueError("CVaR of an empty cost sample")
+    tail = max(1, int(np.ceil((1.0 - alpha) * values.size)))
+    return float(values[-tail:].mean())

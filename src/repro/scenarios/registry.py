@@ -356,6 +356,78 @@ def _operate_smoke() -> ParameterSweep:
     )
 
 
+# -- robustness scenarios ------------------------------------------------------
+
+
+def _robust_fig06() -> ParameterSweep:
+    """Stress the operate-fig06 week: ensemble planning plus injected faults.
+
+    The replayed week loses site 0 for half a day, flies blind (persistence
+    fallback) for another half day, and absorbs two injected solver failures
+    (each forcing the retry -> cold-rebuild ladder); the provisioned plan is
+    additionally scored against an 8-draw weather/demand ensemble with the
+    joint stochastic sizing as the comparison point.
+    """
+    base = _operate_base(
+        name="robust-fig06",
+        operate={"steps": 168, "horizon_hours": 24},
+        ensemble={"draws": 8, "mode": "stochastic"},
+        faults={
+            "site_outages": [{"site": 0, "start_step": 24, "duration_steps": 12}],
+            "forecast_blackouts": [{"start_step": 48, "duration_steps": 12}],
+            "solver_faults": [30, 60],
+        },
+    )
+    return ParameterSweep(base=base, name="robust-fig06")
+
+
+def _robust_saa() -> ParameterSweep:
+    """Ensemble regret of the planning workflow itself (no replay, SAA only)."""
+    base = bench_base(
+        name="robust-saa",
+        storage="net_metering",
+        min_green_fraction=0.5,
+        ensemble={"draws": 8, "mode": "saa"},
+    )
+    return ParameterSweep(base=base, name="robust-saa")
+
+
+def _robust_smoke() -> ParameterSweep:
+    """Tiny ensemble + faulted replay for CI (one point, minutes-scale)."""
+    base = ScenarioSpec(
+        name="robust-smoke",
+        workflow="operate",
+        num_locations=16,
+        catalog_seed=3,
+        days_per_season=1,
+        hours_per_epoch=6,
+        total_capacity_kw=20_000.0,
+        min_green_fraction=0.5,
+        search={
+            "keep_locations": 5,
+            "max_iterations": 4,
+            "patience": 4,
+            "num_chains": 1,
+            "seed": 3,
+            "max_datacenters": 3,
+        },
+        operate={
+            "steps": 24,
+            "horizon_hours": 8,
+            "energy_forecast": "noisy-oracle",
+            "load_forecast": "noisy-oracle",
+            "forecast_error": 0.25,
+        },
+        ensemble={"draws": 3, "mode": "stochastic"},
+        faults={
+            "site_outages": [{"site": 0, "start_step": 6, "duration_steps": 4}],
+            "forecast_blackouts": [{"start_step": 12, "duration_steps": 4}],
+            "solver_faults": [8],
+        },
+    )
+    return ParameterSweep(base=base, name="robust-smoke")
+
+
 def _smoke() -> ParameterSweep:
     base = ScenarioSpec(
         name="smoke",
@@ -396,3 +468,6 @@ register_scenario("operate-fig06", "week-long rolling-horizon replay of the 50 M
 register_scenario("operate-forecast", "operating regret vs forecast error (noisy-oracle sweep)", _operate_forecast)
 register_scenario("operate-policy", "operating regret across forecaster policies", _operate_policy)
 register_scenario("operate-smoke", "tiny rolling-horizon replay for CI smoke runs", _operate_smoke)
+register_scenario("robust-fig06", "ensemble-scored, fault-injected replay of the 50 MW / 50 % green week", _robust_fig06)
+register_scenario("robust-saa", "planning-workflow ensemble regret (8-draw SAA, no replay)", _robust_saa)
+register_scenario("robust-smoke", "tiny ensemble + faulted replay for CI smoke runs", _robust_smoke)

@@ -205,6 +205,8 @@ class ExperimentRunner:
         self._lock = threading.Lock()
         # Process workers key their per-process runner rebuild by this token.
         self._runner_token = new_token("runner")
+        #: Points recovered by re-running serially after a dead process pool.
+        self.process_fallbacks = 0
 
     # -- public API -----------------------------------------------------------
     def run(self, experiment: Union[ScenarioSpec, ParameterSweep]) -> ResultSet:
@@ -280,7 +282,16 @@ class ExperimentRunner:
         A worker failure is set on exactly that point's memo future — every
         waiter observes it, nothing deadlocks — and the memo entry is
         dropped so a later run recomputes instead of replaying the error.
+        The one exception is a *dead pool* (a worker killed by a signal or
+        the OOM killer raises :class:`~concurrent.futures.process.
+        BrokenProcessPool` on every outstanding future): the affected points
+        are re-run serially in the parent instead, so one lost worker
+        degrades a sweep to slower, not to failed.
         """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.parallel.executors import run_task_inline
+
         pending: List[Tuple[str, ScenarioSpec]] = []
         for key, spec in to_submit:
             cached = self._load_artifact(key)
@@ -295,8 +306,13 @@ class ExperimentRunner:
                 (
                     key,
                     spec,
-                    pool.submit(
-                        run_sweep_point,
+                    task,
+                    pool.submit(run_sweep_point, task),
+                )
+                for key, spec, task in (
+                    (
+                        key,
+                        spec,
                         SweepPointTask(
                             token=self._runner_token,
                             spec=spec.to_dict(),
@@ -304,14 +320,18 @@ class ExperimentRunner:
                             base_params=self.base_params,
                             solver_options=self.solver_options,
                         ),
-                    ),
+                    )
+                    for key, spec in pending
                 )
-                for key, spec in pending
             ]
-            for key, spec, task_future in submitted:
+            for key, spec, task, task_future in submitted:
                 future = self._memo[key]
                 try:
-                    record, from_cache = task_future.result()
+                    try:
+                        record, from_cache = task_future.result()
+                    except BrokenProcessPool:
+                        self.process_fallbacks += 1
+                        record, from_cache = run_task_inline(run_sweep_point, task)
                 except BaseException as error:
                     with self._lock:
                         if self._memo.get(key) is future:
@@ -401,7 +421,33 @@ class ExperimentRunner:
                     "datacenters": [],
                 }
             )
+        self._attach_ensemble(record, spec, problem, plan)
         return record, solution
+
+    def _attach_ensemble(self, record: Dict[str, Any], spec: ScenarioSpec, problem, plan) -> None:
+        """Evaluate the plan against the spec's ensemble, if one is configured.
+
+        Attaches the full report under ``record["robustness"]`` plus a few
+        flattened scalars for sweep tables; a spec with an empty ``ensemble``
+        block (every pre-robustness scenario) is untouched.
+        """
+        config = spec.ensemble_config()
+        if config is None or plan is None:
+            return
+        from repro.robust.stochastic import ensemble_report, plan_siting_and_sizing
+
+        siting, sizing = plan_siting_and_sizing(plan)
+        report = ensemble_report(
+            problem, siting, sizing, config, options=self.solver_options
+        )
+        record["robustness"] = report
+        record["ensemble_expected_cost"] = report["expected_cost"]
+        record["ensemble_cvar_cost"] = report["cvar_cost"]
+        record["ensemble_regret_mean"] = report["regret_mean"]
+        record["ensemble_regret_max"] = report["regret_max"]
+        if "stochastic_expected_cost" in report:
+            record["stochastic_expected_cost"] = report["stochastic_expected_cost"]
+            record["stochastic_saving_pct"] = report["stochastic_saving_pct"]
 
     def _run_single_site(self, spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
         tool = self.tool_for(spec)
@@ -490,8 +536,14 @@ class ExperimentRunner:
             return record, solution
         config = OperateConfig(**spec.operate_knobs())
         record.update(
-            operate_plan(plan, config, total_capacity_kw=spec.total_capacity_kw)
+            operate_plan(
+                plan,
+                config,
+                total_capacity_kw=spec.total_capacity_kw,
+                faults=spec.fault_spec(),
+            )
         )
+        self._attach_ensemble(record, spec, problem, plan)
         return record, solution
 
     # -- shared construction caches -------------------------------------------
@@ -575,15 +627,18 @@ class ExperimentRunner:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+            if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+                return None
+            if payload.get("fingerprint") != code_fingerprint():
+                # Written by different code (older package, another LP backend):
+                # the spec alone no longer guarantees the numbers, so recompute.
+                return None
+            result = PointResult.from_dict(payload["point"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # A truncated write, corrupt JSON, or a payload whose shape the
+            # deserializer rejects is a cache *miss*, never a crash: the point
+            # is recomputed and the bad file overwritten in place.
             return None
-        if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
-            return None
-        if payload.get("fingerprint") != code_fingerprint():
-            # Written by different code (older package, another LP backend):
-            # the spec alone no longer guarantees the numbers, so recompute.
-            return None
-        result = PointResult.from_dict(payload["point"])
         result.from_cache = True
         return result
 

@@ -90,6 +90,36 @@ def _operate_defaults() -> Dict[str, Any]:
 #: provisioned plan; see :mod:`repro.operator`).
 OPERATE_DEFAULTS: Dict[str, Any] = _operate_defaults()
 
+
+def _ensemble_defaults() -> Dict[str, Any]:
+    """Default knobs of the ``ensemble`` block.
+
+    Derived from :class:`repro.robust.ensemble.EnsembleConfig` so the spec
+    layer and the robustness package can never drift apart.
+    """
+    import dataclasses
+
+    from repro.robust.ensemble import EnsembleConfig
+
+    return {f.name: f.default for f in dataclasses.fields(EnsembleConfig)}
+
+
+#: Default knobs of the ``ensemble`` block (weather-year/demand ensembles and
+#: the stochastic siting LP; see :mod:`repro.robust`).  An *empty* block means
+#: "no ensemble analysis" and is invisible to the content hash.
+ENSEMBLE_DEFAULTS: Dict[str, Any] = _ensemble_defaults()
+
+#: Allowed top-level keys of the ``faults`` block — each maps to a list of
+#: JSON dictionaries understood by :meth:`repro.operator.faults.FaultSpec.
+#: from_dict`.  An empty block means "no fault injection".
+FAULT_KEYS = (
+    "site_outages",
+    "wan_degradations",
+    "forecast_blackouts",
+    "demand_surges",
+    "solver_faults",
+)
+
 #: Default knobs of the ``emulate`` workflow (the paper's three-site,
 #: nine-VM, solar-heavy Section V deployment).
 EMULATION_DEFAULTS: Dict[str, Any] = {
@@ -153,6 +183,10 @@ class ScenarioSpec:
     # -- operations knobs (OPERATE_DEFAULTS keys; ``operate`` workflow) -------
     operate: Dict[str, Any] = field(default_factory=dict)
 
+    # -- robustness knobs (both blocks hash-invisible when empty) -------------
+    ensemble: Dict[str, Any] = field(default_factory=dict)
+    faults: Dict[str, Any] = field(default_factory=dict)
+
     def __post_init__(self) -> None:
         if self.workflow not in WORKFLOWS:
             raise ValueError(f"unknown workflow {self.workflow!r}; expected one of {WORKFLOWS}")
@@ -177,6 +211,12 @@ class ScenarioSpec:
         unknown_operate = set(self.operate) - set(OPERATE_DEFAULTS)
         if unknown_operate:
             raise ValueError(f"unknown operate knobs: {sorted(unknown_operate)}")
+        unknown_ensemble = set(self.ensemble) - set(ENSEMBLE_DEFAULTS)
+        if unknown_ensemble:
+            raise ValueError(f"unknown ensemble knobs: {sorted(unknown_ensemble)}")
+        unknown_faults = set(self.faults) - set(FAULT_KEYS)
+        if unknown_faults:
+            raise ValueError(f"unknown fault blocks: {sorted(unknown_faults)}")
         if self.candidate_names is not None:
             object.__setattr__(self, "candidate_names", tuple(self.candidate_names))
         if "sites" in self.emulation:
@@ -212,6 +252,30 @@ class ScenarioSpec:
         knobs.update(self.operate)
         return knobs
 
+    def ensemble_config(self):
+        """The ensemble block as a typed :class:`~repro.robust.EnsembleConfig`.
+
+        Returns ``None`` when the block is empty (no ensemble analysis).
+        """
+        if not self.ensemble:
+            return None
+        from repro.robust.ensemble import EnsembleConfig
+
+        knobs = dict(ENSEMBLE_DEFAULTS)
+        knobs.update(self.ensemble)
+        return EnsembleConfig(**knobs)
+
+    def fault_spec(self):
+        """The faults block as a typed :class:`~repro.operator.FaultSpec`.
+
+        Returns ``None`` when the block is empty (no fault injection).
+        """
+        if not self.faults:
+            return None
+        from repro.operator.faults import FaultSpec
+
+        return FaultSpec.from_dict(self.faults)
+
     # -- updates --------------------------------------------------------------
     def with_updates(self, **changes: Any) -> "ScenarioSpec":
         """A copy of the spec with the given fields replaced.
@@ -230,7 +294,14 @@ class ScenarioSpec:
                 flat[key] = value
         spec_fields = {f.name for f in fields(self)}
         for parent, updates in nested.items():
-            if parent not in ("param_overrides", "search", "emulation", "operate"):
+            if parent not in (
+                "param_overrides",
+                "search",
+                "emulation",
+                "operate",
+                "ensemble",
+                "faults",
+            ):
                 raise KeyError(f"cannot apply dotted override to field {parent!r}")
             merged = dict(getattr(self, parent))
             merged.update(updates)
@@ -303,6 +374,13 @@ class ScenarioSpec:
             # them here keeps every pre-operate content hash (and therefore
             # every cached artifact) valid.
             payload.pop("operate", None)
+        # Empty robustness blocks are dropped so every pre-robustness hash
+        # (and therefore every cached artifact) stays valid; non-empty blocks
+        # change the record contents and so must key the cache.
+        if not payload.get("ensemble"):
+            payload.pop("ensemble", None)
+        if not payload.get("faults"):
+            payload.pop("faults", None)
         search = {
             key: value
             for key, value in payload["search"].items()
@@ -325,7 +403,9 @@ class ScenarioSpec:
         signature — and therefore a compiled-skeleton cache in the runner.
         """
         payload = self.hash_payload()
-        for irrelevant in ("workflow", "search", "emulation", "operate"):
+        # The robustness blocks perturb *copies* of the problem (or only the
+        # replay), never the base fixed-siting LPs the skeleton cache serves.
+        for irrelevant in ("workflow", "search", "emulation", "operate", "ensemble", "faults"):
             payload.pop(irrelevant, None)
         canonical_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical_json.encode("utf-8")).hexdigest()

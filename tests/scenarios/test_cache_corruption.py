@@ -1,0 +1,74 @@
+"""A corrupt artifact is a cache miss, never a crash.
+
+The failure under test: a truncated write (disk full, killed process) or a
+hand-edited artifact used to raise out of ``_load_artifact`` and abort the
+whole sweep.  Any unreadable artifact must instead be recomputed and the bad
+file overwritten in place with a valid one.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import ExperimentRunner, ScenarioSpec
+
+TINY_SEARCH = {
+    "keep_locations": 4,
+    "max_iterations": 3,
+    "patience": 3,
+    "num_chains": 1,
+    "seed": 3,
+    "max_datacenters": 3,
+}
+
+
+def tiny_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        num_locations=12,
+        catalog_seed=3,
+        days_per_season=1,
+        hours_per_epoch=6,
+        total_capacity_kw=20_000.0,
+        search=dict(TINY_SEARCH),
+    )
+
+
+def _seed_cache(tmp_path):
+    first = ExperimentRunner(cache_dir=tmp_path).run_point(tiny_spec())
+    assert not first.from_cache
+    [artifact] = list(tmp_path.glob("point-*.json"))
+    return first, artifact
+
+
+CORRUPTIONS = {
+    "truncated": lambda text: text[: len(text) // 2],
+    "not-json": lambda text: "this is not json{{{",
+    "wrong-shape": lambda text: json.dumps(
+        {**json.loads(text), "point": []}  # valid JSON, shape the loader rejects
+    ),
+    "empty": lambda text: "",
+}
+
+
+class TestCorruptArtifacts:
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_corrupt_artifact_is_recomputed_and_healed(self, tmp_path, kind):
+        first, artifact = _seed_cache(tmp_path)
+        artifact.write_text(CORRUPTIONS[kind](artifact.read_text()))
+
+        second = ExperimentRunner(cache_dir=tmp_path).run_point(tiny_spec())
+        assert not second.from_cache  # corrupt entry treated as a miss
+        assert second.record == first.record
+
+        # The bad file was overwritten in place with a loadable artifact...
+        json.loads(artifact.read_text())
+        # ...so the next run is a clean cache hit again.
+        third = ExperimentRunner(cache_dir=tmp_path).run_point(tiny_spec())
+        assert third.from_cache
+        assert third.record == first.record
+
+    def test_intact_artifact_still_hits(self, tmp_path):
+        first, _ = _seed_cache(tmp_path)
+        again = ExperimentRunner(cache_dir=tmp_path).run_point(tiny_spec())
+        assert again.from_cache
+        assert again.record == first.record
