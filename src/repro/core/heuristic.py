@@ -50,10 +50,13 @@ from repro.core.provisioning import (
     ProvisioningResult,
     solve_provisioning,
 )
+from repro.core.screening import price_batch, price_per_site, screen_lower_bounds
 from repro.core.single_site import (
     priced_in_chunks,
+    pricing_chunk_count,
     scoring_parameters,
     scoring_sources,
+    single_site_row_estimate,
     single_site_size_class,
     split_chunks,
 )
@@ -67,24 +70,17 @@ from repro.parallel.executors import (
     result_with_serial_fallback,
 )
 from repro.parallel.work import (
+    BatchPricingTask,
     ChainTask,
-    PricingChunkTask,
     new_token,
+    run_batch_pricing_chunk,
     run_chain_task,
-    run_pricing_chunk,
 )
 
 #: Neighbour-move identifiers (the paper's four move kinds; "swap" is the
 #: combination of a remove and an add in one step, and "merge" removes one
 #: datacenter letting the LP grow the remaining ones).
 MOVES = ("add", "remove", "swap", "resize", "merge")
-
-#: The filter pricing pass always splits candidates into this many contiguous
-#: chunks (fewer when there are fewer candidates), one warm-started HiGHS
-#: context per chunk.  A fixed chunk count keeps the basis-carry-over
-#: sequences — and therefore the pricing scores, bit for bit — independent of
-#: how many workers happen to execute the chunks.
-FILTER_CHUNKS = 8
 
 
 @dataclass
@@ -136,6 +132,18 @@ class SearchSettings:
     refine_tolerance: float = 0.002
     #: Cap on refinement rounds (each round solves one provisioning LP).
     refine_max_rounds: int = 6
+    #: Stage-1 filter screen: prune candidates whose vectorized admissible
+    #: lower bound (:func:`~repro.core.screening.screen_lower_bounds`) proves
+    #: they cannot enter the shortlist, so only a fraction of the catalogue is
+    #: ever priced exactly.  The pruning is exact — the shortlist is identical
+    #: with the screen on or off.  ``None`` (default) enables it.
+    filter_screen: Optional[bool] = None
+    #: Stage-2 filter pricing: solve each pricing chunk as one block-diagonal
+    #: mega-LP (:func:`~repro.core.screening.price_batch`) instead of per-site
+    #: warm-started solves.  ``None`` (default) auto-enables whenever the
+    #: direct HiGHS backend can solve the stacked form; False forces the
+    #: per-site path.
+    filter_batch: Optional[bool] = None
     #: Warm-start strategy of the incremental evaluator's structural moves:
     #: ``"shape"`` restores the last optimal basis of any same-shape siting;
     #: ``"site-block"`` transplants each leaving site's basis statuses onto
@@ -235,6 +243,9 @@ class HeuristicSolver:
         # Process-pool chain tasks of this search share one worker-side
         # problem/compiler rebuild, keyed by this token.
         self._chain_token = new_token("chains")
+        # Diagnostics of the last filter pass (candidate count, exact
+        # pricings, screen-survival rate); merged into the solution stats.
+        self._filter_stats: Dict[str, float] = {}
         # When set (by process-pool chain workers), every canonical siting
         # key that reaches the memo is appended, in request order; the parent
         # replays the logs to reproduce the shared-memo hit accounting.
@@ -276,9 +287,20 @@ class HeuristicSolver:
         Infeasible locations (for example, ones whose nearest brown plant is
         too small) are discarded.
 
-        The pricing LPs are structurally identical across locations, so each
-        worker prices its chunk through one warm-started HiGHS context; with
-        more than one CPU the chunks run on a thread pool.
+        The pricing pass runs in two stages.  Stage 1 computes a vectorized
+        *admissible* lower bound on every candidate's score
+        (:func:`~repro.core.screening.screen_lower_bounds`) — pure numpy over
+        the stacked epoch profiles, no LPs.  Stage 2 prices candidates
+        exactly in ascending-bound rounds, after each round dropping every
+        still-unpriced candidate whose bound exceeds both the current
+        ``keep``-th cheapest feasible cost and the cheapest cost of its
+        longitude band: such a candidate provably cannot enter the shortlist
+        (its exact cost is at least its bound), so the pruning never changes
+        the result, only the work.  Exact pricing solves each size-capped
+        chunk either as one block-diagonal mega-LP or through one
+        warm-started HiGHS context per chunk; both the chunk split and the
+        round schedule depend only on the candidate data, so shortlists are
+        bit-identical across serial, thread and process execution.
 
         Like the paper's filter, similar locations are not all kept: the
         survivors are spread across time zones (the paper removes "subsets of
@@ -287,6 +309,7 @@ class HeuristicSolver:
         no-storage ones — to place datacenters around the globe.
         """
         problem = self.problem
+        settings = self.settings
         share_kw = problem.params.total_capacity_kw / max(1, problem.min_datacenters)
         # For the *scoring* step, require only a modest green share: a site can
         # be a valuable night-time/receiver location in a follow-the-renewables
@@ -294,51 +317,105 @@ class HeuristicSolver:
         score_green = min(problem.params.min_green_fraction, 0.5)
         # One shared pricing problem (the single-site scoring configuration of
         # SingleSiteAnalyzer.cost_at) so every location's LP flows through the
-        # same compiler: the CSC pattern is templated once and each chunk's
-        # HiGHS context warm-starts from the previous location's basis.
-        # Scoring always uses ANNUAL green enforcement (as cost_at does): the
-        # filter ranks sites by their annual economics even when the network
-        # problem enforces the share per epoch.
+        # same compiler.  Scoring always uses ANNUAL green enforcement (as
+        # cost_at does): the filter ranks sites by their annual economics even
+        # when the network problem enforces the share per epoch.
         pricing_params = scoring_parameters(problem.params, share_kw, score_green)
         pricing_problem = problem.with_updates(
             params=pricing_params,
             sources=scoring_sources(score_green, problem.sources),
             green_enforcement=GreenEnforcement.ANNUAL,
         )
+        use_screen = (
+            settings.filter_screen if settings.filter_screen is not None else True
+        )
+        use_batch = (
+            settings.filter_batch
+            if settings.filter_batch is not None
+            else (
+                _HIGHS_DIRECT_AVAILABLE
+                and pricing_problem.num_epochs >= 2
+                and self.solver_options.backend in ("auto", "highs-direct")
+            )
+        )
+        profiles = pricing_problem.profiles
+        sitings = [
+            (profile.name, single_site_size_class(share_kw, profile, pricing_params))
+            for profile in profiles
+        ]
+        longitudes = [profile.location.point.longitude for profile in profiles]
+        bands = [int((longitude + 180.0) // 45.0) for longitude in longitudes]
+        keep = max(settings.keep_locations, problem.min_datacenters)
+        factory = self._factory()
         pricing_compiler = ProvisioningCompiler(pricing_problem)
 
-        def price_chunk(profiles) -> List[Tuple[float, str, float]]:
-            context = HighsSolveContext() if _HIGHS_DIRECT_AVAILABLE else None
-            chunk_scores: List[Tuple[float, str, float]] = []
-            for profile in profiles:
-                size_class = single_site_size_class(share_kw, profile, pricing_params)
-                result = solve_provisioning(
-                    pricing_problem,
-                    {profile.name: size_class},
-                    options=self.solver_options,
-                    enforce_spread=False,
-                    compiler=pricing_compiler,
-                    solver_context=context,
-                )
-                if result.feasible:
-                    longitude = profile.location.point.longitude
-                    chunk_scores.append((result.monthly_cost, profile.name, longitude))
-            return chunk_scores
-
-        factory = self._factory()
-        if factory.effective_kind == "process":
-            scored = self._price_chunks_process(
-                pricing_problem, pricing_params, share_kw, factory
-            )
+        if use_screen:
+            screen = screen_lower_bounds(pricing_problem, dict(sitings))
+            bounds = screen.lower_bounds
+            # Ascending-bound order prices the likely shortlist first, which
+            # makes the pruning thresholds tight after the very first round;
+            # certified-infeasible candidates are never priced at all.
+            pending = [
+                int(i) for i in screen.order if not screen.certified_infeasible[i]
+            ]
         else:
-            scored = priced_in_chunks(
-                problem.profiles,
-                price_chunk,
-                num_chunks=FILTER_CHUNKS,
-                workers=self._workers(FILTER_CHUNKS),
+            bounds = None
+            pending = list(range(len(profiles)))
+
+        inf = float("inf")
+        scored: List[Tuple[float, str, float]] = []
+        feasible_costs: List[float] = []
+        band_best: Dict[int, float] = {}
+        priced = 0
+        # Galloping rounds: small first round (the shortlist is usually found
+        # there), doubling so the no-pruning worst case stays a handful of
+        # rounds.  Without the screen there is nothing to prune between
+        # rounds, so everything is priced in one pass.
+        round_size = max(4 * keep, 64) if bounds is not None else max(1, len(pending))
+        while pending:
+            take, pending = pending[:round_size], pending[round_size:]
+            rows = self._price_filter_round(
+                pricing_problem,
+                [sitings[i] for i in take],
+                factory,
+                use_batch,
+                pricing_compiler,
             )
+            priced += len(take)
+            for index, (name, cost, feasible) in zip(take, rows):
+                if not feasible:
+                    continue
+                scored.append((cost, name, longitudes[index]))
+                feasible_costs.append(cost)
+                if cost < band_best.get(bands[index], inf):
+                    band_best[bands[index]] = cost
+            if bounds is not None and pending:
+                # A candidate can only make the shortlist as its band's
+                # cheapest or as one of the keep globally cheapest; both
+                # thresholds only ever decrease, so the drops are permanent.
+                global_cut = (
+                    sorted(feasible_costs)[keep - 1]
+                    if len(feasible_costs) >= keep
+                    else inf
+                )
+                pending = [
+                    i
+                    for i in pending
+                    if bounds[i] <= global_cut
+                    or bounds[i] <= band_best.get(bands[i], inf)
+                ]
+            round_size *= 2
+
+        self._filter_stats = {
+            "filter_candidates": float(len(profiles)),
+            "filter_priced": float(priced),
+            "filter_screened_out": float(len(profiles) - priced),
+            "filter_screen_rate": priced / len(profiles) if profiles else 0.0,
+            "filter_screen": float(use_screen),
+            "filter_batched": float(use_batch),
+        }
+
         scored.sort()
-        keep = max(self.settings.keep_locations, problem.min_datacenters)
 
         # First pass: cheapest location of each 45-degree longitude band, so the
         # shortlist spans time zones; second pass: fill with the globally cheapest.
@@ -356,51 +433,58 @@ class HeuristicSolver:
                 selected.append(name)
         return selected
 
-    def _price_chunks_process(
+    def _price_filter_round(
         self,
         pricing_problem: SitingProblem,
-        pricing_params,
-        share_kw: float,
+        sitings: List[Tuple[str, str]],
         factory: ExecutorFactory,
-    ) -> List[Tuple[float, str, float]]:
-        """The filter pricing pass fanned out over a process pool.
+        use_batch: bool,
+        compiler: ProvisioningCompiler,
+    ) -> List[Tuple[str, float, bool]]:
+        """Exactly price one round of ``(location, size_class)`` candidates.
 
-        The chunk split is the same fixed :data:`FILTER_CHUNKS` contiguous
-        split the thread path uses, and every chunk prices through its own
-        fresh warm-start context worker-side, so the scores are bit-identical
-        to the thread and serial paths for any worker count.  Each task ships
-        the pricing problem restricted to its chunk's locations — plain
-        profile data, no solver state.
+        The round is split into size-capped chunks
+        (:func:`~repro.core.single_site.pricing_chunk_count` — the split
+        depends only on the round's size, never on the executor or worker
+        count) and each chunk is priced either as one block-diagonal stack or
+        through its own warm-started context, on the configured executor.
+        Rows come back in ``sitings`` order for every executor kind.
         """
-        profiles = self.problem.profiles
-        chunks = split_chunks(profiles, FILTER_CHUNKS)
-        tasks = []
-        for chunk in chunks:
-            names = [profile.name for profile in chunk]
-            tasks.append(
-                PricingChunkTask(
-                    problem=pricing_problem.restricted_to(names),
-                    sitings=tuple(
-                        (
-                            profile.name,
-                            single_site_size_class(share_kw, profile, pricing_params),
-                        )
-                        for profile in chunk
-                    ),
+        num_chunks = pricing_chunk_count(
+            len(sitings), single_site_row_estimate(pricing_problem)
+        )
+        if factory.effective_kind == "process" and len(sitings) > 1:
+            chunks = split_chunks(sitings, num_chunks)
+            tasks = [
+                BatchPricingTask(
+                    problem=pricing_problem.restricted_to([name for name, _ in chunk]),
+                    sitings=tuple(chunk),
                     options=self.solver_options,
+                    batch=use_batch,
                 )
+                for chunk in chunks
+            ]
+            rows: List[Tuple[str, float, bool]] = []
+            with factory.create(len(tasks)) as pool:
+                futures = [pool.submit(run_batch_pricing_chunk, task) for task in tasks]
+                for future, task in zip(futures, tasks):
+                    rows.extend(
+                        result_with_serial_fallback(future, run_batch_pricing_chunk, task)
+                    )
+            return rows
+
+        def run_chunk(chunk: List[Tuple[str, str]]) -> List[Tuple[str, float, bool]]:
+            if use_batch:
+                return price_batch(
+                    pricing_problem, chunk, self.solver_options, compiler=compiler
+                )
+            return price_per_site(
+                pricing_problem, chunk, self.solver_options, compiler=compiler
             )
-        by_name = self.problem.profile_map()
-        scored: List[Tuple[float, str, float]] = []
-        with factory.create(len(tasks)) as pool:
-            futures = [pool.submit(run_pricing_chunk, task) for task in tasks]
-            for future, task in zip(futures, tasks):
-                rows = result_with_serial_fallback(future, run_pricing_chunk, task)
-                for name, cost, feasible in rows:
-                    if feasible:
-                        longitude = by_name[name].location.point.longitude
-                        scored.append((cost, name, longitude))
-        return scored
+
+        return priced_in_chunks(
+            sitings, run_chunk, num_chunks=num_chunks, workers=self._workers(num_chunks)
+        )
 
     # -- step 2: fixed-siting evaluation ----------------------------------------------
     def evaluate(
@@ -502,7 +586,7 @@ class HeuristicSolver:
                     f"availability constraint requires {problem.min_datacenters}"
                 ),
                 cache_hits=self._cache_hits,
-                stats={"filter_seconds": filter_seconds},
+                stats={"filter_seconds": filter_seconds, **self._filter_stats},
             )
 
         search_started = time.perf_counter()
@@ -634,6 +718,7 @@ class HeuristicSolver:
             cache_hits=self._cache_hits,
             stats={
                 "filter_seconds": filter_seconds,
+                **self._filter_stats,
                 "search_seconds": search_seconds,
                 "parallel_chains": float(parallel),
                 "process_chains": float(process_chains),

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -231,6 +231,30 @@ class _IncrementalSiteData:
     @property
     def num_rows(self) -> int:
         return int(self.row_lower.shape[0])
+
+
+@dataclass
+class BatchCompiledLP:
+    """A block-diagonal stack of independent single-site pricing LPs.
+
+    Produced by :meth:`ProvisioningCompiler.compile_batch`: one solve of
+    ``row_form`` prices every site at once, and :meth:`site_costs` maps the
+    stacked solution vector back to per-site monthly costs (each site's slice
+    of the objective plus its fixed cost).  The blocks share no variables or
+    rows, so the per-site costs equal the optima of the individual pricing
+    LPs.
+    """
+
+    row_form: RowFormLP
+    names: List[str]
+    col_offsets: np.ndarray
+    row_offsets: np.ndarray
+    constants: np.ndarray
+
+    def site_costs(self, x: np.ndarray) -> np.ndarray:
+        """Per-site objective values of a stacked solution vector."""
+        contributions = self.row_form.cost * np.asarray(x, dtype=float)
+        return np.add.reduceat(contributions, self.col_offsets[:-1]) + self.constants
 
 
 @dataclass
@@ -1015,6 +1039,44 @@ class ProvisioningCompiler:
             for index, (name, size_class) in enumerate(siting.items())
         ]
         return row_form, layouts
+
+    def compile_batch(
+        self,
+        sitings: Sequence[Tuple[str, str]],
+        enforce_spread: bool = False,
+    ) -> Optional[BatchCompiledLP]:
+        """Stack independent single-site LPs into one block-diagonal mega-LP.
+
+        ``sitings`` lists ``(location, size_class)`` pairs; each becomes its
+        own complete pricing LP — including its total-capacity and green
+        coupling rows, exactly as :meth:`compile_row_form` builds them for a
+        one-site siting — and the blocks are concatenated block-diagonally in
+        the given order.  One solve of the result prices every location at
+        once; :meth:`BatchCompiledLP.site_costs` recovers the per-site costs.
+
+        Returns ``None`` when any site's LP cannot be templated (degenerate
+        epoch grids); callers then fall back to per-site solves.
+        """
+        from repro.lpsolver.batch import stack_block_diagonal
+
+        if not sitings:
+            return None
+        blocks: List[RowFormLP] = []
+        names: List[str] = []
+        for name, size_class in sitings:
+            compiled = self.compile_row_form({name: size_class}, enforce_spread)
+            if compiled is None:
+                return None
+            blocks.append(compiled[0])
+            names.append(name)
+        stacked, col_offsets, row_offsets = stack_block_diagonal(blocks)
+        return BatchCompiledLP(
+            row_form=stacked,
+            names=names,
+            col_offsets=col_offsets,
+            row_offsets=row_offsets,
+            constants=np.array([block.objective_constant for block in blocks]),
+        )
 
     def _build_template(
         self,

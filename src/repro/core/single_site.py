@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.parameters import FrameworkParameters
-from repro.core.problem import EnergySources, SitingProblem, StorageMode
+from repro.core.problem import EnergySources, GreenEnforcement, SitingProblem, StorageMode
 from repro.core.provisioning import ProvisioningResult, solve_provisioning
 from repro.core.solution import NetworkPlan
 from repro.energy.profiles import LocationProfile
@@ -57,6 +57,58 @@ def single_site_size_class(
     """Construction size class of one datacenter carrying ``capacity_kw``."""
     total_power = capacity_kw * profile.max_pue
     return "small" if total_power <= params.small_dc_threshold_kw else "large"
+
+
+#: Row budget of one pricing chunk: chunks are sized so the LP rows a single
+#: worker holds (one warm-start sequence, or one block-diagonal stack) stay
+#: bounded no matter how large the candidate catalogue grows.
+PRICING_CHUNK_ROW_CAP = 20_000
+
+#: Floor on the chunk count so mid-size sweeps still spread across workers
+#: (the pre-batching filter always used 8 fixed chunks).
+MIN_PRICING_CHUNKS = 8
+
+
+def single_site_row_estimate(problem: SitingProblem) -> int:
+    """Constraint rows of one single-site pricing LP of ``problem``.
+
+    Mirrors the row blocks :class:`~repro.core.provisioning.ProvisioningCompiler`
+    emits for a one-site siting (small-dc guard, migration, capacity cover,
+    power balance, green delivery cap, green allocation, storage dynamics,
+    total-capacity coupling and the green requirement row(s)).
+    """
+    T = problem.num_epochs
+    rows = 1 + 5 * T  # small_dc guard + the five always-present epoch blocks
+    if problem.storage is StorageMode.BATTERIES:
+        rows += 2 * T  # battery dynamics + capacity
+    elif problem.storage is StorageMode.NET_METERING:
+        rows += T  # net-metering bank dynamics
+    rows += T  # total-capacity coupling rows
+    if problem.params.min_green_fraction > 0:
+        rows += T if problem.green_enforcement is GreenEnforcement.PER_EPOCH else 1
+    return rows
+
+
+def pricing_chunk_count(
+    num_items: int,
+    rows_per_item: int,
+    min_chunks: int = MIN_PRICING_CHUNKS,
+    row_cap: int = PRICING_CHUNK_ROW_CAP,
+) -> int:
+    """Size-aware chunk count for a pricing sweep of ``num_items`` LPs.
+
+    Chunks are capped at ``row_cap`` LP rows each so very large catalogues
+    never ship thousands of sites to one worker, with at least ``min_chunks``
+    chunks for worker spread.  The count depends only on the sweep size —
+    never on the executor kind or worker count — which keeps per-chunk
+    pricing sequences (and therefore scores, bit for bit) identical across
+    serial, thread and process execution.
+    """
+    if num_items <= 0:
+        return 1
+    total_rows = num_items * max(1, rows_per_item)
+    by_row_cap = -(-total_rows // max(1, row_cap))
+    return min(num_items, max(min_chunks, int(by_row_cap)))
 
 
 def split_chunks(items, num_chunks: int) -> list:
@@ -206,22 +258,56 @@ class SingleSiteAnalyzer:
         storage: StorageMode = StorageMode.NET_METERING,
         workers: Optional[int] = None,
         executor: str = "thread",
+        batch: Optional[bool] = None,
+        screen_top_k: Optional[int] = None,
     ) -> List[SingleSiteCost]:
         """Single-site costs for many locations (the Fig. 6 distribution).
 
         ``workers`` > 1 prices location chunks on a thread pool (or, with
         ``executor="process"``, a process pool — the chunks cross the
         pickling boundary of :mod:`repro.parallel.work` and the returned
-        costs carry no live LP result, only the numbers).  Each chunk reuses
-        its own warm-started HiGHS context, the chunk split depends only on
-        ``workers``, and results keep the order of ``profiles`` for every
-        executor kind.
+        costs carry no live LP result, only the numbers).  Chunk splits
+        depend only on the sweep size, and results keep the order of
+        ``profiles`` for every executor kind.
+
+        ``batch`` prices each chunk as one block-diagonal mega-LP
+        (:func:`~repro.core.screening.price_batch`) instead of per-site
+        warm-started solves; ``None`` auto-enables it whenever the direct
+        HiGHS backend is available.  Batched costs are slim (``result`` is
+        ``None``); use :meth:`cost_at` when a plan is needed.
+
+        ``screen_top_k`` returns only the ``k`` cheapest feasible locations,
+        in ascending cost order, using the vectorized admissible screen of
+        :func:`~repro.core.screening.screen_lower_bounds` to avoid pricing
+        candidates that provably cannot make the top ``k`` — the selection
+        is exact, only the work is reduced.
         """
         workers = max(1, workers or 1)
         factory = ExecutorFactory(kind=executor, max_workers=workers)
+        profiles = list(profiles)
+        use_batch = (
+            batch
+            if batch is not None
+            else (
+                _HIGHS_DIRECT_AVAILABLE
+                and len(profiles) > 1
+                and self.solver_options.backend in ("auto", "highs-direct")
+            )
+        )
+        if screen_top_k is not None:
+            if screen_top_k < 1:
+                raise ValueError("screen_top_k must be at least 1")
+            return self._cost_distribution_top_k(
+                profiles, capacity_kw, min_green_fraction, sources, storage,
+                factory, use_batch, screen_top_k,
+            )
+        if use_batch and len(profiles) > 1:
+            return self._cost_distribution_batch(
+                profiles, capacity_kw, min_green_fraction, sources, storage, factory
+            )
         if factory.effective_kind == "process" and len(profiles) > 1:
             return self._cost_distribution_process(
-                list(profiles), capacity_kw, min_green_fraction, sources, storage, factory
+                profiles, capacity_kw, min_green_fraction, sources, storage, factory
             )
 
         def price_chunk(chunk: Sequence[LocationProfile]) -> List[SingleSiteCost]:
@@ -234,7 +320,163 @@ class SingleSiteAnalyzer:
                 for profile in chunk
             ]
 
-        return priced_in_chunks(list(profiles), price_chunk, num_chunks=workers, workers=workers)
+        return priced_in_chunks(profiles, price_chunk, num_chunks=workers, workers=workers)
+
+    # -- two-stage machinery -------------------------------------------------------
+    def _pricing_problem(
+        self,
+        profiles: List[LocationProfile],
+        capacity_kw: float,
+        min_green_fraction: float,
+        sources: EnergySources,
+        storage: StorageMode,
+    ) -> Tuple[SitingProblem, List[Tuple[str, str]]]:
+        """The shared pricing problem plus per-location ``(name, class)`` pairs."""
+        sources_used = scoring_sources(min_green_fraction, sources)
+        params = scoring_parameters(self.params, capacity_kw, min_green_fraction)
+        problem = SitingProblem(
+            profiles=profiles, params=params, sources=sources_used, storage=storage
+        )
+        sitings = [
+            (profile.name, single_site_size_class(capacity_kw, profile, params))
+            for profile in profiles
+        ]
+        return problem, sitings
+
+    def _price_rows(
+        self,
+        problem: SitingProblem,
+        sitings: List[Tuple[str, str]],
+        factory: ExecutorFactory,
+        use_batch: bool,
+        compiler=None,
+    ) -> List[Tuple[str, float, bool]]:
+        """Price ``sitings`` in size-capped chunks on the configured executor.
+
+        The chunk split depends only on the sweep size (never the executor or
+        worker count) and results come back in ``sitings`` order, so costs
+        are bit-identical across serial, thread and process execution.
+        """
+        from repro.core.screening import price_batch, price_per_site
+
+        num_chunks = pricing_chunk_count(len(sitings), single_site_row_estimate(problem))
+        chunks = split_chunks(sitings, num_chunks)
+        if factory.effective_kind == "process" and len(chunks) > 1:
+            from repro.parallel.work import BatchPricingTask, run_batch_pricing_chunk
+
+            tasks = [
+                BatchPricingTask(
+                    problem=problem.restricted_to([name for name, _ in chunk]),
+                    sitings=tuple(chunk),
+                    options=self.solver_options,
+                    batch=use_batch,
+                )
+                for chunk in chunks
+            ]
+            rows: List[Tuple[str, float, bool]] = []
+            with factory.create(len(tasks)) as pool:
+                futures = [pool.submit(run_batch_pricing_chunk, task) for task in tasks]
+                for future, task in zip(futures, tasks):
+                    rows.extend(
+                        result_with_serial_fallback(future, run_batch_pricing_chunk, task)
+                    )
+            return rows
+
+        from repro.core.provisioning import ProvisioningCompiler
+
+        shared_compiler = compiler or ProvisioningCompiler(problem)
+
+        def run_chunk(chunk: List[Tuple[str, str]]) -> List[Tuple[str, float, bool]]:
+            if use_batch:
+                return price_batch(
+                    problem, chunk, self.solver_options, compiler=shared_compiler
+                )
+            return price_per_site(
+                problem, chunk, self.solver_options, compiler=shared_compiler
+            )
+
+        return priced_in_chunks(
+            sitings, run_chunk, num_chunks=num_chunks, workers=factory.workers(num_chunks)
+        )
+
+    def _cost_distribution_batch(
+        self,
+        profiles: List[LocationProfile],
+        capacity_kw: float,
+        min_green_fraction: float,
+        sources: EnergySources,
+        storage: StorageMode,
+        factory: ExecutorFactory,
+    ) -> List[SingleSiteCost]:
+        """The sweep priced through block-diagonal chunk solves (slim results)."""
+        problem, sitings = self._pricing_problem(
+            profiles, capacity_kw, min_green_fraction, sources, storage
+        )
+        configuration = self._configuration_label(min_green_fraction, problem.sources)
+        rows = self._price_rows(problem, sitings, factory, use_batch=True)
+        by_name = {profile.name: profile for profile in profiles}
+        return [
+            SingleSiteCost(
+                profile=by_name[name],
+                configuration=configuration,
+                monthly_cost=cost,
+                feasible=feasible,
+            )
+            for name, cost, feasible in rows
+        ]
+
+    def _cost_distribution_top_k(
+        self,
+        profiles: List[LocationProfile],
+        capacity_kw: float,
+        min_green_fraction: float,
+        sources: EnergySources,
+        storage: StorageMode,
+        factory: ExecutorFactory,
+        use_batch: bool,
+        top_k: int,
+    ) -> List[SingleSiteCost]:
+        """Exact top-k of the cost distribution with screened pricing.
+
+        Candidates are priced in ascending order of their admissible lower
+        bound; once ``top_k`` feasible costs are known, any candidate whose
+        bound exceeds the current k-th cheapest cost provably cannot enter
+        the top k and is never priced.
+        """
+        from repro.core.screening import screen_lower_bounds
+
+        problem, sitings = self._pricing_problem(
+            profiles, capacity_kw, min_green_fraction, sources, storage
+        )
+        configuration = self._configuration_label(min_green_fraction, problem.sources)
+        screen = screen_lower_bounds(problem, dict(sitings))
+        bounds = screen.lower_bounds
+        pending = [int(i) for i in screen.order if not screen.certified_infeasible[i]]
+        feasible_rows: List[Tuple[str, float, bool]] = []
+        round_size = max(2 * top_k, 32)
+        while pending:
+            take, pending = pending[:round_size], pending[round_size:]
+            rows = self._price_rows(
+                problem, [sitings[i] for i in take], factory, use_batch
+            )
+            feasible_rows.extend(row for row in rows if row[2])
+            if pending:
+                costs = sorted(cost for _, cost, _ in feasible_rows)
+                if len(costs) >= top_k:
+                    cut = costs[top_k - 1]
+                    pending = [i for i in pending if bounds[i] <= cut]
+            round_size *= 2
+        feasible_rows.sort(key=lambda row: (row[1], row[0]))
+        by_name = {profile.name: profile for profile in profiles}
+        return [
+            SingleSiteCost(
+                profile=by_name[name],
+                configuration=configuration,
+                monthly_cost=cost,
+                feasible=True,
+            )
+            for name, cost, _ in feasible_rows[:top_k]
+        ]
 
     def _cost_distribution_process(
         self,

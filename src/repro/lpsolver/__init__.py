@@ -58,6 +58,7 @@ from repro.lpsolver.expressions import (
     Variable,
     VariableKind,
 )
+from repro.lpsolver.batch import stack_block_diagonal
 from repro.lpsolver.highs_backend import HighsSolveContext
 from repro.lpsolver.model import CompiledModel, Model, ModelError, RowFormLP
 from repro.lpsolver.result import SolveResult, SolveStatus, SolverStatusError
@@ -80,4 +81,5 @@ __all__ = [
     "Variable",
     "VariableKind",
     "solve_model",
+    "stack_block_diagonal",
 ]

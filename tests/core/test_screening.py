@@ -1,0 +1,279 @@
+"""Differential tests of the two-stage filter pricing pipeline.
+
+The whole scheme rests on two exactness claims, and each is pinned against
+the LP ground truth:
+
+* **admissibility** — the vectorized screen's lower bound never exceeds the
+  exact single-site LP optimum, and its infeasibility certificates only fire
+  on LPs that really are infeasible, across the scenario matrix the
+  experiments use (Fig. 6 brown/solar/wind sweeps, the Table II storage
+  modes, the Section III-D search configuration);
+* **batching** — the block-diagonal stacked solve returns the same per-site
+  costs as the per-site warm-started solves it replaces, and the filter
+  shortlist is bit-identical whichever stage combination (screen on/off,
+  batch on/off) or executor (serial/thread/process) produced it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnergySources,
+    HeuristicSolver,
+    SearchSettings,
+    SitingProblem,
+    StorageMode,
+)
+from repro.core.problem import GreenEnforcement
+from repro.core.provisioning import ProvisioningCompiler, solve_provisioning
+from repro.core.screening import price_batch, price_per_site, screen_lower_bounds
+from repro.core.single_site import (
+    SingleSiteAnalyzer,
+    scoring_parameters,
+    scoring_sources,
+    single_site_size_class,
+)
+from repro.lpsolver import SolverOptions, stack_block_diagonal
+from repro.lpsolver.highs_backend import AVAILABLE as HIGHS_AVAILABLE
+
+
+def _pricing_problem(problem):
+    """The filter's single-site pricing problem for ``problem``."""
+    share_kw = problem.params.total_capacity_kw / max(1, problem.min_datacenters)
+    score_green = min(problem.params.min_green_fraction, 0.5)
+    params = scoring_parameters(problem.params, share_kw, score_green)
+    return (
+        problem.with_updates(
+            params=params,
+            sources=scoring_sources(score_green, problem.sources),
+            green_enforcement=GreenEnforcement.ANNUAL,
+        ),
+        share_kw,
+    )
+
+
+def _exact_rows(pricing_problem, share_kw, options):
+    compiler = ProvisioningCompiler(pricing_problem)
+    rows = {}
+    for profile in pricing_problem.profiles:
+        size_class = single_site_size_class(
+            share_kw, profile, pricing_problem.params
+        )
+        result = solve_provisioning(
+            pricing_problem,
+            {profile.name: size_class},
+            options=options,
+            enforce_spread=False,
+            compiler=compiler,
+        )
+        rows[profile.name] = (result.monthly_cost, result.feasible)
+    return rows
+
+
+#: (total capacity, green fraction, sources, storage) — the Fig. 6 sweep
+#: configurations, the Table II storage modes and the Sec. III-D search
+#: configuration, which together exercise every bound term (brown-only
+#: pricing, solar/wind gamma, batteries, no-storage dead epochs).
+SCENARIOS = [
+    pytest.param(50_000.0, 0.5, EnergySources.SOLAR_AND_WIND, StorageMode.NET_METERING, id="sec3d"),
+    pytest.param(25_000.0, 0.0, EnergySources.SOLAR_AND_WIND, StorageMode.NET_METERING, id="fig06-brown"),
+    pytest.param(25_000.0, 0.5, EnergySources.SOLAR_ONLY, StorageMode.NET_METERING, id="fig06-solar"),
+    pytest.param(25_000.0, 0.5, EnergySources.WIND_ONLY, StorageMode.NET_METERING, id="fig06-wind"),
+    pytest.param(50_000.0, 0.5, EnergySources.SOLAR_AND_WIND, StorageMode.BATTERIES, id="table2-batteries"),
+    pytest.param(50_000.0, 0.3, EnergySources.SOLAR_AND_WIND, StorageMode.NONE, id="table2-none"),
+]
+
+
+def _network_problem(all_profiles, params, capacity, green, sources, storage):
+    return SitingProblem(
+        profiles=all_profiles,
+        params=params.with_updates(
+            total_capacity_kw=capacity, min_green_fraction=green
+        ),
+        sources=sources,
+        storage=storage,
+    )
+
+
+class TestScreenAdmissibility:
+    @pytest.mark.parametrize("capacity,green,sources,storage", SCENARIOS)
+    def test_bound_below_exact_cost(
+        self, all_profiles, params, solver_options, capacity, green, sources, storage
+    ):
+        problem = _network_problem(
+            all_profiles, params, capacity, green, sources, storage
+        )
+        pricing, share_kw = _pricing_problem(problem)
+        screen = screen_lower_bounds(pricing)
+        exact = _exact_rows(pricing, share_kw, solver_options)
+        assert screen.names == [profile.name for profile in pricing.profiles]
+        for name, bound, certified in zip(
+            screen.names, screen.lower_bounds, screen.certified_infeasible
+        ):
+            cost, feasible = exact[name]
+            if certified:
+                # Certificates are sound: the LP really is infeasible.
+                assert not feasible, name
+            elif feasible:
+                # Admissibility: the bound never exceeds the LP optimum.
+                assert bound <= cost, (name, bound, cost)
+
+    def test_order_sorts_certified_last(self, all_profiles, params):
+        problem = _network_problem(
+            all_profiles,
+            params,
+            50_000.0,
+            0.3,
+            EnergySources.SOLAR_AND_WIND,
+            StorageMode.NONE,
+        )
+        pricing, _ = _pricing_problem(problem)
+        screen = screen_lower_bounds(pricing)
+        ordered = screen.lower_bounds[screen.order]
+        finite = ordered[np.isfinite(ordered)]
+        assert np.all(np.diff(finite) >= 0)
+        assert np.all(np.isinf(ordered[len(finite):]))
+
+
+class TestBatchPricing:
+    def test_stack_block_diagonal_shapes(self, two_site_problem):
+        compiler = ProvisioningCompiler(two_site_problem)
+        names = [profile.name for profile in two_site_problem.profiles]
+        compiled = [
+            compiler.compile_row_form({name: "large"}, enforce_spread=False)
+            for name in names
+        ]
+        assert all(entry is not None for entry in compiled)
+        blocks = [entry[0] for entry in compiled]
+        stacked, col_offsets, row_offsets = stack_block_diagonal(blocks)
+        assert stacked.shape == (
+            sum(block.shape[0] for block in blocks),
+            sum(block.shape[1] for block in blocks),
+        )
+        assert list(col_offsets) == [0, blocks[0].shape[1], stacked.shape[1]]
+        assert list(row_offsets) == [0, blocks[0].shape[0], stacked.shape[0]]
+        # Each block's columns only touch its own rows.
+        for i, block in enumerate(blocks):
+            for col in range(col_offsets[i], col_offsets[i + 1]):
+                touched = stacked.a_indices[
+                    stacked.a_indptr[col] : stacked.a_indptr[col + 1]
+                ]
+                assert np.all(touched >= row_offsets[i])
+                assert np.all(touched < row_offsets[i + 1])
+        assert stacked.objective_constant == pytest.approx(
+            sum(block.objective_constant for block in blocks)
+        )
+
+    def test_stack_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stack_block_diagonal([])
+
+    @pytest.mark.skipif(not HIGHS_AVAILABLE, reason="needs the direct HiGHS backend")
+    @pytest.mark.parametrize("capacity,green,sources,storage", SCENARIOS)
+    def test_batch_matches_per_site(
+        self, all_profiles, params, solver_options, capacity, green, sources, storage
+    ):
+        problem = _network_problem(
+            all_profiles, params, capacity, green, sources, storage
+        )
+        pricing, share_kw = _pricing_problem(problem)
+        sitings = [
+            (
+                profile.name,
+                single_site_size_class(share_kw, profile, pricing.params),
+            )
+            for profile in pricing.profiles
+        ]
+        batched = price_batch(pricing, sitings, solver_options)
+        unbatched = price_per_site(pricing, sitings, solver_options)
+        assert [row[0] for row in batched] == [row[0] for row in unbatched]
+        assert [row[2] for row in batched] == [row[2] for row in unbatched]
+        for (_, batch_cost, feasible), (_, site_cost, _) in zip(batched, unbatched):
+            if feasible:
+                assert batch_cost == pytest.approx(site_cost, rel=1e-7)
+
+
+class TestFilterShortlistInvariance:
+    """The shortlist is identical for every stage/executor combination."""
+
+    @pytest.fixture(scope="class")
+    def reference_shortlist(self, all_profiles, params):
+        problem = _network_problem(
+            all_profiles,
+            params,
+            50_000.0,
+            0.5,
+            EnergySources.SOLAR_AND_WIND,
+            StorageMode.NET_METERING,
+        )
+        settings = SearchSettings(
+            keep_locations=8,
+            num_chains=1,
+            seed=3,
+            executor="serial",
+            filter_screen=False,
+            filter_batch=False,
+        )
+        return problem, HeuristicSolver(problem, settings).filter_locations()
+
+    @pytest.mark.parametrize("screen", [True, False], ids=["screen", "noscreen"])
+    @pytest.mark.parametrize("batch", [True, False], ids=["batch", "persite"])
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_stage_and_executor_invariance(
+        self, reference_shortlist, screen, batch, executor
+    ):
+        problem, expected = reference_shortlist
+        settings = SearchSettings(
+            keep_locations=8,
+            num_chains=1,
+            seed=3,
+            executor=executor,
+            max_workers=2,
+            filter_screen=screen,
+            filter_batch=batch,
+        )
+        solver = HeuristicSolver(problem, settings)
+        assert solver.filter_locations() == expected
+        stats = solver._filter_stats
+        assert stats["filter_candidates"] == len(problem.profiles)
+        assert stats["filter_priced"] <= stats["filter_candidates"]
+        if not screen:
+            assert stats["filter_priced"] == stats["filter_candidates"]
+
+
+class TestCostDistributionTwoStage:
+    def test_batch_matches_legacy_sweep(self, all_profiles, params, solver_options):
+        analyzer = SingleSiteAnalyzer(params=params, solver_options=solver_options)
+        legacy = analyzer.cost_distribution(
+            all_profiles, min_green_fraction=0.5, batch=False
+        )
+        batched = analyzer.cost_distribution(
+            all_profiles, min_green_fraction=0.5, batch=True
+        )
+        assert [cost.name for cost in batched] == [cost.name for cost in legacy]
+        assert [cost.feasible for cost in batched] == [
+            cost.feasible for cost in legacy
+        ]
+        for slim, full in zip(batched, legacy):
+            if full.feasible:
+                assert slim.monthly_cost == pytest.approx(
+                    full.monthly_cost, rel=1e-7
+                )
+            assert slim.result is None  # batched sweeps are slim
+
+    def test_screen_top_k_matches_brute_force(
+        self, all_profiles, params, solver_options
+    ):
+        analyzer = SingleSiteAnalyzer(params=params, solver_options=solver_options)
+        full = analyzer.cost_distribution(
+            all_profiles, min_green_fraction=0.5, batch=False
+        )
+        expected = sorted(
+            ((cost.monthly_cost, cost.name) for cost in full if cost.feasible)
+        )[:5]
+        top = analyzer.cost_distribution(
+            all_profiles, min_green_fraction=0.5, screen_top_k=5
+        )
+        assert [(pytest.approx(cost, rel=1e-7), name) for cost, name in expected] == [
+            (site.monthly_cost, site.name) for site in top
+        ]
