@@ -303,6 +303,104 @@ def bench_stochastic_ensemble(draws: int = 8, rounds: int = 2) -> dict:
     return result
 
 
+def bench_contingency(rounds: int = 2, fallback_steps: int = 2000) -> dict:
+    """N-1 contingency planning and failover-dispatch throughput.
+
+    Plans the contingency-fig06 base deterministically once, then times
+    (a) the joint N-1 LP — shared sizing with one replicated epoch block per
+    single-site outage plus the epsilon budget rows — (b) the batched
+    block-diagonal evaluation of a fixed sizing across every contingency,
+    and (c) the greedy fallback dispatcher's pure-numpy step rate (the floor
+    the operator degrades to when the solver is down entirely).
+    """
+    import numpy as np
+
+    from repro.core.provisioning import ProvisioningCompiler
+    from repro.operator import GreedyFallbackDispatcher, SiteAsset
+    from repro.robust import ContingencyConfig, evaluate_contingencies, solve_contingency_lp
+    from repro.robust.stochastic import plan_siting_and_sizing
+
+    base = get_scenario("contingency-fig06").build().base.with_updates(contingency={})
+    runner = ExperimentRunner()
+    point = runner.run_point(base)
+    plan = point.solution.plan
+    problem, _ = runner._problem_for(base, runner.tool_for(base))
+    siting, det_sizing = plan_siting_and_sizing(plan)
+    compiler = ProvisioningCompiler(problem)
+    config = ContingencyConfig(survivability_epsilon=0.05)
+
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        joint = solve_contingency_lp(
+            compiler, siting, config=config, options=runner.solver_options
+        )
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, joint)
+    joint_seconds, joint = best
+
+    started = time.perf_counter()
+    evaluate_contingencies(
+        compiler, siting, det_sizing, options=runner.solver_options, batched=True
+    )
+    eval_seconds = time.perf_counter() - started
+
+    # Greedy fallback step rate: a 3-site fleet, no solver involved.
+    steps = fallback_steps
+    hours = np.arange(steps, dtype=float)
+    sites = [
+        SiteAsset(
+            name=f"site-{index}",
+            capacity_kw=600.0,
+            battery_kwh=180.0,
+            energy_price_per_kwh=0.1,
+            pue=np.full(steps, 1.25),
+            production_kw=np.clip(np.sin(2 * np.pi * (hours + 8.0 * index) / 24.0), 0, None)
+            * 1080.0,
+        )
+        for index in range(3)
+    ]
+    dispatcher = GreedyFallbackDispatcher(sites)
+    load = np.zeros(3)
+    level = np.zeros(3)
+    started = time.perf_counter()
+    for step in range(steps):
+        decision = dispatcher.decide(
+            step,
+            load,
+            level,
+            demand_kw=900.0 + 300.0 * np.sin(2 * np.pi * step / 24.0),
+            production_kw=np.array([float(site.production_kw[step]) for site in sites]),
+            wan_budget_kw=250.0,
+        )
+        load = decision.compute_kw
+        level = decision.level_kwh
+    fallback_seconds = time.perf_counter() - started
+
+    result = {
+        "num_sites": len(siting),
+        "epsilon": config.survivability_epsilon,
+        "num_cols": joint.num_cols,
+        "num_rows": joint.num_rows,
+        "simplex_iterations": joint.iterations,
+        "joint_lp_seconds": round(joint_seconds, 4),
+        "contingencies_per_second": round(len(siting) / joint_seconds, 1),
+        "batched_eval_seconds": round(eval_seconds, 4),
+        "worst_unserved_kwh": round(float(joint.worst_unserved_kwh), 1),
+        "budget_unserved_kwh": round(float(joint.budget_unserved_kwh), 1),
+        "greedy_fallback_steps_per_second": round(steps / fallback_seconds, 1),
+    }
+    print(
+        f"contingency {len(siting)} sites: joint N-1 LP "
+        f"{joint.num_cols}x{joint.num_rows} in {joint_seconds:.3f}s "
+        f"({result['contingencies_per_second']:.1f} contingencies/s), "
+        f"batched eval {eval_seconds:.3f}s, greedy fallback "
+        f"{result['greedy_fallback_steps_per_second']:.0f} steps/s"
+    )
+    return result
+
+
 def bench_sec5c(rounds: int = 3) -> dict:
     results = {}
     for scale in SCALES_MW:
@@ -372,6 +470,7 @@ def main() -> None:
         "parallel_executor_comparison": bench_executor_comparison(),
         "operator_rolling_horizon": bench_operator(),
         "stochastic_ensemble": bench_stochastic_ensemble(),
+        "contingency_planning": bench_contingency(),
     }
     entry["harness_seconds"] = round(time.perf_counter() - started, 2)
 

@@ -23,6 +23,7 @@ from repro.analysis.tables import (
     fragility_table,
     operator_regret_table,
     robustness_table,
+    survivability_table,
     table2_good_locations,
     table3_no_storage_network,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "reporting",
     "robustness_table",
     "series_to_rows",
+    "survivability_table",
     "table2_good_locations",
     "table3_no_storage_network",
     "tables",

@@ -152,6 +152,29 @@ def fragility_table(results) -> List[Dict[str, object]]:
     )
 
 
+def survivability_table(results) -> List[Dict[str, object]]:
+    """Tidy N-1 survivability rows of a sweep with ``contingency`` blocks.
+
+    Each row compares one point's deterministic sizing against its N-1
+    survivable sizing: the cost premium survivability charges vs the
+    worst-case unserved energy it buys down, and whether each sizing stays
+    within the epsilon budget under every single-site outage (the planner's
+    violation counts; on operate sweeps also the replay-level verdicts).
+    """
+    hardened = results.filter(lambda point: "contingency" in point.record)
+    return hardened.rows(
+        record_fields=(
+            "n1_cost_premium_pct",
+            "det_worst_unserved_kwh",
+            "n1_worst_unserved_kwh",
+            "det_violations",
+            "n1_violations",
+            "survivability_within_epsilon",
+            "survivability_unserved_reduction_kwh",
+        )
+    )
+
+
 def network_summary_row(label: str, plan: Optional[NetworkPlan]) -> Dict[str, object]:
     """One summary row used by several benchmarks (cost, capacity, green %)."""
     if plan is None:

@@ -103,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--iterations", type=int, default=25, help="SA iterations per chain")
     plan.add_argument("--keep", type=int, default=10, help="locations kept after filtering")
     plan.add_argument("--chains", type=int, default=2, help="SA chains")
+    plan.add_argument("--survive-n1", action="store_true",
+                      help="additionally compute an N-1 survivable sizing: unserved energy "
+                           "within the epsilon budget under every single-site outage")
+    plan.add_argument("--survivability-epsilon", type=float, default=0.05,
+                      help="N-1 unserved-energy budget as a fraction of annual demand "
+                           "(default: 0.05)")
 
     single = subparsers.add_parser("single-site", help="price one datacenter at a location")
     single.add_argument("--location", required=True, help="catalogue location name")
@@ -183,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ensemble mode (overrides ensemble.mode)")
     stress.add_argument("--set", action="append", default=[], metavar="FIELD=VALUE",
                         help="override a spec field (dotted paths reach ensemble/faults knobs)")
+    stress.add_argument("--fail-on", action="append", default=[], metavar="METRIC=THRESHOLD",
+                        help="exit non-zero when a flattened record metric exceeds the "
+                             "threshold (e.g. stress_unserved_kwh=1000 or stress_degraded=0); "
+                             "repeatable — CI gates build on this")
     stress.add_argument("--workers", type=int, default=None)
     stress.add_argument("--executor", choices=EXECUTOR_KINDS, default="thread")
     stress.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -244,9 +254,33 @@ def run_plan(args: argparse.Namespace, stream) -> int:
             "num_chains": args.chains,
             "seed": args.seed,
         },
+        contingency=(
+            {"survivability_epsilon": args.survivability_epsilon}
+            if args.survive_n1
+            else {}
+        ),
     )
     point = ExperimentRunner().run_point(spec)
-    return _print_plan_solution(point.solution, stream)
+    code = _print_plan_solution(point.solution, stream)
+    report = point.record.get("contingency")
+    if code == 0 and report:
+        worst = report["worst_case"]
+        _print(
+            [
+                "",
+                f"N-1 survivability (epsilon {report['epsilon']:.3f}, "
+                f"budget {report['budget_unserved_kwh']:,.0f} kWh/yr):",
+                f"  survivable sizing premium: {report['cost_premium_pct']:+.2f} %",
+                f"  deterministic worst case : {worst['det']['unserved_kwh']:,.0f} kWh unserved "
+                f"(site {worst['det']['site']} dark, "
+                f"{report['det_violations']} contingency violation(s))",
+                f"  N-1 worst case           : {worst['n1']['unserved_kwh']:,.0f} kWh unserved "
+                f"({report['n1_violations']} contingency violation(s))",
+                f"  most critical site       : {report['criticality'][0]['site']}",
+            ],
+            stream,
+        )
+    return code
 
 
 def run_single_site(args: argparse.Namespace, stream) -> int:
@@ -565,7 +599,13 @@ def run_stress(args: argparse.Namespace, stream) -> int:
     results = runner.run(sweep)
     if args.json:
         _print([results.to_json()], stream)
-        return 0
+        # Gates still apply (the output stays pure JSON; only the exit code
+        # reports violations).
+        try:
+            gates = _parse_assignments(args.fail_on)
+        except ValueError:
+            return 2
+        return 3 if _gate_violations(gates, results, None) else 0
 
     exit_code = 0
     for point in results:
@@ -610,6 +650,34 @@ def run_stress(args: argparse.Namespace, stream) -> int:
                 f"{fragility_score['fallback_rebuilds']} cold-rebuild fallbacks, "
                 f"{fragility_score['forecast_blackout_steps']} blackout steps",
             ]
+            if fragility_score.get("greedy_fallback_steps", 0):
+                lines.append(
+                    f"  DEGRADED             : {fragility_score['greedy_fallback_steps']} "
+                    "greedy fallback step(s) committed without an LP optimum"
+                )
+        contingency = record.get("contingency")
+        if contingency:
+            worst = contingency["worst_case"]
+            lines += [
+                f"  N-1 sizing premium   : {contingency['cost_premium_pct']:+.2f} % "
+                f"(epsilon {contingency['epsilon']:.3f})",
+                f"  worst-case unserved  : deterministic {worst['det']['unserved_kwh']:,.1f} kWh "
+                f"({contingency['det_violations']} violations) vs "
+                f"N-1 {worst['n1']['unserved_kwh']:,.1f} kWh "
+                f"({contingency['n1_violations']} violations)",
+            ]
+        survivability = record.get("survivability")
+        if survivability:
+            det_plan = survivability["plans"]["deterministic"]
+            n1_plan = survivability["plans"]["n1"]
+            lines += [
+                f"  survivability replay : N-1 within epsilon: {n1_plan['within_epsilon']}, "
+                f"deterministic: {det_plan['within_epsilon']}",
+                f"  outage unserved delta: deterministic worst "
+                f"{det_plan['worst_unserved_delta_kwh']:,.1f} kWh "
+                f"(site {det_plan['worst_site']}), "
+                f"N-1 worst {n1_plan['worst_unserved_delta_kwh']:,.1f} kWh",
+            ]
         if len(lines) == 1:
             lines.append("  (no robustness data on this record)")
         _print(lines, stream)
@@ -621,7 +689,48 @@ def run_stress(args: argparse.Namespace, stream) -> int:
         ],
         stream,
     )
+    try:
+        gates = _parse_assignments(args.fail_on)
+    except ValueError as error:
+        _print([f"invalid --fail-on gate: {error}"], stream)
+        return 2
+    gate_failures = _gate_violations(gates, results, stream)
+    if gate_failures:
+        _print([f"{gate_failures} fail-on gate violation(s)"], stream)
+        return 3
+    if gates:
+        _print([f"all {len(gates)} fail-on gate(s) passed"], stream)
     return exit_code
+
+
+def _gate_violations(gates: dict, results, stream) -> int:
+    """Count ``--fail-on`` violations: a flattened record metric above its
+    threshold (or missing entirely) fails the gate.  Booleans coerce the
+    usual way, so ``stress_degraded=0`` fails exactly when a replay
+    degraded."""
+    failures = 0
+    for metric, threshold in gates.items():
+        try:
+            limit = float(threshold)
+        except (TypeError, ValueError):
+            if stream is not None:
+                _print(
+                    [f"invalid --fail-on gate: {metric}={threshold!r} is not numeric"],
+                    stream,
+                )
+            failures += 1
+            continue
+        for point in results:
+            value = point.record.get(metric)
+            if value is None:
+                if stream is not None:
+                    _print([f"FAIL {metric}: metric missing from the record"], stream)
+                failures += 1
+            elif float(value) > limit:
+                if stream is not None:
+                    _print([f"FAIL {metric}: {float(value):g} > {limit:g}"], stream)
+                failures += 1
+    return failures
 
 
 def run_cache(args: argparse.Namespace, stream) -> int:

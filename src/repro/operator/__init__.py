@@ -5,9 +5,11 @@ it*: a traffic layer synthesizing request-level demand from regional user
 populations (:mod:`repro.operator.traffic`), pluggable energy/load
 forecasters with deterministic noise (:mod:`repro.operator.forecast`), a
 dispatch core that re-solves a sliding-window LP as in-place splices on one
-persistent HiGHS model (:mod:`repro.operator.dispatch`), and a replay
+persistent HiGHS model (:mod:`repro.operator.dispatch`), a replay
 harness comparing oracle and forecast-driven policies over the same trace
-(:mod:`repro.operator.replay`).
+(:mod:`repro.operator.replay`), and a pure-numpy greedy dispatcher that
+keeps replays alive — flagged degraded — when the LP solver is entirely
+down (:mod:`repro.operator.failover`).
 
 Scenario integration: the ``operate`` workflow of
 :class:`~repro.scenarios.spec.ScenarioSpec` provisions a plan with the
@@ -22,11 +24,13 @@ from repro.operator.dispatch import (
     RollingDispatcher,
     SiteAsset,
 )
+from repro.operator.failover import GreedyFallbackDispatcher
 from repro.operator.faults import (
     DemandSurge,
     FaultSpec,
     ForecastBlackout,
     SiteOutage,
+    SolverOutage,
     WanDegradation,
 )
 from repro.operator.forecast import (
@@ -49,6 +53,7 @@ from repro.operator.replay import (
     operate_plan,
     regret,
     sites_from_plan,
+    survivability_study,
 )
 from repro.operator.traffic import (
     Region,
@@ -67,6 +72,7 @@ __all__ = [
     "FaultSpec",
     "Forecaster",
     "ForecastBlackout",
+    "GreedyFallbackDispatcher",
     "NoisyOracleForecaster",
     "OperateConfig",
     "OracleForecaster",
@@ -80,6 +86,7 @@ __all__ = [
     "SeasonalNaiveForecaster",
     "SiteAsset",
     "SiteOutage",
+    "SolverOutage",
     "TrafficEvent",
     "TrafficModel",
     "TrafficTrace",
@@ -91,4 +98,5 @@ __all__ = [
     "operate_plan",
     "regret",
     "sites_from_plan",
+    "survivability_study",
 ]

@@ -116,6 +116,17 @@ class DispatchConfig:
     wan_move_kw: Optional[float] = None    #: per-step cap on total shifted load (None = uncapped)
     unserved_penalty: float = 10.0         #: $/kWh of demand left unserved (SLA)
     migration_penalty_per_kw: float = 1e-3  #: $ per kW of load shifted
+    #: Tiered load shedding: ``((fraction, penalty_per_kwh), ...)`` priority
+    #: classes.  Each tier may shed at most ``fraction`` of the step's demand
+    #: at its own price; fractions must sum to 1.  ``None`` keeps the single
+    #: global slack priced at ``unserved_penalty``.  Cheap (low-priority)
+    #: tiers shed first simply because the LP minimises cost.
+    shed_tiers: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: Engage the proportional-to-capacity greedy dispatcher when the
+    #: retry -> cold-rebuild ladder exhausts, instead of raising
+    #: :class:`DispatchError`.  Decisions taken this way are flagged
+    #: ``degraded`` so replays complete with an honest record.
+    greedy_fallback: bool = True
     incremental: Optional[bool] = None     #: None = auto (when HiGHS direct is available)
     #: Transplant the expiring step's basis statuses onto the appended step
     #: (per-block basis memory).  The slide is a pure block swap, and the
@@ -139,6 +150,16 @@ class DispatchConfig:
             raise ValueError("the WAN move budget cannot be negative")
         if self.unserved_penalty <= 0:
             raise ValueError("the unserved-demand penalty must be positive")
+        if self.shed_tiers is not None:
+            tiers = tuple((float(frac), float(penalty)) for frac, penalty in self.shed_tiers)
+            if not tiers:
+                raise ValueError("shed_tiers needs at least one (fraction, penalty) tier")
+            fractions = [frac for frac, _ in tiers]
+            if any(frac <= 0 for frac in fractions) or abs(sum(fractions) - 1.0) > 1e-6:
+                raise ValueError("shed-tier fractions must be positive and sum to 1")
+            if any(penalty <= 0 for _, penalty in tiers):
+                raise ValueError("shed-tier penalties must be positive")
+            self.shed_tiers = tiers
 
 
 @dataclass
@@ -157,6 +178,10 @@ class DispatchDecision:
     export_kw: np.ndarray
     unserved_kw: float
     iterations: int = 0
+    #: Unserved split by shedding tier (config order); None without tiers.
+    unserved_by_tier: Optional[np.ndarray] = None
+    #: True when the decision came from the greedy fallback, not the LP.
+    degraded: bool = False
 
     @property
     def moved_kw(self) -> float:
@@ -190,8 +215,18 @@ class RollingDispatcher:
         self.options = options or SolverOptions()
         self._N = len(self.sites)
         self._H = self.config.horizon
-        self._ncols_step = 1 + 8 * self._N
-        self._nrows_step = 2 + 5 * self._N
+        # Tiered shedding appends its extra columns/rows at the *end* of each
+        # step block so every legacy index (col 0 unserved, per-site offsets)
+        # survives unchanged; without tiers the layout is exactly the old one.
+        self._tiered = self.config.shed_tiers is not None
+        self._tiers: Tuple[Tuple[float, float], ...] = (
+            self.config.shed_tiers
+            if self._tiered
+            else ((1.0, self.config.unserved_penalty),)
+        )
+        self._K = len(self._tiers)
+        self._ncols_step = 1 + 8 * self._N + (self._K - 1)
+        self._nrows_step = 2 + 5 * self._N + (self._K if self._tiered else 0)
         self.incremental = (
             self.config.incremental
             if self.config.incremental is not None
@@ -215,6 +250,8 @@ class RollingDispatcher:
         self._wan_factor = 1.0
         self._restore_first_step = False
         self._fault_steps: frozenset = frozenset()
+        self._outage_steps: frozenset = frozenset()
+        self._greedy = None
         self.stats: Dict[str, int] = {
             "lp_solves": 0,
             "cold_loads": 0,
@@ -223,6 +260,7 @@ class RollingDispatcher:
             "simplex_iterations": 0,
             "slide_retries": 0,
             "fallback_rebuilds": 0,
+            "greedy_fallback_steps": 0,
         }
 
     def inject_solve_failures(self, steps) -> None:
@@ -235,9 +273,26 @@ class RollingDispatcher:
         """
         self._fault_steps = frozenset(int(step) for step in steps)
 
+    def inject_solver_outages(self, steps) -> None:
+        """Treat *every* solve attempt at these window start steps as failed.
+
+        Unlike :meth:`inject_solve_failures` (warm solve fails, the cold
+        rebuild succeeds), an outage takes the solver down entirely: the
+        whole retry -> cold-rebuild ladder exhausts, and the dispatcher
+        either raises or — with ``greedy_fallback`` — commits a flagged
+        degraded greedy decision so the replay still completes.
+        """
+        self._outage_steps = frozenset(int(step) for step in steps)
+
     # -- column/row block construction -----------------------------------------
     def _col(self, base: int, site: int, var: int) -> int:
         return base + 1 + 8 * site + var
+
+    def _tier_col(self, base: int, tier: int) -> int:
+        """Column of one shedding tier's unserved slack (tier 0 is column 0)."""
+        if tier == 0:
+            return base
+        return base + 1 + 8 * self._N + (tier - 1)
 
     def _step_columns(self, absolute: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(cost, lower, upper) of one step's column block."""
@@ -247,7 +302,8 @@ class RollingDispatcher:
         cost = np.zeros(n)
         lower = np.zeros(n)
         upper = np.full(n, np.inf)
-        cost[0] = cfg.unserved_penalty * delta
+        for k, (_, penalty) in enumerate(self._tiers):
+            cost[self._tier_col(0, k)] = penalty * delta
         for d, site in enumerate(self.sites):
             base = 1 + 8 * d
             upper[base + _C] = site.capacity_kw
@@ -291,9 +347,10 @@ class RollingDispatcher:
         cols: List[List[int]] = []
         vals: List[List[float]] = []
 
-        # demand: unserved + sum(compute) >= demand
-        cols.append([base] + [self._col(base, d, _C) for d in range(self._N)])
-        vals.append([1.0] * (1 + self._N))
+        # demand: unserved (all tiers) + sum(compute) >= demand
+        tier_cols = [self._tier_col(base, k) for k in range(self._K)]
+        cols.append(tier_cols + [self._col(base, d, _C) for d in range(self._N)])
+        vals.append([1.0] * (self._K + self._N))
         row_lower.append(float(demand))
         row_upper.append(np.inf)
         # wan: sum(migrate) <= budget
@@ -349,6 +406,14 @@ class RollingDispatcher:
                 vals.append([1.0, -1.0, -eff * delta, delta])
                 row_lower.append(0.0)
                 row_upper.append(0.0)
+
+        if self._tiered:
+            # tier caps: each priority class may shed at most its share
+            for k in range(self._K):
+                cols.append([self._tier_col(base, k)])
+                vals.append([1.0])
+                row_lower.append(-np.inf)
+                row_upper.append(self._tiers[k][0] * float(demand))
 
         starts = np.zeros(len(cols) + 1, dtype=np.int64)
         np.cumsum([len(entry) for entry in cols], out=starts[1:])
@@ -586,11 +651,19 @@ class RollingDispatcher:
         #    the window (the appended step already carries fresh values).
         for k in range(t):
             offset = k * self._nrows_step
-            model.change_row_bounds(offset, float(self._demand_hat[k]), np.inf)
+            demand_k = float(self._demand_hat[k])
+            model.change_row_bounds(offset, demand_k, np.inf)
             for d in range(self._N):
                 model.change_row_bounds(
                     offset + 2 + 5 * d + 3, -np.inf, float(self._production_hat[d, k])
                 )
+            if self._tiered:
+                for tier in range(self._K):
+                    model.change_row_bounds(
+                        offset + 2 + 5 * self._N + tier,
+                        -np.inf,
+                        self._tiers[tier][0] * demand_k,
+                    )
         # 5. impose (or lift) realized faults on the first step's bounds.
         #    Skipped entirely on the nominal path so fault support costs an
         #    unfaulted replay nothing.
@@ -607,10 +680,13 @@ class RollingDispatcher:
 
     # -- solving ----------------------------------------------------------------
     def _solve(self) -> DispatchDecision:
+        # A solver outage (injected permanent failure) fails every rung of
+        # the ladder; an injected solve failure only fails the warm legs.
+        outage = self._start_step in self._outage_steps
+        result = None
         if self.incremental:
             warm = self._model.basis_snapshot() is not None or self.stats["lp_solves"] > 0
-            injected = self._start_step in self._fault_steps
-            result = None
+            injected = outage or self._start_step in self._fault_steps
             if not injected:
                 result = self._model.solve(self.options)
             if injected or result.status is not SolveStatus.OPTIMAL:
@@ -628,24 +704,54 @@ class RollingDispatcher:
                     self.stats["cold_loads"] += 1
                     self._model.load(self._build_row_form())
                     self._restore_first_step = self._faulted
-                    result = self._model.solve(self.options)
+                    result = None if outage else self._model.solve(self.options)
                 warm = False
-            if warm and result.status is SolveStatus.OPTIMAL:
+            if warm and result is not None and result.status is SolveStatus.OPTIMAL:
                 self.stats["warm_solves"] += 1
-        else:
+        elif not outage:
             result = self._solve_cold_row_form(self._build_row_form())
         self.stats["lp_solves"] += 1
-        self.stats["simplex_iterations"] += int(result.iterations)
-        if result.status is not SolveStatus.OPTIMAL:
+        if result is not None:
+            self.stats["simplex_iterations"] += int(result.iterations)
+        if result is None or result.status is not SolveStatus.OPTIMAL:
+            if self.config.greedy_fallback:
+                self.stats["greedy_fallback_steps"] += 1
+                return self._greedy_decision()
+            detail = (
+                "solver unavailable (injected outage)"
+                if result is None
+                else f"{result.status.value}: {result.message}"
+            )
             raise DispatchError(
-                f"window LP at step {self._start_step} not optimal: "
-                f"{result.status.value}: {result.message}"
+                f"window LP at step {self._start_step} not optimal: {detail}"
             )
         return self._extract_decision(result.x, float(result.objective), int(result.iterations))
 
+    def _greedy_decision(self) -> DispatchDecision:
+        """Last-resort commitment of the realized step, flagged degraded."""
+        from repro.operator.failover import GreedyFallbackDispatcher
+
+        if self._greedy is None:
+            self._greedy = GreedyFallbackDispatcher(self.sites, self.config)
+        return self._greedy.decide(
+            step=self._start_step,
+            load_kw=self._load_kw,
+            level_kwh=self._level_kwh,
+            demand_kw=float(self._demand_hat[0]),
+            production_kw=self._production_hat[:, 0],
+            capacity_now=self._capacity_now,
+            wan_budget_kw=self._wan_upper(),
+        )
+
     def _extract_decision(self, x: np.ndarray, objective: float, iterations: int) -> DispatchDecision:
         block = np.asarray(x[: self._ncols_step], dtype=float)
-        per_site = block[1:].reshape(self._N, 8)
+        per_site = block[1 : 1 + 8 * self._N].reshape(self._N, 8)
+        if self._tiered:
+            tier_unserved = np.array([block[self._tier_col(0, k)] for k in range(self._K)])
+            unserved = float(tier_unserved.sum())
+        else:
+            tier_unserved = None
+            unserved = float(block[0])
         return DispatchDecision(
             step=self._start_step,
             objective=objective,
@@ -657,8 +763,9 @@ class RollingDispatcher:
             discharge_kw=per_site[:, _DIS].copy(),
             level_kwh=per_site[:, _LEV].copy(),
             export_kw=per_site[:, _X].copy(),
-            unserved_kw=float(block[0]),
+            unserved_kw=unserved,
             iterations=iterations,
+            unserved_by_tier=tier_unserved,
         )
 
     # -- differential oracle ------------------------------------------------------

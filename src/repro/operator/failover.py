@@ -1,0 +1,153 @@
+"""Last-resort greedy dispatcher for solver-down operation.
+
+When the window LP cannot be solved at all — a permanent solver outage, a
+crashed backend, repeated non-optimal statuses past the retry -> cold-rebuild
+ladder — the replay must still commit *some* feasible step rather than die
+mid-week.  :class:`GreedyFallbackDispatcher` produces that step in pure
+numpy:
+
+* load is allocated **proportionally to currently-available capacity**
+  (clipped to per-site caps when demand exceeds the fleet), the crudest
+  policy that never violates a capacity row;
+* migration is whatever the reallocation moved away from each site's
+  anchored load, scaled back to the WAN budget — load that cannot move
+  stays where it was, and the corresponding gains are withdrawn;
+* energy is greedy merit order per site: free green first, then battery
+  discharge bounded by the stored level, then brown — **battery-safe by
+  construction** (never below empty, never above capacity);
+* surplus green charges the battery up to capacity, the rest exports.
+
+Decisions carry ``degraded=True`` so replay records honestly flag every
+step that was committed without optimality.  The quality gap against the
+LP is the price of staying up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.operator.dispatch import DispatchConfig, DispatchDecision, SiteAsset
+
+
+class GreedyFallbackDispatcher:
+    """Proportional-to-capacity single-step dispatcher (no LP, no solver)."""
+
+    def __init__(self, sites: Sequence[SiteAsset], config: Optional[DispatchConfig] = None) -> None:
+        if not sites:
+            raise ValueError("the fallback dispatcher needs at least one site")
+        self.sites = list(sites)
+        self.config = config or DispatchConfig()
+        self._capacity_nominal = np.array([site.capacity_kw for site in self.sites])
+        self._battery_kwh = np.array([site.battery_kwh for site in self.sites])
+        self._price = np.array([site.energy_price_per_kwh for site in self.sites])
+        self._tiers = self.config.shed_tiers or ((1.0, self.config.unserved_penalty),)
+
+    def decide(
+        self,
+        step: int,
+        load_kw: np.ndarray,
+        level_kwh: np.ndarray,
+        demand_kw: float,
+        production_kw: np.ndarray,
+        capacity_now: Optional[np.ndarray] = None,
+        wan_budget_kw: float = np.inf,
+    ) -> DispatchDecision:
+        cfg = self.config
+        delta = cfg.step_hours
+        n = len(self.sites)
+        cap = (
+            self._capacity_nominal
+            if capacity_now is None
+            else np.minimum(np.asarray(capacity_now, dtype=float), self._capacity_nominal)
+        ).astype(float)
+        load = np.asarray(load_kw, dtype=float)
+        level = np.asarray(level_kwh, dtype=float).copy()
+        demand = max(float(demand_kw), 0.0)
+        # Load stranded above the available capacity crashed with its site;
+        # the anchor releases it, exactly like the LP's outage re-anchoring.
+        anchor = np.minimum(load, cap)
+
+        total_cap = float(cap.sum())
+        if total_cap <= 0.0:
+            compute = np.zeros(n)
+        elif demand >= total_cap:
+            compute = cap.copy()
+        else:
+            compute = demand * cap / total_cap
+
+        migrate = np.maximum(anchor - compute, 0.0)
+        total_move = float(migrate.sum())
+        if np.isfinite(wan_budget_kw) and total_move > wan_budget_kw and total_move > 0.0:
+            # Scale migration down to the budget: the unmovable share stays
+            # on its old site, and the sites that would have absorbed it give
+            # the same volume back (proportionally to their gain).
+            scale = max(wan_budget_kw, 0.0) / total_move
+            kept_back = migrate * (1.0 - scale)
+            migrate *= scale
+            gains = np.maximum(compute - anchor, 0.0)
+            compute = compute + kept_back
+            total_gain = float(gains.sum())
+            if total_gain > 0.0:
+                compute -= gains * min(1.0, float(kept_back.sum()) / total_gain)
+        compute = np.clip(compute, 0.0, cap)
+        unserved = max(demand - float(compute.sum()), 0.0)
+
+        # Per-site energy, greedy merit order: green, then battery, then brown.
+        pue = np.array([float(site.pue[step]) for site in self.sites])
+        production = np.maximum(np.asarray(production_kw, dtype=float), 0.0)
+        facility = pue * (compute + cfg.migration_factor * migrate)
+        green_direct = np.minimum(production, facility)
+        deficit = facility - green_direct
+        discharge = np.minimum(deficit, level / delta)
+        discharge[self._battery_kwh <= 0] = 0.0
+        level -= discharge * delta
+        brown = deficit - discharge
+        surplus = production - green_direct
+        eff = cfg.battery_efficiency
+        headroom = np.maximum(self._battery_kwh - level, 0.0)
+        charge = np.minimum(surplus, headroom / (eff * delta))
+        charge[self._battery_kwh <= 0] = 0.0
+        level += eff * delta * charge
+        if cfg.allow_export:
+            export = surplus - charge
+        else:
+            export = np.zeros(n)
+
+        # Shed cheapest tiers first, each bounded by its demand share.
+        fractions = np.array([frac for frac, _ in self._tiers])
+        penalties = np.array([penalty for _, penalty in self._tiers])
+        tier_caps = fractions * demand
+        tier_unserved = np.zeros(len(self._tiers))
+        remaining = unserved
+        order = np.argsort(penalties, kind="stable")
+        for k in order:
+            take = min(remaining, float(tier_caps[k]))
+            tier_unserved[k] = take
+            remaining -= take
+        if remaining > 0.0:
+            tier_unserved[order[-1]] += remaining
+
+        objective = float(
+            delta * float(self._price @ brown)
+            + delta * float(penalties @ tier_unserved)
+            + cfg.migration_penalty_per_kw * float(migrate.sum())
+            - (cfg.export_credit * delta * float(self._price @ export) if cfg.allow_export else 0.0)
+        )
+        return DispatchDecision(
+            step=int(step),
+            objective=objective,
+            compute_kw=compute,
+            migrate_kw=migrate,
+            brown_kw=brown,
+            green_direct_kw=green_direct,
+            charge_kw=charge,
+            discharge_kw=discharge,
+            level_kwh=level,
+            export_kw=export,
+            unserved_kw=float(tier_unserved.sum()),
+            iterations=0,
+            unserved_by_tier=tier_unserved if cfg.shed_tiers is not None else None,
+            degraded=True,
+        )

@@ -20,11 +20,24 @@ trace — events the planner never saw and the operator cannot anticipate:
 *treated as failed*, driving the dispatcher's retry -> cold-rebuild ladder
 (:meth:`~repro.operator.dispatch.RollingDispatcher.inject_solve_failures`) —
 chaos engineering for the LP runtime rather than the plant.
+:class:`SolverOutage` goes further: for a whole window *every* rung of that
+ladder fails (the solver is down, not merely warm-start-confused), so the
+dispatcher must fall back to the greedy degraded dispatcher
+(:mod:`repro.operator.failover`) or raise.
 
 All windows are half-open step ranges ``[start_step, start_step +
 duration_steps)`` on the replay's step grid.  Sites are referenced by plan
 name or by integer position in the replay's site order, so scenario files
 can inject faults without knowing which locations the search will pick.
+
+Construction **canonicalises** each fault channel: overlapping or adjacent
+windows on the same site/channel merge deterministically — outage,
+blackout and solver-outage windows union; WAN degradations split into
+maximal segments carrying the minimum covering factor; demand surges split
+into segments carrying the product of covering multipliers; solver fault
+steps sort and dedupe.  Canonical forms are fixed points (idempotent) and
+preserve every per-step query exactly, so two fault programs that behave
+identically also hash and compare identically.
 
 Everything round-trips through plain-JSON dicts (:meth:`FaultSpec.to_dict` /
 :meth:`FaultSpec.from_dict`) so fault programs can live inside a
@@ -34,6 +47,7 @@ hashing.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Union
 
@@ -111,8 +125,67 @@ class DemandSurge:
             raise ValueError("a demand-surge multiplier must be positive")
 
 
+@dataclass(frozen=True)
+class SolverOutage:
+    """The LP solver is entirely unavailable for a window of steps."""
+
+    start_step: int
+    duration_steps: int
+
+    def __post_init__(self) -> None:
+        _require_window(self.start_step, self.duration_steps, "solver outage")
+
+
 def _covers(start: int, duration: int, step: int) -> bool:
     return start <= step < start + duration
+
+
+def _merge_windows(windows: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Union of half-open ``(start, duration)`` windows, merged when they
+    overlap or touch, sorted by start."""
+    spans = sorted((start, start + duration) for start, duration in windows)
+    merged: List[List[int]] = []
+    for start, stop in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], stop)
+        else:
+            merged.append([start, stop])
+    return [(start, stop - start) for start, stop in merged]
+
+
+def _canonical_segments(
+    windows: Sequence[Tuple[int, int, float]], combine
+) -> List[Tuple[int, int, float]]:
+    """Maximal constant-value segments of overlapping valued windows.
+
+    ``windows`` are ``(start, duration, value)``; ``combine`` folds the
+    values covering a segment (``min`` for WAN factors, product for demand
+    surges).  Adjacent segments with equal combined values merge, so the
+    result is a canonical, idempotent representation.
+    """
+    points = sorted(
+        {start for start, _, _ in windows} | {start + dur for start, dur, _ in windows}
+    )
+    segments: List[List] = []
+    for a, b in zip(points, points[1:]):
+        covering = [
+            value for start, dur, value in windows if start <= a and b <= start + dur
+        ]
+        if not covering:
+            continue
+        value = combine(covering)
+        if segments and segments[-1][1] == a and segments[-1][2] == value:
+            segments[-1][1] = b
+        else:
+            segments.append([a, b, value])
+    return [(start, stop - start, value) for start, stop, value in segments]
+
+
+def _site_sort_key(site: Union[str, int]) -> Tuple:
+    # Integer site references sort before names; never compare int with str.
+    if isinstance(site, int):
+        return (0, site, "")
+    return (1, 0, site)
 
 
 @dataclass(frozen=True)
@@ -124,14 +197,65 @@ class FaultSpec:
     forecast_blackouts: Tuple[ForecastBlackout, ...] = ()
     demand_surges: Tuple[DemandSurge, ...] = ()
     solver_faults: Tuple[int, ...] = ()
+    solver_outages: Tuple[SolverOutage, ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "site_outages", tuple(self.site_outages))
-        object.__setattr__(self, "wan_degradations", tuple(self.wan_degradations))
-        object.__setattr__(self, "forecast_blackouts", tuple(self.forecast_blackouts))
-        object.__setattr__(self, "demand_surges", tuple(self.demand_surges))
+        # Outages merge per site (same-site overlapping/adjacent windows union).
+        by_site: Dict[Union[str, int], List[Tuple[int, int]]] = {}
+        for outage in self.site_outages:
+            by_site.setdefault(outage.site, []).append(
+                (outage.start_step, outage.duration_steps)
+            )
+        outages = tuple(
+            SiteOutage(site=site, start_step=start, duration_steps=duration)
+            for site in sorted(by_site, key=_site_sort_key)
+            for start, duration in _merge_windows(by_site[site])
+        )
+        object.__setattr__(self, "site_outages", outages)
         object.__setattr__(
-            self, "solver_faults", tuple(int(step) for step in self.solver_faults)
+            self,
+            "wan_degradations",
+            tuple(
+                WanDegradation(start_step=start, duration_steps=duration, factor=value)
+                for start, duration, value in _canonical_segments(
+                    [(w.start_step, w.duration_steps, w.factor) for w in self.wan_degradations],
+                    min,
+                )
+            ),
+        )
+        object.__setattr__(
+            self,
+            "forecast_blackouts",
+            tuple(
+                ForecastBlackout(start_step=start, duration_steps=duration)
+                for start, duration in _merge_windows(
+                    [(b.start_step, b.duration_steps) for b in self.forecast_blackouts]
+                )
+            ),
+        )
+        object.__setattr__(
+            self,
+            "demand_surges",
+            tuple(
+                DemandSurge(start_step=start, duration_steps=duration, multiplier=value)
+                for start, duration, value in _canonical_segments(
+                    [(s.start_step, s.duration_steps, s.multiplier) for s in self.demand_surges],
+                    math.prod,
+                )
+            ),
+        )
+        object.__setattr__(
+            self, "solver_faults", tuple(sorted({int(step) for step in self.solver_faults}))
+        )
+        object.__setattr__(
+            self,
+            "solver_outages",
+            tuple(
+                SolverOutage(start_step=start, duration_steps=duration)
+                for start, duration in _merge_windows(
+                    [(o.start_step, o.duration_steps) for o in self.solver_outages]
+                )
+            ),
         )
 
     @property
@@ -142,6 +266,7 @@ class FaultSpec:
             or self.forecast_blackouts
             or self.demand_surges
             or self.solver_faults
+            or self.solver_outages
         )
 
     # -- per-step queries (realized state at `step`) ----------------------------
@@ -197,6 +322,44 @@ class FaultSpec:
                 multipliers[start:stop] *= surge.multiplier
         return multipliers
 
+    # -- vectorized per-replay queries ------------------------------------------
+    def capacity_factor_matrix(self, num_steps: int, site_names: Sequence[str]) -> np.ndarray:
+        """``(num_sites, num_steps)`` capacity multipliers — columns are what
+        :meth:`capacity_factors` returns per step, precomputed for a replay."""
+        return np.where(self.outage_mask(num_steps, site_names), 0.0, 1.0)
+
+    def wan_factors(self, num_steps: int) -> np.ndarray:
+        """Per-step WAN budget multiplier vector (min over covering faults)."""
+        factors = np.ones(num_steps)
+        for degradation in self.wan_degradations:
+            start = degradation.start_step
+            stop = min(start + degradation.duration_steps, num_steps)
+            if start < num_steps:
+                np.minimum(
+                    factors[start:stop], degradation.factor, out=factors[start:stop]
+                )
+        return factors
+
+    def blackout_mask(self, num_steps: int) -> np.ndarray:
+        """Boolean per-step vector of forecast-blackout coverage."""
+        mask = np.zeros(num_steps, dtype=bool)
+        for blackout in self.forecast_blackouts:
+            start = blackout.start_step
+            stop = min(start + blackout.duration_steps, num_steps)
+            if start < num_steps:
+                mask[start:stop] = True
+        return mask
+
+    def solver_outage_steps(self, num_steps: int) -> np.ndarray:
+        """Sorted step indices at which the LP solver is entirely down."""
+        mask = np.zeros(num_steps, dtype=bool)
+        for outage in self.solver_outages:
+            start = outage.start_step
+            stop = min(start + outage.duration_steps, num_steps)
+            if start < num_steps:
+                mask[start:stop] = True
+        return np.flatnonzero(mask)
+
     # -- JSON round-trip --------------------------------------------------------
     def to_dict(self) -> Dict[str, List]:
         payload: Dict[str, List] = {}
@@ -223,6 +386,11 @@ class FaultSpec:
             ]
         if self.solver_faults:
             payload["solver_faults"] = list(self.solver_faults)
+        if self.solver_outages:
+            payload["solver_outages"] = [
+                {"start_step": o.start_step, "duration_steps": o.duration_steps}
+                for o in self.solver_outages
+            ]
         return payload
 
     @classmethod
@@ -233,6 +401,7 @@ class FaultSpec:
             "forecast_blackouts",
             "demand_surges",
             "solver_faults",
+            "solver_outages",
         }
         unknown = set(payload) - known
         if unknown:
@@ -249,4 +418,7 @@ class FaultSpec:
                 DemandSurge(**entry) for entry in payload.get("demand_surges", ())
             ),
             solver_faults=tuple(payload.get("solver_faults", ())),
+            solver_outages=tuple(
+                SolverOutage(**entry) for entry in payload.get("solver_outages", ())
+            ),
         )

@@ -31,7 +31,7 @@ from repro.operator.dispatch import (
     RollingDispatcher,
     SiteAsset,
 )
-from repro.operator.faults import FaultSpec
+from repro.operator.faults import FaultSpec, SiteOutage
 from repro.operator.forecast import RollingForecast, make_forecaster
 from repro.operator.traffic import TrafficModel, TrafficTrace, default_regions
 from repro.simulation.workload import VMSpec, migration_state_mb
@@ -62,6 +62,7 @@ class OperateConfig:
     outages_per_week: float = 0.5
     wan_move_fraction_per_hour: float = 0.25  #: service share movable per hour
     unserved_penalty: float = 10.0
+    shed_tiers: Optional[Sequence[Sequence[float]]] = None  #: priority classes [(fraction, penalty), ...]
     migration_penalty_per_kw: float = 1e-3
     export_credit: float = 1.0
     allow_export: bool = True
@@ -69,6 +70,7 @@ class OperateConfig:
     migration_factor: float = 1.0
     incremental: Optional[bool] = None
     carry_block_status: bool = True
+    greedy_fallback: bool = True          #: commit greedy steps when the solver is down
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -81,6 +83,12 @@ class OperateConfig:
             raise ValueError("the forecast error cannot be negative")
         if not 0.0 < self.wan_move_fraction_per_hour:
             raise ValueError("the WAN move fraction must be positive")
+        if self.shed_tiers is not None:
+            # JSON-friendly [[fraction, penalty], ...] -> canonical tuples;
+            # DispatchConfig validates fractions/penalties on construction.
+            self.shed_tiers = tuple(
+                (float(fraction), float(penalty)) for fraction, penalty in self.shed_tiers
+            )
 
     @property
     def horizon_steps(self) -> int:
@@ -96,9 +104,11 @@ class OperateConfig:
             export_credit=self.export_credit,
             wan_move_kw=self.wan_move_fraction_per_hour * total_capacity_kw * self.step_hours,
             unserved_penalty=self.unserved_penalty,
+            shed_tiers=self.shed_tiers,
             migration_penalty_per_kw=self.migration_penalty_per_kw,
             incremental=self.incremental,
             carry_block_status=self.carry_block_status,
+            greedy_fallback=self.greedy_fallback,
         )
 
 
@@ -130,6 +140,11 @@ class ReplayResult:
         return self.green_kwh / total if total > 0 else 0.0
 
     @property
+    def degraded(self) -> bool:
+        """Did any step commit a greedy fallback decision (no LP optimum)?"""
+        return self.stats.get("greedy_fallback_steps", 0) > 0
+
+    @property
     def warm_start_rate(self) -> float:
         solves = self.stats.get("lp_solves", 0)
         return self.stats.get("warm_solves", 0) / solves if solves else 0.0
@@ -156,6 +171,8 @@ class ReplayResult:
             "slide_retries": int(self.stats.get("slide_retries", 0)),
             "fallback_rebuilds": int(self.stats.get("fallback_rebuilds", 0)),
             "forecast_blackout_steps": int(self.stats.get("forecast_blackout_steps", 0)),
+            "greedy_fallback_steps": int(self.stats.get("greedy_fallback_steps", 0)),
+            "degraded": bool(self.degraded),
             "site_brown_kwh": {
                 name: float(value)
                 for name, value in zip(self.site_names, self.site_brown_kwh)
@@ -203,12 +220,23 @@ class ReplayHarness:
         # withdrawn per step through the dispatcher).  Forecasters read the
         # same actuals, so the operator observes faults only as they unfold.
         self.faults = faults if faults is not None and not faults.is_empty else None
+        self._capacity_factor_matrix: Optional[np.ndarray] = None
+        self._wan_factor_steps: Optional[np.ndarray] = None
+        self._blackout_steps: Optional[np.ndarray] = None
         if self.faults is not None:
             site_names = [site.name for site in self.sites]
             self._demand = self._demand * self.faults.demand_multipliers(needed)
             self._production = np.where(
                 self.faults.outage_mask(needed, site_names), 0.0, self._production
             )
+            # Precompute every per-step fault query once per replay so the
+            # hot loop only indexes arrays (the scalar queries scan the fault
+            # list on every call).
+            self._capacity_factor_matrix = self.faults.capacity_factor_matrix(
+                needed, site_names
+            )
+            self._wan_factor_steps = self.faults.wan_factors(needed)
+            self._blackout_steps = self.faults.blackout_mask(needed)
 
     def _forecasts(self, policy: str):
         config = self.config
@@ -258,9 +286,13 @@ class ReplayHarness:
             self.sites,
             config=config.dispatch_config(self.total_capacity_kw),
         )
-        site_names = [site.name for site in self.sites]
-        if self.faults is not None and self.faults.solver_faults:
-            dispatcher.inject_solve_failures(self.faults.solver_faults)
+        if self.faults is not None:
+            if self.faults.solver_faults:
+                dispatcher.inject_solve_failures(self.faults.solver_faults)
+            if self.faults.solver_outages:
+                dispatcher.inject_solver_outages(
+                    self.faults.solver_outage_steps(config.steps)
+                )
 
         # Initial state: demand spread proportionally to capacity (clipped to
         # each site's cap — an overloaded first step surfaces as unserved
@@ -274,6 +306,11 @@ class ReplayHarness:
             self.vm_spec,
         )
 
+        tier_penalties = (
+            np.array([penalty for _, penalty in config.shed_tiers])
+            if config.shed_tiers is not None
+            else None
+        )
         cost = brown = green = export = unserved = moved = state_gb = 0.0
         stalls = sla_steps = blackout_steps = 0
         site_brown = np.zeros(N)
@@ -296,9 +333,9 @@ class ReplayHarness:
             capacity_now = None
             wan_factor = 1.0
             if self.faults is not None:
-                capacity_now = capacities * self.faults.capacity_factors(step, site_names)
-                wan_factor = self.faults.wan_factor(step)
-                if policy == "forecast" and self.faults.blackout(step):
+                capacity_now = capacities * self._capacity_factor_matrix[:, step]
+                wan_factor = float(self._wan_factor_steps[step])
+                if policy == "forecast" and self._blackout_steps[step]:
                     # Forecasting service down: degrade to persistence (flat
                     # continuation of the current observation).  The rolling
                     # forecasters were still advanced above, so their cadence
@@ -340,7 +377,11 @@ class ReplayHarness:
             # The SLA penalty is part of the realized cost, exactly as the
             # dispatch LP prices it — otherwise a policy that simply fails
             # to serve demand would "beat" the oracle on headline regret.
-            cost += config.unserved_penalty * unserved_step
+            # With tiered shedding each priority class pays its own penalty.
+            if tier_penalties is not None and decision.unserved_by_tier is not None:
+                cost += float(tier_penalties @ decision.unserved_by_tier) * delta
+            else:
+                cost += config.unserved_penalty * unserved_step
             if unserved_step > 1e-6:
                 sla_steps += 1
             moved += decision.moved_kw
@@ -407,6 +448,8 @@ def fragility(faulted: ReplayResult, nominal: ReplayResult) -> Dict[str, float]:
         "slide_retries": int(faulted.stats.get("slide_retries", 0)),
         "fallback_rebuilds": int(faulted.stats.get("fallback_rebuilds", 0)),
         "forecast_blackout_steps": int(faulted.stats.get("forecast_blackout_steps", 0)),
+        "greedy_fallback_steps": int(faulted.stats.get("greedy_fallback_steps", 0)),
+        "degraded": bool(faulted.degraded),
     }
 
 
@@ -505,9 +548,115 @@ def operate_plan(
                 "stress_slide_retries": score["slide_retries"],
                 "stress_fallback_rebuilds": score["fallback_rebuilds"],
                 "stress_blackout_steps": score["forecast_blackout_steps"],
+                "stress_greedy_fallback_steps": score["greedy_fallback_steps"],
+                "stress_degraded": score["degraded"],
             }
         )
     return record
+
+
+def survivability_study(
+    plan,
+    n1_sizing: Dict[str, Dict[str, float]],
+    config: OperateConfig,
+    survivability_epsilon: float = 0.05,
+    outage_start_step: int = 6,
+    outage_duration_steps: int = 12,
+    total_capacity_kw: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Replay-level N-1 check: deterministic vs N-1 sizing under every outage.
+
+    Both sizings are replayed (forecast policy) over the *same* synthesized
+    trace — nominally, and once per site with that site knocked out for the
+    configured window.  A sizing *survives* an outage when the unserved
+    energy the outage adds stays within ``survivability_epsilon`` of the
+    replayed service demand.  The study is the operational ground truth for
+    the planner-level :func:`repro.robust.contingency.contingency_report`:
+    the N-1 sizing should survive every contingency; the deterministic one
+    typically fails its worst case.
+    """
+    from repro.robust.contingency import plan_with_sizing
+
+    service_kw = float(total_capacity_kw or plan.total_capacity_kw)
+    needed = config.steps + config.horizon_steps + config.reforecast_every
+    hours = config.start_hour + config.step_hours * np.arange(needed, dtype=float)
+    traffic = TrafficModel(
+        regions=default_regions(config.num_regions),
+        seed=config.traffic_seed,
+        base_utilization=config.base_utilization,
+        peak_utilization=config.peak_utilization,
+        noise_std=config.traffic_noise,
+        flash_crowds_per_week=config.flash_crowds_per_week,
+        outages_per_week=config.outages_per_week,
+    )
+    trace = traffic.synthesize(
+        steps=needed,
+        step_hours=config.step_hours,
+        start_hour=config.start_hour,
+        total_capacity_kw=service_kw,
+        reference_steps=config.steps,
+    )
+    demand_kwh = float(np.sum(trace.demand_kw[: config.steps])) * config.step_hours
+    budget_kwh = survivability_epsilon * demand_kwh
+    tolerance = 1e-9 * max(budget_kwh, 1.0)
+    site_names = [dc.name for dc in sorted(plan.datacenters, key=lambda d: d.name)]
+
+    plans = {"deterministic": plan, "n1": plan_with_sizing(plan, n1_sizing)}
+    summaries: Dict[str, Dict[str, Any]] = {}
+    for label, candidate in plans.items():
+        sites = sites_from_plan(candidate, hours)
+        nominal = ReplayHarness(
+            sites, trace, config, total_capacity_kw=service_kw
+        ).run("forecast")
+        per_site: Dict[str, Dict[str, Any]] = {}
+        for index, name in enumerate(site_names):
+            faults = FaultSpec(
+                site_outages=(
+                    SiteOutage(
+                        site=index,
+                        start_step=outage_start_step,
+                        duration_steps=outage_duration_steps,
+                    ),
+                )
+            )
+            faulted = ReplayHarness(
+                sites, trace, config, total_capacity_kw=service_kw, faults=faults
+            ).run("forecast")
+            delta_kwh = faulted.unserved_kwh - nominal.unserved_kwh
+            per_site[name] = {
+                "unserved_kwh": float(faulted.unserved_kwh),
+                "unserved_delta_kwh": float(delta_kwh),
+                "cost_usd": float(faulted.cost_usd),
+                "within_epsilon": bool(delta_kwh <= budget_kwh + tolerance),
+                "degraded": bool(faulted.degraded),
+            }
+        worst_site = max(per_site, key=lambda name: per_site[name]["unserved_delta_kwh"])
+        summaries[label] = {
+            "nominal_cost_usd": float(nominal.cost_usd),
+            "nominal_unserved_kwh": float(nominal.unserved_kwh),
+            "worst_site": worst_site,
+            "worst_unserved_delta_kwh": per_site[worst_site]["unserved_delta_kwh"],
+            "within_epsilon": all(entry["within_epsilon"] for entry in per_site.values()),
+            "per_site": per_site,
+        }
+
+    det, n1 = summaries["deterministic"], summaries["n1"]
+    baseline = abs(det["nominal_cost_usd"])
+    premium = n1["nominal_cost_usd"] - det["nominal_cost_usd"]
+    return {
+        "survivability_epsilon": float(survivability_epsilon),
+        "budget_unserved_kwh": float(budget_kwh),
+        "outage_start_step": int(outage_start_step),
+        "outage_duration_steps": int(outage_duration_steps),
+        "steps": int(config.steps),
+        "num_sites": len(site_names),
+        "sites": site_names,
+        "plans": summaries,
+        "cost_premium_pct": float(100.0 * premium / baseline) if baseline > 0 else 0.0,
+        "unserved_reduction_kwh": float(
+            det["worst_unserved_delta_kwh"] - n1["worst_unserved_delta_kwh"]
+        ),
+    }
 
 
 def regret(policy: ReplayResult, oracle: ReplayResult) -> Dict[str, float]:

@@ -13,13 +13,26 @@ package quantifies (and optionally hardens against) that fragility:
   sample-average-approximation (SAA) evaluation path, and reports expected
   cost, CVaR@α and the regret of the deterministic plan under off-nominal
   years.
+* :mod:`repro.robust.contingency` applies the N-1 criterion: one shared
+  sizing whose unserved energy stays within a ``survivability_epsilon``
+  budget under every single-site outage, with batched block-diagonal
+  evaluation of fixed sizings and a criticality-ranked contingency report.
 
 Scenario integration: a non-empty ``ensemble`` block on a
 :class:`~repro.scenarios.spec.ScenarioSpec` makes the experiment runner
-attach an ensemble report to every plan/operate record; ``repro stress``
-runs it from the CLI.
+attach an ensemble report to every plan/operate record; a non-empty
+``contingency`` block attaches the N-1 report (and, on operate runs, a
+replay-level survivability study); ``repro stress`` runs both from the CLI.
 """
 
+from repro.robust.contingency import (
+    ContingencyConfig,
+    ContingencySolution,
+    contingency_report,
+    evaluate_contingencies,
+    plan_with_sizing,
+    solve_contingency_lp,
+)
 from repro.robust.ensemble import (
     EnsembleConfig,
     cvar,
@@ -34,12 +47,18 @@ from repro.robust.stochastic import (
 )
 
 __all__ = [
+    "ContingencyConfig",
+    "ContingencySolution",
     "EnsembleConfig",
     "StochasticSolution",
+    "contingency_report",
     "cvar",
     "demand_factor",
     "ensemble_report",
+    "evaluate_contingencies",
     "perturbed_problem",
+    "plan_with_sizing",
+    "solve_contingency_lp",
     "solve_ensemble_lp",
     "weather_factors",
 ]

@@ -19,6 +19,16 @@ plan — yields the SAA evaluation path and the differential oracle: with
 sizing fixed, draws decouple, so the joint objective must equal the
 probability-weighted sum of single-draw solves.
 
+The same block machinery carries the N-1 contingency LP
+(:mod:`repro.robust.contingency`): a "draw" may represent a single-site
+outage instead of an off-nominal year, in which case ``blocked_sites``
+forces the faulted site's entire epoch block to zero and
+``unserved_energy_budget`` caps that draw's unserved energy (kWh over the
+year) instead of merely pricing it.  ``build_ensemble_row_form`` exposes the
+assembled row form without solving so contingency evaluation can stack many
+fixed-sizing blocks into one mega-LP via
+:func:`repro.lpsolver.batch.stack_block_diagonal`.
+
 All robust LPs relax the capacity-spread constraint (``enforce_spread`` in
 the deterministic path): a spread floor that scales with perturbed demand
 would manufacture infeasibility and negative regret artifacts that say
@@ -55,6 +65,7 @@ class StochasticSolution:
     sizing: Dict[str, Dict[str, float]]  #: per-site first-stage decision
     per_draw_costs: np.ndarray          #: unweighted total cost of each draw
     per_draw_unserved_cost: np.ndarray  #: unserved-recourse share of each draw
+    per_draw_unserved_energy: np.ndarray  #: unserved kWh over the year, per draw
     num_cols: int
     num_rows: int
     iterations: int
@@ -63,6 +74,34 @@ class StochasticSolution:
     @property
     def draws(self) -> int:
         return len(self.per_draw_costs)
+
+
+@dataclass
+class EnsembleLayout:
+    """Column/row layout of one assembled ensemble row form.
+
+    Carries everything :func:`extract_ensemble_solution` needs to read a
+    solution vector back into a :class:`StochasticSolution` — which makes a
+    block solved inside a larger stacked LP (``stack_block_diagonal``)
+    readable from its column slice alone.
+    """
+
+    names: Tuple[str, ...]
+    num_draws: int
+    num_epochs: int
+    epoch_width: int          #: per-(draw, site) epoch-column count
+    epoch_base: int
+    unserved_base: int
+    num_cols: int
+    num_rows: int
+    fixed_cost: float
+    site_costs: List[List[np.ndarray]]   #: [draw][site] dense local objective
+    unserved_cost: np.ndarray            #: per-epoch unserved price (unweighted)
+    weights_hours: np.ndarray            #: hours of the year per epoch
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.names)
 
 
 def _site_cost_vector(skeleton) -> np.ndarray:
@@ -91,27 +130,41 @@ def _solve_row_form(row_form: RowFormLP, options: SolverOptions):
     return _linprog_row_form(row_form, options).raise_for_status()
 
 
-def solve_ensemble_lp(
+def build_ensemble_row_form(
     compilers: Sequence[ProvisioningCompiler],
     siting: Mapping[str, str],
-    options: Optional[SolverOptions] = None,
     weights: Optional[Sequence[float]] = None,
     sizing_bounds: Optional[Mapping[str, Sequence[float]]] = None,
     unserved_penalty_x: float = 10.0,
-) -> StochasticSolution:
-    """Build and solve the stochastic LP over one compiler per draw.
+    blocked_sites: Optional[Sequence[Optional[int]]] = None,
+    unserved_energy_budget: Optional[Sequence[Optional[float]]] = None,
+    normalize_weights: bool = True,
+) -> Tuple[RowFormLP, EnsembleLayout]:
+    """Assemble the (stochastic or contingency) ensemble LP without solving.
 
     ``sizing_bounds`` clamps the shared sizing columns to a given plan
     (``{site: (capacity_kw, solar_kw, wind_kw, battery_kwh)}``), turning the
-    solve into a fixed-first-stage evaluation.  With a single compiler this
-    is exactly the SAA per-draw evaluation; with many it is the differential
-    oracle's joint form.
+    solve into a fixed-first-stage evaluation.
+
+    ``blocked_sites`` gives, per draw, the index (into sorted siting order)
+    of a site whose entire epoch block is forced to zero — an N-1 outage of
+    that site in that draw — or ``None`` for an unfaulted draw.  Every
+    epoch-column lower bound is zero, so zeroing the block is always
+    feasible and also keeps a dark site from earning export credits.
+
+    ``unserved_energy_budget`` gives, per draw, an upper bound on unserved
+    energy ``sum_t hours_t * unserved_t`` (kWh over the year), or ``None``
+    to leave that draw's unserved merely priced.
+
+    ``normalize_weights=False`` keeps the given draw weights as-is, which
+    the contingency LP needs: its nominal draw must carry weight exactly 1.0
+    against the once-paid sizing cost, with contingency recourse added at a
+    small extra weight rather than re-normalized away.
     """
     if not compilers:
         raise ValueError("the stochastic LP needs at least one draw")
     if not siting:
         raise ValueError("the stochastic LP needs at least one sited location")
-    options = options or SolverOptions()
     D = len(compilers)
     if weights is None:
         w = np.full(D, 1.0 / D)
@@ -119,12 +172,18 @@ def solve_ensemble_lp(
         w = np.asarray(weights, dtype=float)
         if w.shape != (D,) or np.any(w <= 0):
             raise ValueError("draw weights must be positive, one per draw")
-        w = w / w.sum()
+        if normalize_weights:
+            w = w / w.sum()
+    if blocked_sites is not None and len(blocked_sites) != D:
+        raise ValueError("blocked_sites needs one entry (or None) per draw")
+    if unserved_energy_budget is not None and len(unserved_energy_budget) != D:
+        raise ValueError("unserved_energy_budget needs one entry (or None) per draw")
 
     names = list(siting)
     S = len(names)
     base_problem = compilers[0].problem
     T = base_problem.num_epochs
+    weights_hours = np.asarray(base_problem.epochs.epoch_weights_hours(), dtype=float)
     has_green = base_problem.params.min_green_fraction > 0
     per_epoch = base_problem.green_enforcement is GreenEnforcement.PER_EPOCH
     green_count = (T if per_epoch else 1) if has_green else 0
@@ -188,6 +247,18 @@ def solve_ensemble_lp(
             le_parts.append(np.zeros(green_count, dtype=bool))
             ge_parts.append(np.ones(green_count, dtype=bool))
             row_offset += green_count
+    if unserved_energy_budget is not None:
+        # One LE row per budgeted draw: sum_t hours_t * unserved_{d,t} <= B_d.
+        for d, budget in enumerate(unserved_energy_budget):
+            if budget is None:
+                continue
+            rows_parts.append(np.full(T, row_offset, dtype=np.int64))
+            cols_parts.append(unserved_base + d * T + t_idx)
+            vals_parts.append(weights_hours.copy())
+            rhs_parts.append(np.array([float(budget)]))
+            le_parts.append(np.ones(1, dtype=bool))
+            ge_parts.append(np.zeros(1, dtype=bool))
+            row_offset += 1
     nrows = row_offset
 
     matrix = sparse.coo_matrix(
@@ -228,6 +299,17 @@ def solve_ensemble_lp(
             lower[epoch_slice] = skeletons[d][s].lower[_NUM_SIZING:]
             upper[epoch_slice] = skeletons[d][s].upper[_NUM_SIZING:]
             cost[epoch_slice] = w[d] * site_costs[d][s][_NUM_SIZING:]
+    if blocked_sites is not None:
+        # A faulted site's whole epoch block goes dark: no compute, no brown
+        # burn, no battery cycling, no export revenue.  Epoch lower bounds
+        # are all zero, so the zero block is always feasible.
+        for d, s_blocked in enumerate(blocked_sites):
+            if s_blocked is None:
+                continue
+            if not 0 <= int(s_blocked) < S:
+                raise ValueError(f"blocked site index {s_blocked!r} out of range")
+            start = epoch_base + (d * S + int(s_blocked)) * E
+            upper[start : start + E] = 0.0
     for d in range(D):
         u_slice = slice(unserved_base + d * T, unserved_base + (d + 1) * T)
         cost[u_slice] = w[d] * unserved_cost
@@ -246,12 +328,35 @@ def solve_ensemble_lp(
         maximise=False,
         objective_constant=fixed_cost,
     )
-    result = _solve_row_form(row_form, options)
-    x = result.x
+    layout = EnsembleLayout(
+        names=tuple(names),
+        num_draws=D,
+        num_epochs=T,
+        epoch_width=E,
+        epoch_base=epoch_base,
+        unserved_base=unserved_base,
+        num_cols=ncols,
+        num_rows=nrows,
+        fixed_cost=fixed_cost,
+        site_costs=site_costs,
+        unserved_cost=unserved_cost,
+        weights_hours=weights_hours,
+    )
+    return row_form, layout
 
+
+def extract_ensemble_solution(
+    x: np.ndarray,
+    layout: EnsembleLayout,
+    objective: float,
+    iterations: int = 0,
+    solver: str = "",
+) -> StochasticSolution:
+    """Read a solved column vector back through an :class:`EnsembleLayout`."""
+    S, D, T, E = layout.num_sites, layout.num_draws, layout.num_epochs, layout.epoch_width
     sizing: Dict[str, Dict[str, float]] = {}
     sizing_cost = 0.0
-    for s, name in enumerate(names):
+    for s, name in enumerate(layout.names):
         block = x[_NUM_SIZING * s : _NUM_SIZING * (s + 1)]
         sizing[name] = {
             "capacity_kw": float(block[0]),
@@ -259,28 +364,69 @@ def solve_ensemble_lp(
             "wind_kw": float(block[2]),
             "battery_kwh": float(block[3]),
         }
-        sizing_cost += float(np.dot(site_costs[0][s][:_NUM_SIZING], block))
+        sizing_cost += float(np.dot(layout.site_costs[0][s][:_NUM_SIZING], block))
     per_draw = np.empty(D)
     per_draw_unserved = np.empty(D)
+    per_draw_energy = np.empty(D)
     for d in range(D):
         epoch_cost = 0.0
         for s in range(S):
-            start = epoch_base + (d * S + s) * E
+            start = layout.epoch_base + (d * S + s) * E
             epoch_cost += float(
-                np.dot(site_costs[d][s][_NUM_SIZING:], x[start : start + E])
+                np.dot(layout.site_costs[d][s][_NUM_SIZING:], x[start : start + E])
             )
-        u_slice = slice(unserved_base + d * T, unserved_base + (d + 1) * T)
-        unserved_d = float(np.dot(unserved_cost, x[u_slice]))
+        u_slice = slice(layout.unserved_base + d * T, layout.unserved_base + (d + 1) * T)
+        unserved_d = float(np.dot(layout.unserved_cost, x[u_slice]))
         per_draw_unserved[d] = unserved_d
-        per_draw[d] = fixed_cost + sizing_cost + epoch_cost + unserved_d
+        per_draw_energy[d] = float(np.dot(layout.weights_hours, x[u_slice]))
+        per_draw[d] = layout.fixed_cost + sizing_cost + epoch_cost + unserved_d
 
     return StochasticSolution(
-        objective=float(result.objective),
+        objective=float(objective),
         sizing=sizing,
         per_draw_costs=per_draw,
         per_draw_unserved_cost=per_draw_unserved,
-        num_cols=ncols,
-        num_rows=nrows,
+        per_draw_unserved_energy=per_draw_energy,
+        num_cols=layout.num_cols,
+        num_rows=layout.num_rows,
+        iterations=int(iterations),
+        solver=solver,
+    )
+
+
+def solve_ensemble_lp(
+    compilers: Sequence[ProvisioningCompiler],
+    siting: Mapping[str, str],
+    options: Optional[SolverOptions] = None,
+    weights: Optional[Sequence[float]] = None,
+    sizing_bounds: Optional[Mapping[str, Sequence[float]]] = None,
+    unserved_penalty_x: float = 10.0,
+    blocked_sites: Optional[Sequence[Optional[int]]] = None,
+    unserved_energy_budget: Optional[Sequence[Optional[float]]] = None,
+    normalize_weights: bool = True,
+) -> StochasticSolution:
+    """Build and solve the stochastic LP over one compiler per draw.
+
+    See :func:`build_ensemble_row_form` for the meaning of every knob; this
+    wrapper assembles, solves (HiGHS when available, scipy otherwise) and
+    reads the solution back.
+    """
+    options = options or SolverOptions()
+    row_form, layout = build_ensemble_row_form(
+        compilers,
+        siting,
+        weights=weights,
+        sizing_bounds=sizing_bounds,
+        unserved_penalty_x=unserved_penalty_x,
+        blocked_sites=blocked_sites,
+        unserved_energy_budget=unserved_energy_budget,
+        normalize_weights=normalize_weights,
+    )
+    result = _solve_row_form(row_form, options)
+    return extract_ensemble_solution(
+        result.x,
+        layout,
+        objective=float(result.objective),
         iterations=int(result.iterations),
         solver=result.solver,
     )

@@ -428,6 +428,68 @@ def _robust_smoke() -> ParameterSweep:
     return ParameterSweep(base=base, name="robust-smoke")
 
 
+def _contingency_fig06() -> ParameterSweep:
+    """N-1 survivable sizing of the 50 MW / 50 % green case-study plan.
+
+    The planner-level contingency report compares the deterministic sizing
+    against the joint N-1 LP: cost premium vs worst-case unserved energy
+    under every single-site outage, plus the per-site criticality ranking.
+    """
+    base = bench_base(
+        name="contingency-fig06",
+        storage="net_metering",
+        min_green_fraction=0.5,
+        contingency={"survivability_epsilon": 0.05},
+    )
+    return ParameterSweep(base=base, name="contingency-fig06")
+
+
+def _failover_smoke() -> ParameterSweep:
+    """Tiny N-1 + failover replay for CI (one point, minutes-scale).
+
+    The operate record carries the contingency report *and* the replay-level
+    survivability study (both sizings operated through every single-site
+    outage), and the stress replay runs through a permanent solver outage so
+    the greedy fallback dispatcher must commit degraded steps.
+    """
+    base = ScenarioSpec(
+        name="failover-smoke",
+        workflow="operate",
+        num_locations=16,
+        catalog_seed=3,
+        days_per_season=1,
+        hours_per_epoch=6,
+        total_capacity_kw=20_000.0,
+        min_green_fraction=0.5,
+        search={
+            "keep_locations": 5,
+            "max_iterations": 4,
+            "patience": 4,
+            "num_chains": 1,
+            "seed": 3,
+            "max_datacenters": 3,
+        },
+        operate={
+            "steps": 24,
+            "horizon_hours": 8,
+            "energy_forecast": "noisy-oracle",
+            "load_forecast": "noisy-oracle",
+            "forecast_error": 0.25,
+            "shed_tiers": [[0.6, 20.0], [0.4, 5.0]],
+        },
+        contingency={
+            "survivability_epsilon": 0.02,
+            "outage_start_step": 6,
+            "outage_duration_steps": 12,
+        },
+        faults={
+            "site_outages": [{"site": 0, "start_step": 6, "duration_steps": 4}],
+            "solver_outages": [{"start_step": 10, "duration_steps": 3}],
+        },
+    )
+    return ParameterSweep(base=base, name="failover-smoke")
+
+
 def _smoke() -> ParameterSweep:
     base = ScenarioSpec(
         name="smoke",
@@ -471,3 +533,5 @@ register_scenario("operate-smoke", "tiny rolling-horizon replay for CI smoke run
 register_scenario("robust-fig06", "ensemble-scored, fault-injected replay of the 50 MW / 50 % green week", _robust_fig06)
 register_scenario("robust-saa", "planning-workflow ensemble regret (8-draw SAA, no replay)", _robust_saa)
 register_scenario("robust-smoke", "tiny ensemble + faulted replay for CI smoke runs", _robust_smoke)
+register_scenario("contingency-fig06", "N-1 survivable sizing vs the deterministic 50 MW / 50 % green plan", _contingency_fig06)
+register_scenario("failover-smoke", "tiny N-1 survivability + solver-outage failover replay for CI", _failover_smoke)

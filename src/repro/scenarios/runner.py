@@ -422,6 +422,7 @@ class ExperimentRunner:
                 }
             )
         self._attach_ensemble(record, spec, problem, plan)
+        self._attach_contingency(record, spec, compiler, plan)
         return record, solution
 
     def _attach_ensemble(self, record: Dict[str, Any], spec: ScenarioSpec, problem, plan) -> None:
@@ -448,6 +449,50 @@ class ExperimentRunner:
         if "stochastic_expected_cost" in report:
             record["stochastic_expected_cost"] = report["stochastic_expected_cost"]
             record["stochastic_saving_pct"] = report["stochastic_saving_pct"]
+
+    def _attach_contingency(
+        self, record: Dict[str, Any], spec: ScenarioSpec, compiler, plan, operate_config=None
+    ) -> None:
+        """Attach the N-1 contingency report when the spec asks for one.
+
+        Planner-level: the joint survivable LP plus batched per-outage
+        repricing of both sizings (``record["contingency"]``).  On operate
+        runs (``operate_config`` given) the replay-level survivability study
+        is attached too — both sizings operated through every single-site
+        outage window over one shared trace.
+        """
+        config = spec.contingency_config()
+        if config is None or plan is None:
+            return
+        from repro.robust.contingency import contingency_report
+        from repro.robust.stochastic import plan_siting_and_sizing
+
+        siting, sizing = plan_siting_and_sizing(plan)
+        report = contingency_report(
+            compiler, siting, sizing, config=config, options=self.solver_options
+        )
+        record["contingency"] = report
+        record["n1_cost_premium_pct"] = report["cost_premium_pct"]
+        record["det_worst_unserved_kwh"] = report["worst_case"]["det"]["unserved_kwh"]
+        record["n1_worst_unserved_kwh"] = report["worst_case"]["n1"]["unserved_kwh"]
+        record["det_violations"] = report["det_violations"]
+        record["n1_violations"] = report["n1_violations"]
+        if operate_config is not None:
+            from repro.operator.replay import survivability_study
+
+            study = survivability_study(
+                plan,
+                report["n1_sizing"],
+                operate_config,
+                survivability_epsilon=config.survivability_epsilon,
+                outage_start_step=config.outage_start_step,
+                outage_duration_steps=config.outage_duration_steps,
+                total_capacity_kw=spec.total_capacity_kw,
+            )
+            record["survivability"] = study
+            record["survivability_within_epsilon"] = study["plans"]["n1"]["within_epsilon"]
+            record["survivability_unserved_reduction_kwh"] = study["unserved_reduction_kwh"]
+            record["survivability_cost_premium_pct"] = study["cost_premium_pct"]
 
     def _run_single_site(self, spec: ScenarioSpec) -> Tuple[Dict[str, Any], Any]:
         tool = self.tool_for(spec)
@@ -544,6 +589,7 @@ class ExperimentRunner:
             )
         )
         self._attach_ensemble(record, spec, problem, plan)
+        self._attach_contingency(record, spec, compiler, plan, operate_config=config)
         return record, solution
 
     # -- shared construction caches -------------------------------------------

@@ -118,7 +118,28 @@ FAULT_KEYS = (
     "forecast_blackouts",
     "demand_surges",
     "solver_faults",
+    "solver_outages",
 )
+
+
+def _contingency_defaults() -> Dict[str, Any]:
+    """Default knobs of the ``contingency`` block.
+
+    Derived from :class:`repro.robust.contingency.ContingencyConfig` so the
+    spec layer and the N-1 planner can never drift apart.
+    """
+    import dataclasses
+
+    from repro.robust.contingency import ContingencyConfig
+
+    return {f.name: f.default for f in dataclasses.fields(ContingencyConfig)}
+
+
+#: Default knobs of the ``contingency`` block (N-1 survivable sizing and the
+#: replay-level survivability study; see :mod:`repro.robust.contingency`).  An
+#: *empty* block means "no contingency analysis" and is invisible to the
+#: content hash.
+CONTINGENCY_DEFAULTS: Dict[str, Any] = _contingency_defaults()
 
 #: Default knobs of the ``emulate`` workflow (the paper's three-site,
 #: nine-VM, solar-heavy Section V deployment).
@@ -183,9 +204,10 @@ class ScenarioSpec:
     # -- operations knobs (OPERATE_DEFAULTS keys; ``operate`` workflow) -------
     operate: Dict[str, Any] = field(default_factory=dict)
 
-    # -- robustness knobs (both blocks hash-invisible when empty) -------------
+    # -- robustness knobs (all blocks hash-invisible when empty) --------------
     ensemble: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
+    contingency: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.workflow not in WORKFLOWS:
@@ -217,6 +239,9 @@ class ScenarioSpec:
         unknown_faults = set(self.faults) - set(FAULT_KEYS)
         if unknown_faults:
             raise ValueError(f"unknown fault blocks: {sorted(unknown_faults)}")
+        unknown_contingency = set(self.contingency) - set(CONTINGENCY_DEFAULTS)
+        if unknown_contingency:
+            raise ValueError(f"unknown contingency knobs: {sorted(unknown_contingency)}")
         if self.candidate_names is not None:
             object.__setattr__(self, "candidate_names", tuple(self.candidate_names))
         if "sites" in self.emulation:
@@ -276,6 +301,20 @@ class ScenarioSpec:
 
         return FaultSpec.from_dict(self.faults)
 
+    def contingency_config(self):
+        """The contingency block as a typed
+        :class:`~repro.robust.ContingencyConfig`.
+
+        Returns ``None`` when the block is empty (no N-1 analysis).
+        """
+        if not self.contingency:
+            return None
+        from repro.robust.contingency import ContingencyConfig
+
+        knobs = dict(CONTINGENCY_DEFAULTS)
+        knobs.update(self.contingency)
+        return ContingencyConfig(**knobs)
+
     # -- updates --------------------------------------------------------------
     def with_updates(self, **changes: Any) -> "ScenarioSpec":
         """A copy of the spec with the given fields replaced.
@@ -301,6 +340,7 @@ class ScenarioSpec:
                 "operate",
                 "ensemble",
                 "faults",
+                "contingency",
             ):
                 raise KeyError(f"cannot apply dotted override to field {parent!r}")
             merged = dict(getattr(self, parent))
@@ -381,6 +421,8 @@ class ScenarioSpec:
             payload.pop("ensemble", None)
         if not payload.get("faults"):
             payload.pop("faults", None)
+        if not payload.get("contingency"):
+            payload.pop("contingency", None)
         search = {
             key: value
             for key, value in payload["search"].items()
@@ -405,7 +447,15 @@ class ScenarioSpec:
         payload = self.hash_payload()
         # The robustness blocks perturb *copies* of the problem (or only the
         # replay), never the base fixed-siting LPs the skeleton cache serves.
-        for irrelevant in ("workflow", "search", "emulation", "operate", "ensemble", "faults"):
+        for irrelevant in (
+            "workflow",
+            "search",
+            "emulation",
+            "operate",
+            "ensemble",
+            "faults",
+            "contingency",
+        ):
             payload.pop(irrelevant, None)
         canonical_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical_json.encode("utf-8")).hexdigest()

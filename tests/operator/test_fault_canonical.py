@@ -1,0 +1,226 @@
+"""FaultSpec canonicalisation: merges, idempotency, vectorized queries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.operator import (
+    DemandSurge,
+    FaultSpec,
+    ForecastBlackout,
+    SiteOutage,
+    SolverOutage,
+    WanDegradation,
+)
+
+SITE_NAMES = ("alpha", "beta", "gamma")
+
+
+class TestCanonicalisation:
+    def test_same_site_overlapping_outages_merge(self):
+        spec = FaultSpec(
+            site_outages=(
+                SiteOutage(site="beta", start_step=4, duration_steps=3),
+                SiteOutage(site="beta", start_step=6, duration_steps=4),
+                SiteOutage(site="beta", start_step=10, duration_steps=2),  # adjacent
+                SiteOutage(site="alpha", start_step=5, duration_steps=1),
+            )
+        )
+        assert spec.site_outages == (
+            SiteOutage(site="alpha", start_step=5, duration_steps=1),
+            SiteOutage(site="beta", start_step=4, duration_steps=8),
+        )
+
+    def test_distinct_sites_do_not_merge(self):
+        spec = FaultSpec(
+            site_outages=(
+                SiteOutage(site=0, start_step=0, duration_steps=4),
+                SiteOutage(site=1, start_step=2, duration_steps=4),
+            )
+        )
+        assert len(spec.site_outages) == 2
+
+    def test_construction_order_is_irrelevant(self):
+        outages = [
+            SiteOutage(site="beta", start_step=6, duration_steps=4),
+            SiteOutage(site="alpha", start_step=0, duration_steps=2),
+            SiteOutage(site="beta", start_step=4, duration_steps=3),
+        ]
+        forward = FaultSpec(site_outages=tuple(outages))
+        backward = FaultSpec(site_outages=tuple(reversed(outages)))
+        assert forward == backward
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_wan_overlaps_become_min_factor_segments(self):
+        spec = FaultSpec(
+            wan_degradations=(
+                WanDegradation(start_step=0, duration_steps=6, factor=0.5),
+                WanDegradation(start_step=4, duration_steps=4, factor=0.25),
+            )
+        )
+        assert spec.wan_degradations == (
+            WanDegradation(start_step=0, duration_steps=4, factor=0.5),
+            WanDegradation(start_step=4, duration_steps=4, factor=0.25),
+        )
+        # Semantics preserved: the per-step factor is unchanged.
+        for step, expected in ((0, 0.5), (3, 0.5), (4, 0.25), (7, 0.25), (8, 1.0)):
+            assert spec.wan_factor(step) == expected
+
+    def test_surge_overlaps_become_product_segments(self):
+        spec = FaultSpec(
+            demand_surges=(
+                DemandSurge(start_step=0, duration_steps=10, multiplier=1.5),
+                DemandSurge(start_step=5, duration_steps=2, multiplier=2.0),
+            )
+        )
+        assert [s.multiplier for s in spec.demand_surges] == pytest.approx(
+            [1.5, 3.0, 1.5]
+        )
+        assert [(s.start_step, s.duration_steps) for s in spec.demand_surges] == [
+            (0, 5),
+            (5, 2),
+            (7, 3),
+        ]
+
+    def test_blackouts_and_solver_windows_merge(self):
+        spec = FaultSpec(
+            forecast_blackouts=(
+                ForecastBlackout(start_step=0, duration_steps=3),
+                ForecastBlackout(start_step=3, duration_steps=2),
+            ),
+            solver_outages=(
+                SolverOutage(start_step=10, duration_steps=2),
+                SolverOutage(start_step=11, duration_steps=4),
+            ),
+            solver_faults=(9, 3, 9, 5),
+        )
+        assert spec.forecast_blackouts == (
+            ForecastBlackout(start_step=0, duration_steps=5),
+        )
+        assert spec.solver_outages == (SolverOutage(start_step=10, duration_steps=5),)
+        assert spec.solver_faults == (3, 5, 9)
+
+    def test_canonical_form_is_a_fixed_point(self):
+        spec = FaultSpec(
+            site_outages=(
+                SiteOutage(site="beta", start_step=4, duration_steps=3),
+                SiteOutage(site="beta", start_step=5, duration_steps=6),
+            ),
+            wan_degradations=(
+                WanDegradation(start_step=0, duration_steps=6, factor=0.5),
+                WanDegradation(start_step=4, duration_steps=4, factor=0.25),
+            ),
+            demand_surges=(
+                DemandSurge(start_step=0, duration_steps=10, multiplier=1.5),
+                DemandSurge(start_step=5, duration_steps=2, multiplier=2.0),
+            ),
+            forecast_blackouts=(
+                ForecastBlackout(start_step=0, duration_steps=3),
+                ForecastBlackout(start_step=2, duration_steps=2),
+            ),
+            solver_outages=(SolverOutage(start_step=1, duration_steps=2),),
+        )
+        again = FaultSpec(
+            site_outages=spec.site_outages,
+            wan_degradations=spec.wan_degradations,
+            forecast_blackouts=spec.forecast_blackouts,
+            demand_surges=spec.demand_surges,
+            solver_faults=spec.solver_faults,
+            solver_outages=spec.solver_outages,
+        )
+        assert again == spec
+
+    def test_equivalent_programs_compare_and_serialize_identically(self):
+        split = FaultSpec(
+            site_outages=(
+                SiteOutage(site=0, start_step=0, duration_steps=2),
+                SiteOutage(site=0, start_step=2, duration_steps=2),
+            )
+        )
+        joined = FaultSpec(
+            site_outages=(SiteOutage(site=0, start_step=0, duration_steps=4),)
+        )
+        assert split == joined
+        assert split.to_dict() == joined.to_dict()
+
+
+class TestRoundTrip:
+    def test_full_spec_round_trips_through_json(self):
+        spec = FaultSpec(
+            site_outages=(SiteOutage(site="beta", start_step=4, duration_steps=3),),
+            wan_degradations=(
+                WanDegradation(start_step=2, duration_steps=2, factor=0.5),
+            ),
+            forecast_blackouts=(ForecastBlackout(start_step=8, duration_steps=4),),
+            demand_surges=(DemandSurge(start_step=1, duration_steps=6, multiplier=1.4),),
+            solver_faults=(7, 11),
+            solver_outages=(SolverOutage(start_step=12, duration_steps=2),),
+        )
+        rebuilt = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_overlapping_input_round_trips_to_the_canonical_form(self):
+        spec = FaultSpec(
+            demand_surges=(
+                DemandSurge(start_step=0, duration_steps=10, multiplier=1.5),
+                DemandSurge(start_step=5, duration_steps=2, multiplier=2.0),
+            )
+        )
+        rebuilt = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_solver_outage_window_validation(self):
+        with pytest.raises(ValueError):
+            SolverOutage(start_step=-1, duration_steps=2)
+        with pytest.raises(ValueError):
+            SolverOutage(start_step=0, duration_steps=0)
+
+    def test_solver_outages_participate_in_is_empty(self):
+        spec = FaultSpec(solver_outages=(SolverOutage(start_step=0, duration_steps=1),))
+        assert not spec.is_empty
+
+
+class TestVectorizedQueries:
+    @pytest.fixture()
+    def spec(self):
+        return FaultSpec(
+            site_outages=(
+                SiteOutage(site="beta", start_step=4, duration_steps=2),
+                SiteOutage(site=0, start_step=1, duration_steps=3),
+            ),
+            wan_degradations=(
+                WanDegradation(start_step=3, duration_steps=4, factor=0.25),
+                WanDegradation(start_step=5, duration_steps=6, factor=0.5),
+            ),
+            forecast_blackouts=(ForecastBlackout(start_step=5, duration_steps=3),),
+            demand_surges=(
+                DemandSurge(start_step=0, duration_steps=10, multiplier=1.5),
+                DemandSurge(start_step=5, duration_steps=2, multiplier=2.0),
+            ),
+            solver_outages=(SolverOutage(start_step=6, duration_steps=4),),
+        )
+
+    def test_matrix_matches_scalar_queries(self, spec):
+        steps = 16
+        matrix = spec.capacity_factor_matrix(steps, SITE_NAMES)
+        wan = spec.wan_factors(steps)
+        blackout = spec.blackout_mask(steps)
+        multipliers = spec.demand_multipliers(steps)
+        for step in range(steps):
+            assert np.array_equal(
+                matrix[:, step], spec.capacity_factors(step, SITE_NAMES)
+            )
+            assert wan[step] == spec.wan_factor(step)
+            assert bool(blackout[step]) == spec.blackout(step)
+            assert multipliers[step] == pytest.approx(spec.demand_multiplier(step))
+
+    def test_solver_outage_steps(self, spec):
+        assert list(spec.solver_outage_steps(16)) == [6, 7, 8, 9]
+        assert list(spec.solver_outage_steps(8)) == [6, 7]
+        assert list(FaultSpec().solver_outage_steps(8)) == []
+
+    def test_windows_clip_at_the_replay_end(self, spec):
+        matrix = spec.capacity_factor_matrix(5, SITE_NAMES)
+        assert matrix.shape == (3, 5)
+        assert list(spec.wan_factors(4)) == [1.0, 1.0, 1.0, 0.25]

@@ -1,0 +1,214 @@
+"""N-1 contingency LP: budgets, differential oracles, the report shape."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.provisioning import ProvisioningCompiler, solve_provisioning
+from repro.lpsolver import SolverStatusError
+from repro.robust import (
+    ContingencyConfig,
+    contingency_report,
+    evaluate_contingencies,
+    plan_with_sizing,
+    solve_contingency_lp,
+)
+from repro.robust.contingency import _annual_budget_kwh
+from repro.robust.stochastic import plan_siting_and_sizing
+
+
+@pytest.fixture(scope="module")
+def siting(two_site_problem):
+    return {profile.name: "large" for profile in two_site_problem.profiles}
+
+
+@pytest.fixture(scope="module")
+def compiler(two_site_problem):
+    return ProvisioningCompiler(two_site_problem)
+
+
+@pytest.fixture(scope="module")
+def det_sizing(two_site_problem, siting, solver_options):
+    plan = solve_provisioning(
+        two_site_problem, siting, options=solver_options, enforce_spread=False
+    ).plan
+    _, sizing = plan_siting_and_sizing(plan)
+    return sizing
+
+
+class TestContingencyConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContingencyConfig(survivability_epsilon=0.0)
+        with pytest.raises(ValueError):
+            ContingencyConfig(survivability_epsilon=1.5)
+        with pytest.raises(ValueError):
+            ContingencyConfig(contingency_weight=0.0)
+        with pytest.raises(ValueError):
+            ContingencyConfig(unserved_penalty_x=-1.0)
+        with pytest.raises(ValueError):
+            ContingencyConfig(outage_start_step=-1)
+        with pytest.raises(ValueError):
+            ContingencyConfig(outage_duration_steps=0)
+
+
+class TestJointSolve:
+    def test_every_contingency_stays_within_the_budget(
+        self, compiler, siting, solver_options
+    ):
+        config = ContingencyConfig(survivability_epsilon=0.05)
+        solution = solve_contingency_lp(
+            compiler, siting, config=config, options=solver_options
+        )
+        budget = solution.budget_unserved_kwh
+        assert budget == pytest.approx(
+            _annual_budget_kwh(compiler, config.survivability_epsilon)
+        )
+        tolerance = 1e-6 * budget + 1e-3
+        assert solution.per_contingency_unserved_kwh.shape == (len(siting),)
+        assert np.all(solution.per_contingency_unserved_kwh <= budget + tolerance)
+        assert solution.worst_unserved_kwh <= budget + tolerance
+        for name in siting:
+            assert solution.sizing[name]["capacity_kw"] > 0.0
+
+    def test_solve_is_deterministic(self, compiler, siting, solver_options):
+        def solve():
+            return solve_contingency_lp(compiler, siting, options=solver_options)
+
+        assert solve().objective == solve().objective
+
+    def test_tighter_epsilon_cannot_be_cheaper(self, compiler, siting, solver_options):
+        loose = solve_contingency_lp(
+            compiler,
+            siting,
+            config=ContingencyConfig(survivability_epsilon=0.20),
+            options=solver_options,
+        )
+        tight = solve_contingency_lp(
+            compiler,
+            siting,
+            config=ContingencyConfig(survivability_epsilon=0.02),
+            options=solver_options,
+        )
+        assert tight.objective >= loose.objective - 1e-6 * abs(loose.objective)
+
+    def test_single_site_siting_is_infeasible(self, compiler, siting, solver_options):
+        lone = {next(iter(siting)): "large"}
+        with pytest.raises(SolverStatusError):
+            solve_contingency_lp(
+                compiler,
+                lone,
+                config=ContingencyConfig(survivability_epsilon=0.05),
+                options=solver_options,
+            )
+
+
+class TestEvaluationDifferential:
+    def test_batched_evaluation_matches_brute_force(
+        self, compiler, siting, det_sizing, solver_options
+    ):
+        batched = evaluate_contingencies(
+            compiler, siting, det_sizing, options=solver_options, batched=True
+        )
+        brute = evaluate_contingencies(
+            compiler, siting, det_sizing, options=solver_options, batched=False
+        )
+        assert np.allclose(batched["costs"], brute["costs"], rtol=1e-7)
+        assert np.allclose(
+            batched["unserved_kwh"], brute["unserved_kwh"], rtol=1e-6, atol=1e-3
+        )
+
+    def test_joint_unserved_matches_fixed_sizing_repricing(
+        self, compiler, siting, solver_options
+    ):
+        """Differential oracle: re-pricing the N-1 sizing per contingency
+        reproduces the joint LP's per-contingency unserved energy."""
+        config = ContingencyConfig(survivability_epsilon=0.05)
+        joint = solve_contingency_lp(
+            compiler, siting, config=config, options=solver_options
+        )
+        from repro.robust.stochastic import _sizing_tuples
+
+        repriced = evaluate_contingencies(
+            compiler,
+            siting,
+            _sizing_tuples(joint.sizing),
+            options=solver_options,
+            unserved_penalty_x=config.unserved_penalty_x,
+        )
+        # Index 0 is the nominal (no-outage) case; contingencies follow.  The
+        # unconstrained repricing reaches the physical unserved minimum; the
+        # joint LP's budget rows clip it at epsilon, so the two agree up to
+        # that clip.
+        scale = max(joint.budget_unserved_kwh, 1.0)
+        assert np.allclose(
+            np.minimum(repriced["unserved_kwh"][1:], joint.budget_unserved_kwh),
+            joint.per_contingency_unserved_kwh,
+            atol=1e-5 * scale,
+        )
+
+    def test_deterministic_sizing_exceeds_a_tight_budget(
+        self, compiler, siting, det_sizing, solver_options
+    ):
+        """The cost-optimal sizing concentrates capacity, so losing its main
+        site must blow through a tight epsilon budget somewhere."""
+        evaluation = evaluate_contingencies(
+            compiler, siting, det_sizing, options=solver_options
+        )
+        budget = _annual_budget_kwh(compiler, 0.05)
+        assert float(np.max(evaluation["unserved_kwh"][1:])) > budget
+
+
+class TestContingencyReport:
+    def test_report_shape_and_acceptance(
+        self, compiler, siting, det_sizing, solver_options
+    ):
+        config = ContingencyConfig(survivability_epsilon=0.05)
+        report = contingency_report(
+            compiler, siting, det_sizing, config=config, options=solver_options
+        )
+        json.dumps(report)
+        assert report["num_sites"] == len(siting)
+        # The N-1 sizing survives every single-site outage; the deterministic
+        # plan fails at least its worst one.
+        assert report["n1_violations"] == 0
+        assert report["det_violations"] >= 1
+        assert (
+            report["worst_case"]["det"]["unserved_kwh"]
+            > report["worst_case"]["n1"]["unserved_kwh"]
+        )
+        # Survivability costs something, and the premium is reported.
+        assert report["n1_nominal_cost"] >= report["det_nominal_cost"] - 1e-6
+        assert report["cost_premium_pct"] >= -1e-9
+        # Criticality is ranked by deterministic damage, worst first.
+        damages = [entry["det_unserved_kwh"] for entry in report["criticality"]]
+        assert damages == sorted(damages, reverse=True)
+        assert set(report["n1_sizing"]) == set(siting)
+
+
+class TestPlanWithSizing:
+    def test_sizing_fields_are_replaced(
+        self, two_site_problem, siting, solver_options
+    ):
+        plan = solve_provisioning(
+            two_site_problem, siting, options=solver_options, enforce_spread=False
+        ).plan
+        sizing = {
+            dc.name: {
+                "capacity_kw": dc.capacity_kw + 1000.0,
+                "solar_kw": dc.solar_kw + 10.0,
+                "wind_kw": dc.wind_kw,
+                "battery_kwh": dc.battery_kwh,
+            }
+            for dc in plan.datacenters
+        }
+        swapped = plan_with_sizing(plan, sizing)
+        assert swapped is not plan
+        for dc in swapped.datacenters:
+            assert dc.capacity_kw == pytest.approx(sizing[dc.name]["capacity_kw"])
+            assert dc.solar_kw == pytest.approx(sizing[dc.name]["solar_kw"])
+        # The original plan is untouched.
+        assert plan.total_capacity_kw == pytest.approx(
+            sum(s["capacity_kw"] for s in sizing.values()) - 2000.0
+        )

@@ -149,6 +149,57 @@ class TestWithUpdates:
         assert settings.max_iterations == 7 and settings.seed == 11
 
 
+class TestContingencyBlock:
+    def test_empty_block_is_hash_invisible(self):
+        assert ScenarioSpec(contingency={}).content_hash() == ScenarioSpec().content_hash()
+        assert ScenarioSpec(contingency={}).contingency_config() is None
+
+    def test_non_empty_block_changes_the_hash(self):
+        base = ScenarioSpec()
+        hardened = ScenarioSpec(contingency={"survivability_epsilon": 0.05})
+        assert hardened.content_hash() != base.content_hash()
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(contingency={"epsilon": 0.05})
+
+    def test_config_round_trips_knobs(self):
+        spec = ScenarioSpec(
+            contingency={
+                "survivability_epsilon": 0.02,
+                "outage_start_step": 4,
+                "outage_duration_steps": 6,
+            }
+        )
+        config = spec.contingency_config()
+        assert config is not None
+        assert config.survivability_epsilon == 0.02
+        assert config.outage_start_step == 4
+        assert config.outage_duration_steps == 6
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_dotted_override_reaches_contingency(self):
+        spec = ScenarioSpec(contingency={"survivability_epsilon": 0.05})
+        updated = spec.with_updates(**{"contingency.survivability_epsilon": 0.1})
+        assert updated.contingency_config().survivability_epsilon == 0.1
+        assert spec.contingency["survivability_epsilon"] == 0.05
+
+    def test_problem_signature_ignores_contingency(self):
+        base = ScenarioSpec()
+        hardened = ScenarioSpec(contingency={"survivability_epsilon": 0.05})
+        assert base.problem_signature() == hardened.problem_signature()
+
+    def test_survivability_scenarios_registered(self):
+        names = scenario_names()
+        assert "contingency-fig06" in names
+        assert "failover-smoke" in names
+        smoke = build_sweep("failover-smoke").base
+        assert smoke.workflow == "operate"
+        assert smoke.contingency_config() is not None
+        assert not smoke.fault_spec().is_empty
+
+
 class TestParameterSweep:
     def test_no_axes_is_single_point(self):
         sweep = ParameterSweep(base=ScenarioSpec())
