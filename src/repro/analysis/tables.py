@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.core.problem import EnergySources, StorageMode
 from repro.core.solution import NetworkPlan

@@ -679,7 +679,13 @@ class HeuristicSolver:
             with factory.create(settings.num_chains) as pool:
                 outcomes = list(
                     pool.map(
-                        lambda chain: self._run_chain(chain, best_siting, best_result, candidates),
+                        # This branch only ever sees thread/serial factories —
+                        # the process path ships picklable ChainTask
+                        # descriptors through _run_chains_process instead, and
+                        # the closure captures live LP state that must never
+                        # cross a pickle boundary.
+                        lambda chain: self._run_chain(chain, best_siting, best_result, candidates),  # reprolint: ok(PKL001) thread/serial-only branch
+
                         range(settings.num_chains),
                     )
                 )

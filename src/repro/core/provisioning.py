@@ -54,6 +54,7 @@ from repro.lpsolver import (
     Variable,
 )
 from repro.lpsolver import highs_backend
+from repro.lpsolver import validate as lp_validate
 
 #: Per-epoch variable families of one site, in registration order (after the
 #: four scalar sizing variables capacity/solar/wind/battery).
@@ -1028,6 +1029,11 @@ class ProvisioningCompiler:
             maximise=False,
             objective_constant=fixed_cost,
         )
+        if lp_validate.validation_enabled():
+            lp_validate.validate_row_form(
+                row_form,
+                f"compiled skeleton instantiation ({num_sites} sites x {T} epochs)",
+            )
         profiles = self._profiles
         layouts = [
             _SiteLayout(

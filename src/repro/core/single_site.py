@@ -48,7 +48,7 @@ def scoring_parameters(
 
 def scoring_sources(min_green_fraction: float, sources: EnergySources) -> EnergySources:
     """No renewables are built (or allowed) when no green share is required."""
-    return EnergySources.NONE if min_green_fraction == 0.0 else sources
+    return EnergySources.NONE if min_green_fraction == 0.0 else sources  # reprolint: ok(FLT001) user-supplied config sentinel, not a solver result
 
 
 def single_site_size_class(
@@ -539,6 +539,6 @@ class SingleSiteAnalyzer:
 
     @staticmethod
     def _configuration_label(min_green_fraction: float, sources: EnergySources) -> str:
-        if min_green_fraction == 0.0 or sources is EnergySources.NONE:
+        if min_green_fraction == 0.0 or sources is EnergySources.NONE:  # reprolint: ok(FLT001) config sentinel, not a solver result
             return "brown"
         return f"{sources.value}-{int(round(100 * min_green_fraction))}%"

@@ -133,7 +133,7 @@ class PlacementTool:
             ),
         )
         effective_sources = sources
-        if min_green_fraction == 0.0:
+        if min_green_fraction == 0.0:  # reprolint: ok(FLT001) config sentinel, not a solver result
             effective_sources = EnergySources.NONE
         return SitingProblem(
             profiles=self.profiles,

@@ -12,7 +12,7 @@ from Table II.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import zlib
 

@@ -9,8 +9,8 @@ next scheduling window, its PUE, and its remaining capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

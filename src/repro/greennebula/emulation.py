@@ -17,7 +17,7 @@ demand and the supply shrink by the same factor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -26,7 +26,7 @@ from repro.core.solution import NetworkPlan
 from repro.energy.profiles import LocationProfile
 from repro.greennebula.datacenter import GreenDatacenter
 from repro.greennebula.gdfs import GDFS
-from repro.greennebula.migration import MigrationPlanner, MigrationRequest, WANLink
+from repro.greennebula.migration import MigrationPlanner, MigrationRequest
 from repro.greennebula.prediction import GreenEnergyPredictor
 from repro.greennebula.scheduler import GreenNebulaScheduler, ScheduleDecision
 from repro.greennebula.vm import VirtualMachine, VMState

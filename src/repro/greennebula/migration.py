@@ -16,12 +16,11 @@ Two pieces live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.geo.coordinates import haversine_km
 from repro.greennebula.datacenter import GreenDatacenter
-from repro.greennebula.vm import VirtualMachine
 
 
 @dataclass(frozen=True)

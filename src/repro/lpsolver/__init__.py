@@ -63,12 +63,18 @@ from repro.lpsolver.highs_backend import HighsSolveContext
 from repro.lpsolver.model import CompiledModel, Model, ModelError, RowFormLP
 from repro.lpsolver.result import SolveResult, SolveStatus, SolverStatusError
 from repro.lpsolver.solvers import SolverOptions, solve_model
+from repro.lpsolver.validate import (
+    LPValidationError,
+    validate_row_form,
+    validation_enabled,
+)
 
 __all__ = [
     "CompiledModel",
     "Constraint",
     "ConstraintSense",
     "HighsSolveContext",
+    "LPValidationError",
     "LinearConstraintBlock",
     "LinearExpression",
     "Model",
@@ -82,4 +88,6 @@ __all__ = [
     "VariableKind",
     "solve_model",
     "stack_block_diagonal",
+    "validate_row_form",
+    "validation_enabled",
 ]

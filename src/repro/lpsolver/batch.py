@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.lpsolver import validate as _validate
 from repro.lpsolver.model import RowFormLP
 
 __all__ = ["stack_block_diagonal"]
@@ -80,4 +81,8 @@ def stack_block_diagonal(
         maximise=maximise,
         objective_constant=float(sum(block.objective_constant for block in blocks)),
     )
+    if _validate.validation_enabled():
+        _validate.validate_block_offsets(
+            stacked, col_offsets, row_offsets, len(blocks), "stack_block_diagonal"
+        )
     return stacked, col_offsets, row_offsets

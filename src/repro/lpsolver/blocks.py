@@ -109,7 +109,7 @@ def make_block(
             raise ValueError("block coefficients must be finite")
         if not np.all(np.isfinite(rhs)):
             raise ValueError("block right-hand sides must be finite")
-        keep = vals != 0.0
+        keep = vals != 0.0  # reprolint: ok(FLT001) drops structurally-zero input entries, not solver output
         if not np.all(keep):
             rows, cols, vals = rows[keep], cols[keep], vals[keep]
     return LinearConstraintBlock(rows=rows, cols=cols, vals=vals, sense=sense, rhs=rhs, name=name)

@@ -80,7 +80,7 @@ class Variable:
     def __ge__(self, other: "ExpressionLike") -> "Constraint":
         return self.to_expression() >= other
 
-    def __eq__(self, other: object):  # type: ignore[override]
+    def __eq__(self, other: object) -> object:  # type: ignore[override]
         if isinstance(other, (Variable, LinearExpression, int, float)):
             return self.to_expression() == other
         return NotImplemented
@@ -137,7 +137,7 @@ class LinearExpression:
     def _iadd(self, other: "LinearExpression", sign: float) -> None:
         for index, coeff in other.coefficients.items():
             new = self.coefficients.get(index, 0.0) + sign * coeff
-            if new == 0.0:
+            if new == 0.0:  # reprolint: ok(FLT001) sparsity bookkeeping on exact input coefficients
                 self.coefficients.pop(index, None)
             else:
                 self.coefficients[index] = new
@@ -170,7 +170,7 @@ class LinearExpression:
     def __mul__(self, factor: Number) -> "LinearExpression":
         if not isinstance(factor, (int, float)):
             raise TypeError("linear expressions can only be scaled by numbers")
-        scaled = {i: c * factor for i, c in self.coefficients.items() if c * factor != 0.0}
+        scaled = {i: c * factor for i, c in self.coefficients.items() if c * factor != 0.0}  # reprolint: ok(FLT001) sparsity bookkeeping on exact input coefficients
         return LinearExpression(scaled, self.constant * factor)
 
     def __rmul__(self, factor: Number) -> "LinearExpression":
@@ -191,7 +191,7 @@ class LinearExpression:
     def __ge__(self, other: ExpressionLike) -> "Constraint":
         return Constraint(self - other, ConstraintSense.GREATER_EQUAL)
 
-    def __eq__(self, other: object):  # type: ignore[override]
+    def __eq__(self, other: object) -> object:  # type: ignore[override]
         if isinstance(other, (LinearExpression, Variable, int, float)):
             return Constraint(self - other, ConstraintSense.EQUAL)
         return NotImplemented
@@ -242,7 +242,7 @@ class Constraint:
         """Right-hand side once the constant term is moved across."""
         return -self.expression.constant
 
-    def coefficient_items(self):
+    def coefficient_items(self) -> Iterable[tuple[int, float]]:
         """Iterate over ``(variable_index, coefficient)`` pairs."""
         return self.expression.coefficients.items()
 

@@ -40,10 +40,11 @@ moves as deltas on one persistent per-chain model.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
+from repro.lpsolver import validate as _validate
 from repro.lpsolver.model import RowFormLP
 from repro.lpsolver.result import SolveResult, SolveStatus, SolverStatusError  # noqa: F401
 
@@ -76,13 +77,13 @@ class HighsSolveContext:
         self._basis = None
         self._shape: Optional[Tuple[int, int]] = None
 
-    def take_basis(self, shape: Tuple[int, int]):
+    def take_basis(self, shape: Tuple[int, int]) -> Optional[Any]:
         """Return the stored basis when it matches ``shape``, else None."""
         if self._basis is not None and self._shape == shape:
             return self._basis
         return None
 
-    def store_basis(self, shape: Tuple[int, int], basis) -> None:
+    def store_basis(self, shape: Tuple[int, int], basis: Any) -> None:
         self._basis = basis
         self._shape = shape
 
@@ -111,7 +112,7 @@ else:  # pragma: no cover
     _BASIC = _LOWER = _UPPER = _ZERO = 0
 
 
-def _build_lp(row_form: RowFormLP):
+def _build_lp(row_form: RowFormLP) -> Any:
     lp = _core.HighsLp()
     num_row, num_col = row_form.shape
     lp.num_col_ = num_col
@@ -247,6 +248,13 @@ class MutableHighsModel:
     # -- structural edits -------------------------------------------------------
     def load(self, row_form: RowFormLP) -> None:
         """Replace the loaded model wholesale (cold start)."""
+        if _validate.validation_enabled():
+            # Empty rows are legal here: the incremental evaluator loads the
+            # coupling rows empty and splices site columns in afterwards.
+            # Solve entry re-checks coverage on the live model.
+            _validate.validate_row_form(
+                row_form, "MutableHighsModel.load", check_empty_rows=False
+            )
         self._highs.passModel(_build_lp(row_form))
         self.num_rows, self.num_cols = row_form.shape
         self._basis_obj = None
@@ -387,11 +395,11 @@ class MutableHighsModel:
         self._row_status[row_start : row_start + len(row_status)] = row_status
         self._projection_dirty = True
 
-    def basis_snapshot(self):
+    def basis_snapshot(self) -> Optional[Any]:
         """The native basis of the last optimal solve (None when cold)."""
         return self._basis_obj if not self._projection_dirty else None
 
-    def restore_basis(self, basis) -> None:
+    def restore_basis(self, basis: Any) -> None:
         """Adopt a stored native basis (e.g. from an earlier same-shape model).
 
         The basis must match the model's current dimensions; the caller
@@ -464,6 +472,11 @@ class MutableHighsModel:
         :class:`~repro.lpsolver.result.SolverStatusError` (status, message and
         iteration count attached) instead of handing back a ``nan`` objective.
         """
+        if _validate.validation_enabled():
+            # Solve entry audits the whole splice sequence that led here:
+            # dimension bookkeeping vs the actual HiGHS model, and basis
+            # padding/projection lengths after ranged adds/deletes.
+            _validate.validate_mutable_model(self, "MutableHighsModel.solve")
         self._highs.setOptionValue("presolve", "choose" if options.presolve else "off")
         self._highs.setOptionValue(
             "time_limit",

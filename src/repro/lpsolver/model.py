@@ -257,7 +257,9 @@ class Model:
         self.objective = LinearExpression.from_value(expression)
 
     # -- compilation to matrix form ----------------------------------------------
-    def _gather_triplets(self):
+    def _gather_triplets(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Collect (rows, cols, vals, senses, rhs) across scalar constraints and blocks.
 
         Returns flat triplet arrays with *global* row numbering (scalar

@@ -31,7 +31,7 @@ can assert that a replay of *n* steps performs exactly one cold load and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Optional
 
 import numpy as np
 from scipy import special
@@ -64,7 +64,7 @@ def deterministic_noise(
     if std < 0:
         raise ValueError("the noise level cannot be negative")
     indices = np.atleast_1d(np.asarray(indices)).astype(np.int64)
-    if std == 0.0:
+    if std == 0.0:  # reprolint: ok(FLT001) exact noise-free sentinel from config, not a solver result
         return np.ones(indices.shape)
     key_hash = np.uint64(zlib.crc32(key.encode("utf-8")))
     # 1-element array, not a scalar: numpy warns on scalar integer overflow

@@ -30,7 +30,7 @@ import os
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Optional
 
 #: The supported executor kinds, in the order they appear in help texts.
 EXECUTOR_KINDS = ("thread", "process", "serial")
@@ -53,7 +53,7 @@ def in_process_worker() -> bool:
     return _IN_PROCESS_WORKER
 
 
-def run_task_inline(fn, *args):
+def run_task_inline(fn: Callable[..., Any], *args: Any) -> Any:
     """Run a pool task function in the calling process, leaving no worker mark.
 
     Task entry points (:func:`~repro.parallel.work.run_pricing_chunk` and
@@ -69,7 +69,7 @@ def run_task_inline(fn, *args):
         _IN_PROCESS_WORKER = saved
 
 
-def result_with_serial_fallback(future: Future, fn, *args):
+def result_with_serial_fallback(future: Future, fn: Callable[..., Any], *args: Any) -> Any:
     """``future.result()``, re-running the task inline if the pool died.
 
     A worker killed by a signal or the OOM killer breaks the whole
@@ -110,7 +110,7 @@ class SerialExecutor(Executor):
     across all three executor kinds.
     """
 
-    def submit(self, fn, /, *args, **kwargs) -> Future:
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
         future: Future = Future()
         future.set_running_or_notify_cancel()
         try:

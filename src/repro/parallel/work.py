@@ -202,10 +202,10 @@ class ChainOutcomePayload:
     requests: Tuple[Tuple[Tuple[str, str], ...], ...]
 
 
-def _chain_context(task: ChainTask):
+def _chain_context(task: ChainTask) -> Tuple[Any, Any]:
     from repro.core.provisioning import ProvisioningCompiler
 
-    def build():
+    def build() -> Tuple[Any, Any]:
         compiler = ProvisioningCompiler(task.problem)
         if task.compiler_state is not None:
             compiler.seed_shared_state(task.compiler_state)
@@ -269,7 +269,7 @@ def run_sweep_point(task: SweepPointTask) -> Tuple[Dict[str, Any], bool]:
     from repro.scenarios.runner import ExperimentRunner
     from repro.scenarios.spec import ScenarioSpec
 
-    def build():
+    def build() -> Any:
         return ExperimentRunner(
             cache_dir=task.cache_dir,
             workers=1,

@@ -40,7 +40,6 @@ from repro.core.provisioning import ProvisioningCompiler
 from repro.lpsolver import SolverOptions, SolverStatusError
 from repro.lpsolver.batch import stack_block_diagonal
 from repro.robust.stochastic import (
-    StochasticSolution,
     _sizing_tuples,
     _solve_row_form,
     build_ensemble_row_form,

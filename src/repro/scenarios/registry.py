@@ -19,7 +19,7 @@ every result is what is reproduced.  Scaling a scenario up is a config diff::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from repro.scenarios.runner import ParameterSweep
 from repro.scenarios.spec import ScenarioSpec
@@ -61,7 +61,7 @@ def source_label(sources_value: str) -> str:
     return SOURCE_LABELS.get(sources_value, sources_value)
 
 
-def bench_base(**overrides) -> ScenarioSpec:
+def bench_base(**overrides: Any) -> ScenarioSpec:
     """The benchmark-harness base scenario (50 MW service, 90 locations)."""
     spec = ScenarioSpec(
         num_locations=90,
@@ -266,7 +266,7 @@ def _sec5c() -> ParameterSweep:
 # -- online-operations scenarios -----------------------------------------------
 
 
-def _operate_base(**overrides) -> ScenarioSpec:
+def _operate_base(**overrides: Any) -> ScenarioSpec:
     """Base operate scenario: the fig06-scale 50 MW / 50 % green network.
 
     The plan stage reuses the benchmark search settings; the operating week

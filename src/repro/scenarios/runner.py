@@ -236,7 +236,7 @@ class ExperimentRunner:
                 # Thread or serial: _fill captures failures on the memo
                 # future itself, so the pool futures never raise here.
                 with self._factory.create(len(to_submit)) as pool:
-                    list(pool.map(lambda item: self._fill(*item), to_submit))
+                    list(pool.map(lambda item: self._fill(*item), to_submit))  # reprolint: ok(PKL001) thread/serial-only branch; the process path ships SweepPointTask via _fill_process
 
         results: List[PointResult] = []
         for point, future in futures:
@@ -425,7 +425,9 @@ class ExperimentRunner:
         self._attach_contingency(record, spec, compiler, plan)
         return record, solution
 
-    def _attach_ensemble(self, record: Dict[str, Any], spec: ScenarioSpec, problem, plan) -> None:
+    def _attach_ensemble(
+        self, record: Dict[str, Any], spec: ScenarioSpec, problem: Any, plan: Any
+    ) -> None:
         """Evaluate the plan against the spec's ensemble, if one is configured.
 
         Attaches the full report under ``record["robustness"]`` plus a few
@@ -451,7 +453,12 @@ class ExperimentRunner:
             record["stochastic_saving_pct"] = report["stochastic_saving_pct"]
 
     def _attach_contingency(
-        self, record: Dict[str, Any], spec: ScenarioSpec, compiler, plan, operate_config=None
+        self,
+        record: Dict[str, Any],
+        spec: ScenarioSpec,
+        compiler: Any,
+        plan: Any,
+        operate_config: Any = None,
     ) -> None:
         """Attach the N-1 contingency report when the spec asks for one.
 
@@ -593,7 +600,7 @@ class ExperimentRunner:
         return record, solution
 
     # -- shared construction caches -------------------------------------------
-    def _catalog_for(self, spec: ScenarioSpec):
+    def _catalog_for(self, spec: ScenarioSpec) -> Any:
         key = (spec.num_locations, spec.catalog_seed, spec.include_anchors)
         with self._lock:
             catalog = self._catalogs.get(key)
@@ -633,7 +640,7 @@ class ExperimentRunner:
         tool._profiles = self._profiles_for(spec, tool)
         return tool
 
-    def _problem_for(self, spec: ScenarioSpec, tool: PlacementTool):
+    def _problem_for(self, spec: ScenarioSpec, tool: PlacementTool) -> Any:
         """One siting problem + provisioning compiler per problem signature.
 
         Points that define the same fixed-siting LP (everything except the

@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.parameters import FrameworkParameters
 from repro.core.problem import EnergySources, GreenEnforcement, StorageMode
@@ -277,7 +277,7 @@ class ScenarioSpec:
         knobs.update(self.operate)
         return knobs
 
-    def ensemble_config(self):
+    def ensemble_config(self) -> Optional[Any]:
         """The ensemble block as a typed :class:`~repro.robust.EnsembleConfig`.
 
         Returns ``None`` when the block is empty (no ensemble analysis).
@@ -290,7 +290,7 @@ class ScenarioSpec:
         knobs.update(self.ensemble)
         return EnsembleConfig(**knobs)
 
-    def fault_spec(self):
+    def fault_spec(self) -> Optional[Any]:
         """The faults block as a typed :class:`~repro.operator.FaultSpec`.
 
         Returns ``None`` when the block is empty (no fault injection).
@@ -301,7 +301,7 @@ class ScenarioSpec:
 
         return FaultSpec.from_dict(self.faults)
 
-    def contingency_config(self):
+    def contingency_config(self) -> Optional[Any]:
         """The contingency block as a typed
         :class:`~repro.robust.ContingencyConfig`.
 
@@ -461,7 +461,7 @@ class ScenarioSpec:
         return hashlib.sha256(canonical_json.encode("utf-8")).hexdigest()
 
     # -- builders -------------------------------------------------------------
-    def build_catalog(self):
+    def build_catalog(self) -> Any:
         """The world catalogue this spec runs against."""
         from repro.weather.locations import build_world_catalog
 
@@ -485,7 +485,7 @@ class ScenarioSpec:
             params = params.with_updates(**self.param_overrides)
         return params
 
-    def build_search_settings(self):
+    def build_search_settings(self) -> Any:
         from repro.core.heuristic import SearchSettings
 
         return SearchSettings(**self.search)

@@ -21,7 +21,7 @@ from repro.core import (
 )
 from repro.core.adaptive_grid import AdaptiveGridRefiner, can_coarsen, coarsen_problem
 from repro.core.tool import PlacementTool
-from repro.energy import EpochGrid, ProfileBuilder, RefinedEpochGrid
+from repro.energy import EpochGrid, RefinedEpochGrid
 from repro.scenarios import get_scenario
 
 

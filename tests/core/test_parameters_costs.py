@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CostModel, FinancingModel, FrameworkParameters
+from repro.core import CostModel, FinancingModel
 
 
 class TestFrameworkParameters:

@@ -33,7 +33,7 @@ from repro.core.single_site import (
     scoring_sources,
     single_site_size_class,
 )
-from repro.lpsolver import SolverOptions, stack_block_diagonal
+from repro.lpsolver import stack_block_diagonal
 from repro.lpsolver.highs_backend import AVAILABLE as HIGHS_AVAILABLE
 
 

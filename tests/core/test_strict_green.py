@@ -1,9 +1,8 @@
 """Tests for the stricter per-epoch green-energy enforcement (tech-report variant)."""
 
-import numpy as np
 import pytest
 
-from repro.core import GreenEnforcement, StorageMode, solve_provisioning
+from repro.core import GreenEnforcement, solve_provisioning
 
 
 SITING = {"Mount Washington, NH, USA": "large", "Grissom, IN, USA": "large"}

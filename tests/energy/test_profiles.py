@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.energy import EpochGrid, LocationProfile, ProfileBuilder, calibrate_series, capacity_factor
+from repro.energy import EpochGrid, LocationProfile, calibrate_series, capacity_factor
 from repro.energy.capacity_factor import annual_energy_kwh
 
 

@@ -1,6 +1,5 @@
 """Tests for the linear-expression algebra."""
 
-import math
 
 import pytest
 
@@ -157,7 +156,7 @@ class TestVariableIdentity:
         model = Model("identity")
         x = model.add_variable("x")
         assert "x" in repr(x)
-        assert hash(x) == hash(Variable("x", x.index, VariableKind.CONTINUOUS))
+        assert hash(x) == hash(Variable("x", x.index, VariableKind.CONTINUOUS))  # reprolint: ok(DET002) exercises Variable.__hash__ in-process equality only
 
     def test_binary_bounds_forced(self):
         model = Model("binary")

@@ -5,7 +5,6 @@ import pytest
 
 from repro.lpsolver import (
     ConstraintSense,
-    LinearExpression,
     Model,
     SolverOptions,
     SolverStatusError,

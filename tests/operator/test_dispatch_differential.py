@@ -13,7 +13,6 @@ import pytest
 from repro.lpsolver import highs_backend
 from repro.operator.dispatch import (
     DispatchConfig,
-    DispatchError,
     RollingDispatcher,
     SiteAsset,
 )

@@ -54,7 +54,7 @@ def _poison(value):
 class TestRunTaskInline:
     def test_worker_mark_does_not_leak_into_the_parent(self):
         assert not in_process_worker()
-        result = run_task_inline(lambda: (mark_process_worker(), "ok")[1])
+        result = run_task_inline(lambda: (mark_process_worker(), "ok")[1])  # reprolint: ok(PKL001) serial executor runs inline; nothing is pickled
         assert result == "ok"
         assert not in_process_worker()
 
@@ -64,7 +64,7 @@ class TestRunTaskInline:
             raise RuntimeError("inline task failed")
 
         with pytest.raises(RuntimeError, match="inline task failed"):
-            run_task_inline(boom)
+            run_task_inline(boom)  # reprolint: ok(PKL001) serial executor runs inline; nothing is pickled
         assert not in_process_worker()
 
 

@@ -12,7 +12,7 @@ from repro.parallel import executors as executors_module
 class TestSerialExecutor:
     def test_runs_inline_and_returns_result(self):
         with SerialExecutor() as pool:
-            future = pool.submit(lambda a, b: a + b, 2, 3)
+            future = pool.submit(lambda a, b: a + b, 2, 3)  # reprolint: ok(PKL001) serial executor runs inline; nothing is pickled
         assert future.done()
         assert future.result() == 5
 
@@ -21,7 +21,7 @@ class TestSerialExecutor:
             raise RuntimeError("kaput")
 
         with SerialExecutor() as pool:
-            future = pool.submit(boom)
+            future = pool.submit(boom)  # reprolint: ok(PKL001) serial executor runs inline; nothing is pickled
         assert future.done()
         # timeout=0: the future is already resolved, a waiter can never hang.
         with pytest.raises(RuntimeError, match="kaput"):

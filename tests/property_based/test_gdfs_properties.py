@@ -1,6 +1,5 @@
 """Property-based tests for GDFS and the migration planner."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.greennebula import GDFS, GreenDatacenter, MigrationPlanner, VirtualMachine

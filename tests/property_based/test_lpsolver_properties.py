@@ -1,6 +1,5 @@
 """Property-based tests for the LP/MILP modelling layer."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -8,7 +8,6 @@ the running code on load.
 
 import json
 
-import pytest
 
 from repro.cli import main
 from repro.scenarios import ExperimentRunner, ScenarioSpec

@@ -1,0 +1,8 @@
+"""Deliberate-violation fixtures for the reprolint self-tests.
+
+Every file here exists to trip (or prove innocent against) exactly one lint
+rule; the directory is excluded from repo-wide runs via the
+``[tool.reprolint]`` block in ``pyproject.toml``.  Nothing imports these
+modules — several would not even be importable (they reference undefined
+names on purpose, to stay minimal).
+"""

@@ -1,0 +1,12 @@
+"""DET001 false positives: explicitly seeded randomness is the idiom."""
+
+import random
+import zlib
+
+import numpy as np
+
+rng = np.random.default_rng(1234)
+derived = np.random.default_rng(zlib.crc32(b"seed:site"))
+chain_rng = random.Random(7919)
+seq = np.random.SeedSequence(42)
+sample = rng.random(8)

@@ -1,0 +1,12 @@
+"""DET001 true positives: every flavour of global-state RNG access."""
+
+import random
+
+import numpy as np
+from random import randint
+
+VALUE = random.random()  # line 8: module-function on the hidden global RNG
+PICK = randint(0, 10)  # line 9: from-imported global-state function
+ARR = np.random.rand(4)  # line 10: numpy hidden-global RandomState
+UNSEEDED = np.random.default_rng()  # line 11: generator without a seed
+LEGACY = random.Random()  # line 12: Random() without a seed

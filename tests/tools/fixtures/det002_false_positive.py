@@ -1,0 +1,16 @@
+"""DET002 false positives: __hash__ implementations and crc32 hashing."""
+
+import zlib
+
+
+class Key:
+    def __init__(self, name: str, index: int) -> None:
+        self.name = name
+        self.index = index
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.index))  # builtin hash is fine here
+
+
+def stable_key(payload: str) -> int:
+    return zlib.crc32(payload.encode("utf-8"))

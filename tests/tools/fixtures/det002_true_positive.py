@@ -1,0 +1,5 @@
+"""DET002 true positive: builtin hash() feeding a cache key."""
+
+
+def cache_key(spec: dict) -> int:
+    return hash(tuple(sorted(spec.items())))  # line 5: randomised per process

@@ -1,0 +1,10 @@
+"""DET003 false positives: monotonic duration measurement is allowed."""
+
+import time
+from datetime import datetime
+
+started = time.perf_counter()
+elapsed = time.perf_counter() - started
+tick = time.monotonic()
+parsed = datetime.fromisoformat("2014-01-01T00:00:00")
+formatted = time.strftime("%Y", time.gmtime(0))

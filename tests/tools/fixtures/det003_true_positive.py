@@ -1,0 +1,8 @@
+"""DET003 true positives: wall-clock reads in library code."""
+
+import time
+from datetime import date, datetime
+
+STAMP = time.time()  # line 6: wall clock
+NOW = datetime.now()  # line 7: wall clock
+TODAY = date.today()  # line 8: wall clock

@@ -1,0 +1,11 @@
+"""FLT001 false positives: tolerance comparisons and integer equality."""
+
+import math
+
+
+def converged(objective: float, previous: float, count: int) -> bool:
+    if abs(objective - previous) <= 1e-9:
+        return True
+    if math.isclose(objective, previous, rel_tol=1e-9):
+        return True
+    return count == 0

@@ -1,0 +1,7 @@
+"""FLT001 true positives: exact float equality on solver-scale values."""
+
+
+def converged(objective: float, previous: float) -> bool:
+    if objective == 0.0:  # line 5: exact float equality
+        return True
+    return previous != 1e-9  # line 7: != against a float literal

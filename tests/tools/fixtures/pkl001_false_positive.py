@@ -1,0 +1,11 @@
+"""PKL001 false positives: module-level functions pickle fine."""
+
+
+def worker(item):
+    return item * 2
+
+
+def dispatch(pool, items):
+    futures = [pool.submit(worker, item) for item in items]
+    mapped = list(pool.map(worker, items))
+    return futures, mapped

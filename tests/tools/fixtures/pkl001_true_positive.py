@@ -1,0 +1,17 @@
+"""PKL001 true positives: unpicklable callables at the executor boundary."""
+
+
+def dispatch(pool, items):
+    futures = [pool.submit(lambda item: item * 2, item) for item in items]  # line 5
+
+    def local_worker(item):
+        return item + 1
+
+    mapped = list(pool.map(local_worker, items))  # line 10
+    task = PricingChunkTask(problem=lambda: None, sitings=(), options=None)  # line 11
+    return futures, mapped, task
+
+
+class PricingChunkTask:  # minimal stand-in so the fixture parses standalone
+    def __init__(self, problem, sitings, options):
+        self.problem = problem

@@ -1,0 +1,7 @@
+"""Pragma fixture: one suppressed finding, one live finding of another rule."""
+
+import random
+
+OK = random.random()  # reprolint: ok(DET001) fixture proves suppression works
+LIVE = random.random()  # line 5: unsuppressed
+WRONG_CODE = random.random()  # reprolint: ok(DET002) wrong rule; DET001 still fires

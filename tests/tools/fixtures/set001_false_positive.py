@@ -1,0 +1,13 @@
+"""SET001 false positives: sorted or order-insensitive set consumption."""
+
+
+def safe_order(names, extra):
+    ordered = sorted(set(names))
+    unknown = set(names) - set(extra)
+    if unknown:
+        message = ", ".join(sorted(unknown))
+    else:
+        message = ""
+    count = len(set(names))
+    smallest = min(set(names), default=None)
+    return ordered, message, count, smallest

@@ -1,0 +1,10 @@
+"""SET001 true positives: set order escaping into ordered outputs."""
+
+
+def leak_order(names, extra):
+    ordered = list(set(names))  # line 5: list freezes arbitrary set order
+    for name in {"b", "a", "c"}:  # line 6: loop body sees set order
+        ordered.append(name)
+    message = ", ".join(set(names) - set(extra))  # line 8: join over set difference
+    table = {name: 0 for name in set(names)}  # line 9: dict comp from a set
+    return ordered, message, table

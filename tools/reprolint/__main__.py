@@ -1,0 +1,8 @@
+"""``python -m tools.reprolint src tests`` — run the contract linter."""
+
+import sys
+
+from tools.reprolint.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())
