@@ -401,6 +401,31 @@ def bench_contingency(rounds: int = 2, fallback_steps: int = 2000) -> dict:
     return result
 
 
+def bench_serve(requests: int = 240) -> dict:
+    """Sustained ``repro serve`` throughput over a mixed scenario replay.
+
+    Delegates to :mod:`serve_load` (imported lazily: it imports this module
+    for the trajectory helpers): a burst of ``requests`` over 12 distinct
+    downsized registered scenarios from 8 keep-alive HTTP clients, with the
+    server-vs-direct bit-identity check on every distinct spec.
+    """
+    from serve_load import run_load
+
+    result = run_load(total_requests=requests)
+    if result["differential_mismatches"]:
+        raise AssertionError(
+            f"serve differential mismatches: {result['differential_mismatches']}"
+        )
+    latency = result["client_latency"]
+    print(
+        f"serve {result['requests']} requests ({result['distinct_specs']} specs, "
+        f"{result['clients']} clients): {result['plans_per_second']:.1f} plans/s, "
+        f"p50 {1000 * latency['p50_s']:.1f} ms, p99 {1000 * latency['p99_s']:.1f} ms, "
+        f"{100 * result['dedup_rate']:.0f} % dedup"
+    )
+    return result
+
+
 def bench_sec5c(rounds: int = 3) -> dict:
     results = {}
     for scale in SCALES_MW:
@@ -471,6 +496,7 @@ def main() -> None:
         "operator_rolling_horizon": bench_operator(),
         "stochastic_ensemble": bench_stochastic_ensemble(),
         "contingency_planning": bench_contingency(),
+        "serve_throughput": bench_serve(),
     }
     entry["harness_seconds"] = round(time.perf_counter() - started, 2)
 

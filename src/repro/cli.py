@@ -36,10 +36,22 @@ invocation and a registered scenario are the same thing underneath.
         python -m repro.cli operate --scenario operate-fig06 --steps 168
         python -m repro.cli operate --scenario operate-forecast --json
 
+``serve``
+    Run the planning-as-a-service daemon: ScenarioSpec JSON in, point
+    records out, over HTTP (``POST /plan``, ``GET /metrics``,
+    ``GET /healthz``) or newline-delimited JSON on stdin/stdout.  Identical
+    in-flight requests dedup onto one solve; a persistent worker pool keeps
+    compiled-skeleton/problem/catalogue caches warm across requests::
+
+        python -m repro.cli serve --port 8734 --executor process --workers 4
+        python -m repro.cli serve --stdin --executor serial < requests.ndjson
+
 ``cache``
-    Inspect or clear the on-disk artifact cache::
+    Inspect or clear the on-disk artifact cache (``--server`` asks a running
+    serve daemon for its worker-cache hit rates instead)::
 
         python -m repro.cli cache info
+        python -m repro.cli cache info --server http://127.0.0.1:8734
         python -m repro.cli cache clear
 
 All subcommands accept ``--locations`` (catalogue size) and ``--seed``.
@@ -200,11 +212,40 @@ def build_parser() -> argparse.ArgumentParser:
     stress.add_argument("--no-cache", action="store_true", help="disable the artifact cache")
     stress.add_argument("--json", action="store_true", help="print the ResultSet as JSON")
 
+    serve = subparsers.add_parser(
+        "serve", help="run the planning daemon (HTTP or newline-delimited-JSON stdin)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="HTTP port (0 picks a free one; default: 8734)")
+    serve.add_argument("--stdin", action="store_true",
+                       help="serve newline-delimited JSON on stdin/stdout instead of HTTP")
+    serve.add_argument("--executor", choices=EXECUTOR_KINDS, default="process",
+                       help="how requests solve: process (default; persistent warm worker "
+                            "pool), thread or serial; records are identical")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="pool size (default: CPUs available to this process)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="distinct in-flight solves admitted before requests are "
+                            "answered 'overloaded' (deduped waiters are free; default: 64)")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       help="per-request wait in seconds before a typed 'timeout' "
+                            "response (the solve continues; 0 disables; default: 300)")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       help="seconds SIGTERM waits for in-flight solves (default: 30)")
+    serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"artifact-cache directory shared with sweeps "
+                            f"(default: {DEFAULT_CACHE_DIR})")
+    serve.add_argument("--no-cache", action="store_true", help="disable the artifact cache")
+
     cache = subparsers.add_parser("cache", help="inspect or clear the sweep artifact cache")
     cache.add_argument("action", choices=("info", "clear"),
                        help="info: show the cache location and size; clear: delete stored points")
     cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                        help=f"artifact-cache directory (default: {DEFAULT_CACHE_DIR})")
+    cache.add_argument("--server", metavar="URL",
+                       help="with info: also query a running serve daemon's /metrics for "
+                            "worker-cache hit rates (e.g. http://127.0.0.1:8734)")
     return parser
 
 
@@ -733,6 +774,70 @@ def _gate_violations(gates: dict, results, stream) -> int:
     return failures
 
 
+def run_serve(args: argparse.Namespace, stream) -> int:
+    import asyncio
+
+    from repro.serve import PlanServer, ServeConfig, serve_http, serve_stdio
+
+    try:
+        config = ServeConfig(
+            executor=args.executor,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            timeout_s=None if args.timeout == 0 else args.timeout,
+            drain_grace_s=args.drain_grace,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+    except ValueError as error:
+        _print([str(error)], stream)
+        return 2
+    server = PlanServer(config)
+    if args.stdin:
+        return asyncio.run(
+            serve_stdio(server, sys.stdin, stream, install_signals=True)
+        )
+    return asyncio.run(
+        serve_http(server, args.host, args.port, stream=stream, install_signals=True)
+    )
+
+
+def _server_cache_lines(url: str) -> List[str]:
+    """Fetch a serve daemon's /metrics and format its worker-cache hit rates."""
+    import urllib.error
+    import urllib.request
+
+    if "://" not in url:
+        url = f"http://{url}"
+    try:
+        with urllib.request.urlopen(f"{url.rstrip('/')}/metrics", timeout=10) as response:
+            metrics = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        return [f"cannot reach serve daemon at {url}: {error}"]
+
+    def rate(value: Any) -> str:
+        return f"{100 * value:.1f} %" if isinstance(value, float) and value == value else "n/a"
+
+    caches = metrics.get("worker_caches", {})
+    latency = metrics.get("latency", {})
+    return [
+        "",
+        f"serve daemon  : {url} (executor {metrics.get('executor')}, "
+        f"{metrics.get('workers')} workers, up {metrics.get('uptime_s', 0):.0f} s)",
+        f"requests      : {metrics.get('requests_total', 0)} total, "
+        f"{metrics.get('responses_ok', 0)} ok, "
+        f"{metrics.get('dedup_hits', 0)} dedup hits, "
+        f"{metrics.get('artifact_cache_hits', 0)} artifact hits",
+        f"latency       : p50 {latency.get('p50_s', float('nan')):.3f} s, "
+        f"p99 {latency.get('p99_s', float('nan')):.3f} s "
+        f"over {latency.get('count', 0)} responses",
+        f"worker caches : {caches.get('workers_reporting', 0)} worker(s) reporting",
+        f"  skeleton warm rate : {rate(caches.get('skeleton_warm_rate'))}",
+        f"  problem warm rate  : {rate(caches.get('problem_warm_rate'))}",
+        f"  catalog warm rate  : {rate(caches.get('catalog_warm_rate'))}",
+        f"  artifact hit rate  : {rate(caches.get('artifact_hit_rate'))}",
+    ]
+
+
 def run_cache(args: argparse.Namespace, stream) -> int:
     from repro.scenarios.runner import list_artifacts
 
@@ -740,14 +845,14 @@ def run_cache(args: argparse.Namespace, stream) -> int:
     artifacts = list_artifacts(cache_dir)
     if args.action == "info":
         total_bytes = sum(os.path.getsize(path) for path in artifacts)
-        _print(
-            [
-                f"artifact cache: {cache_dir}",
-                f"stored points : {len(artifacts)}",
-                f"total size    : {total_bytes / 1024:.1f} KiB",
-            ],
-            stream,
-        )
+        lines = [
+            f"artifact cache: {cache_dir}",
+            f"stored points : {len(artifacts)}",
+            f"total size    : {total_bytes / 1024:.1f} KiB",
+        ]
+        if args.server:
+            lines += _server_cache_lines(args.server)
+        _print(lines, stream)
         return 0
     removed = clear_artifact_cache(cache_dir)
     _print([f"removed {removed} cached points from {cache_dir}"], stream)
@@ -770,6 +875,8 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
         return run_operate(args, stream)
     if args.command == "stress":
         return run_stress(args, stream)
+    if args.command == "serve":
+        return run_serve(args, stream)
     if args.command == "cache":
         return run_cache(args, stream)
     raise AssertionError(f"unhandled command {args.command!r}")

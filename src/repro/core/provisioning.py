@@ -351,6 +351,13 @@ class ProvisioningCompiler:
         # new locations' skeletons are derived by slot rewrites.
         self._skeleton_templates: Dict[str, _SkeletonTemplate] = {}
         self._lock = threading.Lock()
+        # Warm-vs-cold skeleton accounting: hits reuse a compiled skeleton,
+        # derives rewrite a class template's value slots, builds pay full
+        # assembly.  Reported through ExperimentRunner.cache_stats() and the
+        # serve daemon's /metrics.
+        self.skeleton_hits = 0
+        self.skeleton_derives = 0
+        self.skeleton_builds = 0
 
     # -- per-site skeleton -------------------------------------------------------
     def site_skeleton(self, name: str, size_class: str) -> _SiteSkeleton:
@@ -358,18 +365,32 @@ class ProvisioningCompiler:
         with self._lock:
             skeleton = self._skeletons.get(key)
             template = self._skeleton_templates.get(size_class)
-        if skeleton is None:
-            if template is not None:
-                # Fast path: every location shares the structure; only the
-                # profile-dependent value slots are rewritten.
-                skeleton = self._derive_site_skeleton(template, name, size_class)
-            else:
-                skeleton, template = self._build_site_skeleton(name, size_class)
-                with self._lock:
-                    self._skeleton_templates.setdefault(size_class, template)
+            if skeleton is not None:
+                self.skeleton_hits += 1
+                return skeleton
+        if template is not None:
+            # Fast path: every location shares the structure; only the
+            # profile-dependent value slots are rewritten.
+            skeleton = self._derive_site_skeleton(template, name, size_class)
             with self._lock:
-                skeleton = self._skeletons.setdefault(key, skeleton)
+                self.skeleton_derives += 1
+        else:
+            skeleton, template = self._build_site_skeleton(name, size_class)
+            with self._lock:
+                self.skeleton_builds += 1
+                self._skeleton_templates.setdefault(size_class, template)
+        with self._lock:
+            skeleton = self._skeletons.setdefault(key, skeleton)
         return skeleton
+
+    def skeleton_stats(self) -> Dict[str, int]:
+        """Cumulative warm-vs-cold skeleton counters for this compiler."""
+        with self._lock:
+            return {
+                "skeleton_hits": self.skeleton_hits,
+                "skeleton_derives": self.skeleton_derives,
+                "skeleton_builds": self.skeleton_builds,
+            }
 
     def _derive_site_skeleton(
         self, template: _SkeletonTemplate, name: str, size_class: str

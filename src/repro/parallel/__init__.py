@@ -19,10 +19,13 @@ from repro.parallel.work import (
     ChainOutcomePayload,
     ChainTask,
     PricingChunkTask,
+    ServePointTask,
     SweepPointTask,
+    cache_stats,
     new_token,
     run_chain_task,
     run_pricing_chunk,
+    run_serve_point,
     run_sweep_point,
 )
 
@@ -38,9 +41,12 @@ __all__ = [
     "ChainOutcomePayload",
     "ChainTask",
     "PricingChunkTask",
+    "ServePointTask",
     "SweepPointTask",
+    "cache_stats",
     "new_token",
     "run_chain_task",
     "run_pricing_chunk",
+    "run_serve_point",
     "run_sweep_point",
 ]

@@ -24,6 +24,11 @@ with a per-process memo:
   dictionary.  Workers keep one serial :class:`ExperimentRunner` per parent
   runner (keyed by ``token``), so points landing on the same process share
   catalogue/profile/compiler caches just like the thread path does.
+* :class:`ServePointTask` — one planning request from the ``repro serve``
+  daemon.  Same worker-side machinery as :class:`SweepPointTask` (and the
+  same ``token`` keying, so a daemon's workers stay warm across requests),
+  plus a snapshot of the worker's warm-vs-cold cache counters in the result
+  for the daemon's ``/metrics`` endpoint.
 
 Results flowing back are equally plain: cost tuples, spec records, and a
 :class:`ChainOutcomePayload` whose hit stats the parent merges into
@@ -49,6 +54,13 @@ _CACHE_LIMIT = 8
 _cache: "OrderedDict[Tuple, Any]" = OrderedDict()
 _cache_lock = threading.Lock()
 
+#: Warm-vs-cold accounting for the per-process memo.  Workers are separate
+#: processes, so the parent cannot observe these directly; serve-style tasks
+#: (:func:`run_serve_point`) snapshot them into their result payload.
+_cache_hits = 0
+_cache_misses = 0
+_cache_evictions = 0
+
 _token_counter = itertools.count()
 
 
@@ -64,24 +76,43 @@ def new_token(label: str) -> str:
 
 def _cached(key: Tuple, build: Callable[[], Any]) -> Any:
     """Per-process memo: build once per key, evict least-recently-used."""
+    global _cache_hits, _cache_misses, _cache_evictions
     with _cache_lock:
         value = _cache.get(key)
         if value is not None:
+            _cache_hits += 1
             _cache.move_to_end(key)
             return value
+        _cache_misses += 1
     value = build()
     with _cache_lock:
         value = _cache.setdefault(key, value)
         _cache.move_to_end(key)
         while len(_cache) > _CACHE_LIMIT:
             _cache.popitem(last=False)
+            _cache_evictions += 1
     return value
+
+
+def cache_stats() -> Dict[str, int]:
+    """Cumulative per-process memo counters (hits, cold builds, evictions)."""
+    with _cache_lock:
+        return {
+            "memo_hits": _cache_hits,
+            "memo_misses": _cache_misses,
+            "memo_evictions": _cache_evictions,
+            "memo_entries": len(_cache),
+        }
 
 
 def reset_worker_caches() -> None:
     """Drop the per-process memo (test hook; workers never need to call it)."""
+    global _cache_hits, _cache_misses, _cache_evictions
     with _cache_lock:
         _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+        _cache_evictions = 0
 
 
 # -- filter pricing / single-site sweeps --------------------------------------
@@ -263,21 +294,72 @@ class SweepPointTask:
     solver_options: Any  # SolverOptions
 
 
-def run_sweep_point(task: SweepPointTask) -> Tuple[Dict[str, Any], bool]:
-    """Evaluate one sweep point; returns ``(record, from_cache)``."""
-    mark_process_worker()
+def _runner_for(
+    token: str, cache_dir: Optional[str], base_params: Any, solver_options: Any
+) -> Any:
+    """The per-process serial runner for ``token`` (shared sweep/serve memo)."""
     from repro.scenarios.runner import ExperimentRunner
-    from repro.scenarios.spec import ScenarioSpec
 
     def build() -> Any:
         return ExperimentRunner(
-            cache_dir=task.cache_dir,
+            cache_dir=cache_dir,
             workers=1,
             executor="serial",
-            base_params=task.base_params,
-            solver_options=task.solver_options,
+            base_params=base_params,
+            solver_options=solver_options,
         )
 
-    runner = _cached(("runner", task.token), build)
+    return _cached(("runner", token), build)
+
+
+def run_sweep_point(task: SweepPointTask) -> Tuple[Dict[str, Any], bool]:
+    """Evaluate one sweep point; returns ``(record, from_cache)``."""
+    mark_process_worker()
+    from repro.scenarios.spec import ScenarioSpec
+
+    runner = _runner_for(task.token, task.cache_dir, task.base_params, task.solver_options)
     point = runner.run_point(ScenarioSpec.from_dict(task.spec))
     return point.record, point.from_cache
+
+
+# -- serve-daemon planning requests --------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServePointTask:
+    """One planning request from the serve daemon, as a spec dictionary.
+
+    Worker-side this is :class:`SweepPointTask` — the same per-process serial
+    :class:`~repro.scenarios.runner.ExperimentRunner` keyed by ``token`` keeps
+    catalogues, compiled skeletons and the artifact cache warm across the
+    requests a worker serves — but the result additionally carries the
+    worker's cumulative warm-vs-cold cache counters, because the daemon's
+    ``/metrics`` endpoint cannot observe a child process's in-memory caches
+    any other way.
+    """
+
+    token: str
+    spec: Dict[str, Any]
+    cache_dir: Optional[str]
+    base_params: Any  # FrameworkParameters
+    solver_options: Any  # SolverOptions
+
+
+def run_serve_point(task: ServePointTask) -> Tuple[Dict[str, Any], bool, Dict[str, Any]]:
+    """Evaluate one serve request; returns ``(record, from_cache, worker_stats)``.
+
+    ``worker_stats`` is cumulative for this worker process; the parent keys
+    it by ``pid`` and keeps only the latest snapshot per worker, so summing
+    across pids never double-counts.
+    """
+    mark_process_worker()
+    from repro.scenarios.spec import ScenarioSpec
+
+    runner = _runner_for(task.token, task.cache_dir, task.base_params, task.solver_options)
+    point = runner.run_point(ScenarioSpec.from_dict(task.spec))
+    stats: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "work_memo": cache_stats(),
+        "runner": runner.cache_stats(),
+    }
+    return point.record, point.from_cache, stats

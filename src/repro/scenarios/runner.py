@@ -207,6 +207,42 @@ class ExperimentRunner:
         self._runner_token = new_token("runner")
         #: Points recovered by re-running serially after a dead process pool.
         self.process_fallbacks = 0
+        #: Warm-vs-cold cache accounting (catalogue/profile/problem rebuilds,
+        #: on-disk artifact hits, futures-memo dedup hits); see
+        #: :meth:`cache_stats`.  Guarded by ``self._lock``.
+        self.cache_counters: Dict[str, int] = {
+            "catalog_hits": 0,
+            "catalog_builds": 0,
+            "profile_hits": 0,
+            "profile_builds": 0,
+            "problem_hits": 0,
+            "problem_builds": 0,
+            "artifact_hits": 0,
+            "artifact_misses": 0,
+            "memo_hits": 0,
+        }
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self.cache_counters[counter] += amount
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Warm-vs-cold counters for this runner's in-memory and disk caches.
+
+        Includes the per-compiler skeleton counters summed over every problem
+        signature this runner has compiled.  For process-executor sweeps the
+        interesting counters live in the *workers*; those cross back in the
+        stats payload of :func:`repro.parallel.work.run_serve_point`.
+        """
+        with self._lock:
+            stats = dict(self.cache_counters)
+            compilers = [compiler for _, compiler in self._problems.values()]
+        totals = {"skeleton_hits": 0, "skeleton_derives": 0, "skeleton_builds": 0}
+        for compiler in compilers:
+            for name, value in compiler.skeleton_stats().items():
+                totals[name] += value
+        stats.update(totals)
+        return stats
 
     # -- public API -----------------------------------------------------------
     def run(self, experiment: Union[ScenarioSpec, ParameterSweep]) -> ResultSet:
@@ -227,6 +263,8 @@ class ExperimentRunner:
                     future = Future()
                     self._memo[key] = future
                     to_submit.append((key, point.spec))
+                else:
+                    self.cache_counters["memo_hits"] += 1
                 futures.append((point, future))
 
         if to_submit:
@@ -605,9 +643,12 @@ class ExperimentRunner:
         with self._lock:
             catalog = self._catalogs.get(key)
         if catalog is None:
+            self._count("catalog_builds")
             catalog = spec.build_catalog()
             with self._lock:
                 catalog = self._catalogs.setdefault(key, catalog)
+        else:
+            self._count("catalog_hits")
         return catalog
 
     def _profiles_for(self, spec: ScenarioSpec, tool: PlacementTool) -> list:
@@ -622,11 +663,14 @@ class ExperimentRunner:
         with self._lock:
             profiles = self._profiles.get(key)
         if profiles is None:
+            self._count("profile_builds")
             profiles = tool.profile_builder.build_all(
                 tool.epoch_grid, names=tool.candidate_names
             )
             with self._lock:
                 profiles = self._profiles.setdefault(key, profiles)
+        else:
+            self._count("profile_hits")
         return profiles
 
     def tool_for(self, spec: ScenarioSpec) -> PlacementTool:
@@ -652,6 +696,7 @@ class ExperimentRunner:
         with self._lock:
             entry = self._problems.get(signature)
         if entry is None:
+            self._count("problem_builds")
             problem = tool.build_problem(
                 total_capacity_kw=spec.total_capacity_kw,
                 min_green_fraction=spec.min_green_fraction,
@@ -665,6 +710,8 @@ class ExperimentRunner:
             entry = (problem, ProvisioningCompiler(problem))
             with self._lock:
                 entry = self._problems.setdefault(signature, entry)
+        else:
+            self._count("problem_hits")
         return entry
 
     # -- on-disk artifact cache -----------------------------------------------
@@ -675,24 +722,31 @@ class ExperimentRunner:
 
     def _load_artifact(self, key: str) -> Optional[PointResult]:
         path = self._artifact_path(key)
-        if path is None or not os.path.exists(path):
+        if path is None:
+            return None
+        if not os.path.exists(path):
+            self._count("artifact_misses")
             return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+                self._count("artifact_misses")
                 return None
             if payload.get("fingerprint") != code_fingerprint():
                 # Written by different code (older package, another LP backend):
                 # the spec alone no longer guarantees the numbers, so recompute.
+                self._count("artifact_misses")
                 return None
             result = PointResult.from_dict(payload["point"])
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             # A truncated write, corrupt JSON, or a payload whose shape the
             # deserializer rejects is a cache *miss*, never a crash: the point
             # is recomputed and the bad file overwritten in place.
+            self._count("artifact_misses")
             return None
         result.from_cache = True
+        self._count("artifact_hits")
         return result
 
     def _store_artifact(self, key: str, result: PointResult) -> None:

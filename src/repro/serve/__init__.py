@@ -1,0 +1,48 @@
+"""Planning-as-a-service: the ``repro serve`` daemon.
+
+A long-lived front-end over the experiment runner: requests are
+ScenarioSpec JSON, canonicalised and content-hashed so identical in-flight
+requests dedup onto one solve, dispatched to a persistent warm worker pool,
+and answered with records bit-identical to direct ``repro sweep`` runs.
+
+Layers: :mod:`repro.serve.protocol` (requests, typed errors, canonical
+encoding), :mod:`repro.serve.server` (dedup/admission/dispatch/drain),
+:mod:`repro.serve.http` (stdlib HTTP/1.1 front-end: ``POST /plan``,
+``GET /metrics``, ``GET /healthz``), :mod:`repro.serve.stdio`
+(newline-delimited JSON over stdin/stdout), :mod:`repro.serve.metrics`
+(counters and latency percentiles).
+"""
+
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    PlanRequest,
+    SpecError,
+    encode_response,
+    error_response,
+    http_status,
+    ok_response,
+    parse_request,
+    parse_request_line,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.server import PlanServer, ServeConfig
+from repro.serve.http import HttpFrontend, serve_http
+from repro.serve.stdio import serve_stdio
+
+__all__ = [
+    "ERROR_STATUS",
+    "PlanRequest",
+    "SpecError",
+    "encode_response",
+    "error_response",
+    "http_status",
+    "ok_response",
+    "parse_request",
+    "parse_request_line",
+    "ServerMetrics",
+    "PlanServer",
+    "ServeConfig",
+    "HttpFrontend",
+    "serve_http",
+    "serve_stdio",
+]

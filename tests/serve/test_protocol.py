@@ -1,0 +1,109 @@
+"""Wire-protocol round-trips: request parsing, typed errors, canonical encoding."""
+
+import json
+
+import pytest
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.serve import (
+    ERROR_STATUS,
+    SpecError,
+    encode_response,
+    error_response,
+    http_status,
+    ok_response,
+    parse_request,
+    parse_request_line,
+)
+from repro.serve.protocol import request_id_of
+
+
+class TestParseRequest:
+    def test_bare_spec_round_trips(self):
+        spec = ScenarioSpec(name="bare", total_capacity_kw=40_000.0)
+        request = parse_request(spec.to_dict())
+        assert request.id is None
+        assert request.spec == spec
+
+    def test_envelope_carries_id_and_spec(self):
+        spec = ScenarioSpec(name="env")
+        for request_id in ("client-7", 7):
+            request = parse_request({"id": request_id, "spec": spec.to_dict()})
+            assert request.id == request_id
+            assert request.spec.content_hash() == spec.content_hash()
+
+    def test_name_does_not_change_the_content_hash(self):
+        # Dedup keys on semantics: the label is not part of the plan.
+        a = parse_request({"spec": ScenarioSpec(name="a").to_dict()})
+        b = parse_request({"spec": ScenarioSpec(name="b").to_dict()})
+        assert a.spec.content_hash() == b.spec.content_hash()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an object",
+            42,
+            None,
+            ["list"],
+            {"spec": 42},
+            {"spec": {"no_such_field": 1}},
+            {"id": "x", "spec": {}, "surprise": 1},
+            {"id": True, "spec": {}},
+            {"id": 1.5, "spec": {}},
+        ],
+    )
+    def test_malformed_payloads_raise_spec_error(self, payload):
+        with pytest.raises(SpecError):
+            parse_request(payload)
+
+    def test_request_line_parses_and_rejects(self):
+        spec = ScenarioSpec()
+        line = json.dumps({"id": 3, "spec": spec.to_dict()})
+        assert parse_request_line(line).id == 3
+        with pytest.raises(SpecError):
+            parse_request_line("{broken json")
+
+    def test_request_id_of_is_best_effort(self):
+        assert request_id_of({"id": "a"}) == "a"
+        assert request_id_of({"id": 3}) == 3
+        assert request_id_of({"id": True}) is None
+        assert request_id_of({"id": [1]}) is None
+        assert request_id_of("garbage") is None
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = ok_response(
+            "r1",
+            content_hash="abc",
+            record={"objective": 1.0},
+            from_cache=True,
+            dedup=False,
+            elapsed_s=0.1234567,
+        )
+        assert response["status"] == "ok"
+        assert response["id"] == "r1"
+        assert response["content_hash"] == "abc"
+        assert response["from_cache"] is True
+        assert response["dedup"] is False
+        assert response["elapsed_s"] == pytest.approx(0.123457)
+        assert http_status(response) == 200
+
+    def test_error_kinds_map_to_http_statuses(self):
+        for kind, status in ERROR_STATUS.items():
+            response = error_response(kind, "why", "id-1")
+            assert response["status"] == "error"
+            assert response["error"] == kind
+            assert http_status(response) == status
+
+    def test_unknown_error_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown error kind"):
+            error_response("nope", "message")
+
+    def test_encoding_is_canonical(self):
+        # Key order must not leak into the encoding: the differential
+        # server-vs-direct tests compare these strings byte for byte.
+        one = encode_response({"b": 1, "a": {"y": 2, "x": 3}})
+        two = encode_response({"a": {"x": 3, "y": 2}, "b": 1})
+        assert one == two
+        assert json.loads(one) == {"a": {"x": 3, "y": 2}, "b": 1}

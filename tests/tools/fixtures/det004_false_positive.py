@@ -1,0 +1,44 @@
+"""DET004 false positives: seeds derived from explicit arguments."""
+
+import zlib
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+BASE_SEED = 2014
+
+
+def from_param(seed):
+    return default_rng(seed)
+
+
+def derived(name, seed):
+    return default_rng(zlib.crc32(f"{name}:{seed}".encode()))
+
+
+def with_default(seed=BASE_SEED):
+    # The *default expression* names module state, but the call site only
+    # sees the bound parameter — callers can always pass their own seed.
+    return default_rng(int(seed))
+
+
+class Chain:
+    def __init__(self, seed):
+        self.seed = seed
+
+    def rng(self):
+        return default_rng([int(self.seed), 0xE7E27])
+
+
+def fanout(seeds):
+    return [default_rng(s) for s in seeds]
+
+
+def spawn(seed):
+    seq = SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(3)]
+
+
+MODULE_FANOUT = [default_rng(s) for s in (1, 2, 3)]
+
+make = lambda seed: default_rng(seed)

@@ -1,0 +1,23 @@
+"""DET004 true positives: seeds that silently read module state."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+_GLOBAL_SEED = 1234
+_OFFSET = 7
+
+MODULE_RNG = default_rng(_GLOBAL_SEED)  # line 11: module-level module-state seed
+
+
+def make_rng():
+    return default_rng(_GLOBAL_SEED + 1)  # line 15: function reads module state
+
+
+def chain(index):
+    return random.Random(_OFFSET * index)  # line 19: mixes module state in
+
+
+def keyword_seed():
+    return np.random.RandomState(seed=_GLOBAL_SEED)  # line 23: keyword seed

@@ -53,6 +53,15 @@ class TestRuleTruePositives:
         found = codes_and_lines(findings_for("det003_true_positive.py"))
         assert found == {("DET003", 6), ("DET003", 7), ("DET003", 8)}
 
+    def test_det004_catches_module_state_seeds(self):
+        found = codes_and_lines(findings_for("det004_true_positive.py"))
+        assert found == {
+            ("DET004", 11),  # module-level seed from a module global
+            ("DET004", 15),  # function seed reads module state
+            ("DET004", 19),  # module state mixed into a derived seed
+            ("DET004", 23),  # keyword seed= argument
+        }
+
     def test_pkl001_catches_lambdas_and_local_defs(self):
         found = codes_and_lines(findings_for("pkl001_true_positive.py"))
         assert found == {("PKL001", 5), ("PKL001", 10), ("PKL001", 11)}
@@ -78,6 +87,7 @@ class TestRuleFalsePositives:
             "det001_false_positive.py",
             "det002_false_positive.py",
             "det003_false_positive.py",
+            "det004_false_positive.py",
             "pkl001_false_positive.py",
             "flt001_false_positive.py",
             "set001_false_positive.py",
@@ -154,7 +164,7 @@ class TestDirectoryLinting:
         config = Config(exclude=(), float_paths=("tests/tools/fixtures",))
         findings = lint_paths([str(FIXTURES)], config)
         assert {f.code for f in findings if not f.suppressed} >= {
-            "DET001", "DET002", "DET003", "PKL001", "FLT001", "SET001",
+            "DET001", "DET002", "DET003", "DET004", "PKL001", "FLT001", "SET001",
         }
         excluded = Config(
             exclude=(os.path.relpath(FIXTURES).replace(os.sep, "/"),)

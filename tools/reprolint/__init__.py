@@ -22,6 +22,10 @@ DET003    No wall-clock reads (``time.time``, ``datetime.now``) in library
           code: pure compute and hashing paths must be time-independent
           (``time.perf_counter``/``monotonic`` stay legal for duration
           measurement).
+DET004    No RNG seed read from module state: every seeded constructor
+          (``default_rng``/``Random``/``RandomState``/``SeedSequence``)
+          must derive its seed from an explicit argument, parameter or
+          local, so callers — not import order — decide the stream.
 PKL001    No lambdas or locally-defined functions submitted to executors or
           stored in work descriptors: they do not pickle, so the code path
           silently stops working on the process executor.

@@ -9,6 +9,7 @@ hatch (``# reprolint: ok(<RULE>) justification``) for the provably-safe cases.
 from __future__ import annotations
 
 import ast
+import builtins
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -25,6 +26,7 @@ RULES: Tuple[Rule, ...] = (
     Rule("DET001", "global-state RNG call; use an explicitly seeded generator"),
     Rule("DET002", "builtin hash() outside __hash__; use zlib.crc32/hashlib"),
     Rule("DET003", "wall-clock read in library code; results must be time-independent"),
+    Rule("DET004", "RNG seed reads module state; derive seeds from an explicit argument"),
     Rule("PKL001", "unpicklable callable reaches the executor boundary"),
     Rule("FLT001", "exact float ==/!= in solver-tolerance code; compare with epsilon"),
     Rule("SET001", "set iteration order flows into an ordered output; sort first"),
@@ -75,6 +77,38 @@ _NP_RANDOM_GLOBAL_FUNCS = frozenset(
 #: Seeded-generator constructors that are *only* deterministic with a seed.
 _SEEDED_CONSTRUCTORS = frozenset({"Random", "default_rng", "RandomState", "SeedSequence"})
 
+# -- DET004: seed plumbing -------------------------------------------------------
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def _bound_names(node: ast.AST) -> Set[str]:
+    """Every name bound anywhere inside ``node`` (Python scoping is
+    whole-function, so a later assignment still makes the name local).
+
+    Includes bindings from nested scopes — an over-approximation that only
+    ever suppresses findings, never invents them.  Names declared ``global``
+    or ``nonlocal`` are subtracted: they resolve to an *enclosing* scope,
+    whose own binding set (if any) is separately on the stack.
+    """
+    bound: Set[str] = set()
+    declared: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store, ast.Del)):
+            bound.add(sub.id)
+        elif isinstance(sub, ast.arg):
+            bound.add(sub.arg)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(sub.name)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            bound.add(sub.name)
+        elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+            for alias in sub.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(sub, (ast.Global, ast.Nonlocal)):
+            declared.update(sub.names)
+    return bound - declared
+
 # -- DET003: wall-clock reads ---------------------------------------------------
 
 _TIME_WALLCLOCK_FUNCS = frozenset(
@@ -119,6 +153,10 @@ class ContractVisitor(ast.NodeVisitor):
         # names of locally-defined functions (for PKL001).
         self._function_stack: List[str] = []
         self._local_defs: List[Set[str]] = []
+        # DET004: stack of bound-name sets, one per enclosing function /
+        # lambda / comprehension scope, plus every imported top-level name.
+        self._bindings: List[Set[str]] = []
+        self._import_names: Set[str] = set()
 
     # -- helpers ----------------------------------------------------------------
 
@@ -139,6 +177,7 @@ class ContractVisitor(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             bound = alias.asname or alias.name.split(".")[0]
+            self._import_names.add(bound)
             if alias.name == "random":
                 self._random_aliases.add(bound)
             elif alias.name in ("numpy", "numpy.random"):
@@ -158,6 +197,7 @@ class ContractVisitor(ast.NodeVisitor):
         module = node.module or ""
         for alias in node.names:
             bound = alias.asname or alias.name
+            self._import_names.add(bound)
             if module == "numpy" and alias.name == "random":
                 self._numpy_random_aliases.add(bound)
             elif module in ("random", "numpy.random", "time", "datetime"):
@@ -173,9 +213,11 @@ class ContractVisitor(ast.NodeVisitor):
             self._local_defs[-1].add(node.name)
         self._function_stack.append(node.name)
         self._local_defs.append(set())
+        self._bindings.append(_bound_names(node))
         self.generic_visit(node)
         self._function_stack.pop()
         self._local_defs.pop()
+        self._bindings.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node)
@@ -183,10 +225,19 @@ class ContractVisitor(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._visit_function(node)
 
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._bindings.append(_bound_names(node))
+        self.generic_visit(node)
+        self._bindings.pop()
+
+    def _is_bound(self, name: str) -> bool:
+        return any(name in scope for scope in self._bindings)
+
     # -- calls: DET001 / DET002 / DET003 / PKL001 / SET001 ----------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         self._check_rng_call(node)
+        self._check_seed_plumbing(node)
         self._check_hash_call(node)
         self._check_wallclock_call(node)
         self._check_executor_call(node)
@@ -236,6 +287,77 @@ class ContractVisitor(ast.NodeVisitor):
             self._emit("DET001", node, f"np.random.{attr}() uses the hidden global RNG")
         elif attr in ("default_rng", "RandomState") and not node.args and not node.keywords:
             self._emit("DET001", node, f"np.random.{attr}() without a seed is nondeterministic")
+
+    # -- DET004 ------------------------------------------------------------------
+
+    def _seeded_constructor_name(self, node: ast.Call) -> Optional[str]:
+        """The ``_SEEDED_CONSTRUCTORS`` member this call invokes, if any."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            origin = self._from_imports.get(func.id)
+            if origin is not None and origin[1] in _SEEDED_CONSTRUCTORS:
+                return origin[1]
+            return None
+        if not isinstance(func, ast.Attribute) or func.attr not in _SEEDED_CONSTRUCTORS:
+            return None
+        base = func.value
+        if isinstance(base, ast.Name) and (
+            base.id in self._random_aliases or base.id in self._numpy_random_aliases
+        ):
+            return func.attr
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self._numpy_aliases
+        ):
+            return func.attr
+        return None
+
+    def _check_seed_plumbing(self, node: ast.Call) -> None:
+        """DET004: seeded-constructor seeds must derive from explicit arguments."""
+        name = self._seeded_constructor_name(node)
+        if name is None:
+            return
+        seed_exprs = list(node.args) + [kw.value for kw in node.keywords]
+        for expr in seed_exprs:  # unseeded calls are DET001's finding
+            offenders = self._module_state_names(expr)
+            if offenders:
+                self._emit(
+                    "DET004",
+                    node,
+                    f"{name}() seed reads module state {offenders[0]!r}; "
+                    "derive seeds from an explicit argument",
+                )
+                return
+
+    def _module_state_names(self, expr: ast.expr) -> List[str]:
+        """Free names in ``expr`` that can only resolve to module globals.
+
+        A loaded name is module state unless it is bound in an enclosing
+        function/lambda/comprehension scope, imported, a builtin, or part of
+        a callee (``zlib.crc32(...)`` names the *function*, not the seed).
+        """
+        callee_nodes: Set[int] = set()
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                callee_nodes.update(id(part) for part in ast.walk(sub.func))
+        names: List[str] = []
+        for sub in ast.walk(expr):
+            if id(sub) in callee_nodes or not isinstance(sub, ast.Name):
+                continue
+            if not isinstance(sub.ctx, ast.Load):
+                continue
+            name = sub.id
+            if (
+                name in _BUILTIN_NAMES
+                or name in self._import_names
+                or self._is_bound(name)
+            ):
+                continue
+            if name not in names:
+                names.append(name)
+        return names
 
     def _check_hash_call(self, node: ast.Call) -> None:
         if _call_name(node) == "hash" and not self._in_dunder_hash():
@@ -375,10 +497,21 @@ class ContractVisitor(ast.NodeVisitor):
         self._flag_set_iteration(node.iter, "the loop body sees it in order")
         self.generic_visit(node)
 
+    @staticmethod
+    def _comp_bindings(node) -> Set[str]:
+        bound: Set[str] = set()
+        for comp in node.generators:
+            for sub in ast.walk(comp.target):
+                if isinstance(sub, ast.Name):
+                    bound.add(sub.id)
+        return bound
+
     def _visit_ordered_comp(self, node, kind: str) -> None:
         for comp in node.generators:
             self._flag_set_iteration(comp.iter, f"it feeds a {kind}")
+        self._bindings.append(self._comp_bindings(node))
         self.generic_visit(node)
+        self._bindings.pop()
 
     def visit_ListComp(self, node: ast.ListComp) -> None:
         self._visit_ordered_comp(node, "list")
@@ -386,12 +519,19 @@ class ContractVisitor(ast.NodeVisitor):
     def visit_DictComp(self, node: ast.DictComp) -> None:
         self._visit_ordered_comp(node, "dict (insertion-ordered)")
 
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._bindings.append(self._comp_bindings(node))
+        self.generic_visit(node)
+        self._bindings.pop()
+
     def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
         # Only order-insensitive reducers typically consume generators, and
         # flagging every ``for x in set_expr`` generator would double-report
         # the ordered-consumer check below; generators are checked at their
         # consumer instead.
+        self._bindings.append(self._comp_bindings(node))
         self.generic_visit(node)
+        self._bindings.pop()
 
     def _check_ordered_consumer_call(self, node: ast.Call) -> None:
         consumer: Optional[str] = None
